@@ -1,0 +1,169 @@
+// Package avfs is the public facade of the AVFS library: a full
+// reproduction, on simulated X-Gene 2 / X-Gene 3 substrates, of the HPCA
+// 2019 paper "Adaptive Voltage/Frequency Scaling and Core Allocation for
+// Balanced Energy and Performance on Multicore CPUs" (Papadimitriou,
+// Chatzidimitriou, Gizopoulos — University of Athens).
+//
+// The library has three layers:
+//
+//   - Substrates (chip, clock, power, droop, vmin, workload, sim, perfmon,
+//     sysfs, sched): everything the paper's testbed provided in hardware.
+//   - The contribution (daemon): the online monitoring daemon that
+//     classifies processes by their L3C access rate, clusters
+//     CPU-intensive threads, spreads memory-intensive threads at reduced
+//     frequency, and programs the Table II safe Vmin with a fail-safe
+//     raise-before-reconfigure protocol.
+//   - Experiments: one entry point per paper table/figure (see DESIGN.md).
+//
+// This package re-exports the types downstream users need, so the whole
+// system is usable through the single import "avfs".
+//
+// Quick start:
+//
+//	machine := avfs.NewMachine(avfs.XGene3)
+//	d := avfs.NewDaemon(machine, avfs.OptimalDaemonConfig())
+//	d.Attach()
+//	p, _ := machine.Submit(avfs.Benchmark("CG"), 8)
+//	_ = p
+//	machine.RunFor(60) // simulated seconds
+//	fmt.Println(machine.Meter.Energy(), "J")
+package avfs
+
+import (
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/experiments"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+	"avfs/internal/wlgen"
+	"avfs/internal/workload"
+)
+
+// Model identifies a supported chip.
+type Model = chip.Model
+
+// Supported chip models.
+const (
+	XGene2 = chip.XGene2
+	XGene3 = chip.XGene3
+)
+
+// Core electrical and topology types.
+type (
+	// Millivolts is a supply voltage level.
+	Millivolts = chip.Millivolts
+	// MHz is a clock frequency.
+	MHz = chip.MHz
+	// CoreID identifies one core.
+	CoreID = chip.CoreID
+	// PMDID identifies one core pair (Processor MoDule).
+	PMDID = chip.PMDID
+	// ChipSpec is the static description of a chip.
+	ChipSpec = chip.Spec
+)
+
+// Machine is the simulated server (see internal/sim).
+type Machine = sim.Machine
+
+// Process is a running program instance on a Machine.
+type Process = sim.Process
+
+// Placement names the clustered/spreaded allocation strategies.
+type Placement = sim.Placement
+
+// Allocation strategies (Fig. 2 of the paper).
+const (
+	Clustered = sim.Clustered
+	Spreaded  = sim.Spreaded
+)
+
+// Daemon is the paper's online monitoring daemon.
+type Daemon = daemon.Daemon
+
+// DaemonConfig tunes the daemon.
+type DaemonConfig = daemon.Config
+
+// Workload is a reproducible random server-workload schedule.
+type Workload = wlgen.Workload
+
+// WorkloadConfig tunes the workload generator.
+type WorkloadConfig = wlgen.Config
+
+// BenchmarkModel is the analytic model of one program.
+type BenchmarkModel = workload.Benchmark
+
+// Spec returns the chip specification for a model.
+func Spec(m Model) *ChipSpec { return chip.SpecFor(m) }
+
+// NewMachine creates an idle simulated server of the given model, at
+// nominal voltage with every PMD at maximum frequency.
+func NewMachine(m Model) *Machine { return sim.New(chip.SpecFor(m)) }
+
+// NewDaemon creates the online monitoring daemon for a machine. Call
+// Attach on the result to start it.
+func NewDaemon(m *Machine, cfg DaemonConfig) *Daemon { return daemon.New(m, cfg) }
+
+// OptimalDaemonConfig returns the paper's "Optimal" configuration:
+// placement, frequency and voltage adaptation.
+func OptimalDaemonConfig() DaemonConfig { return daemon.DefaultConfig() }
+
+// PlacementDaemonConfig returns the paper's "Placement" configuration:
+// placement and frequency adaptation at nominal voltage.
+func PlacementDaemonConfig() DaemonConfig { return daemon.PlacementOnlyConfig() }
+
+// AttachBaseline wires the default Linux-like stack (load-balanced
+// placement + ondemand governor at nominal voltage) onto a machine — the
+// paper's Baseline configuration.
+func AttachBaseline(m *Machine) { sched.NewBaseline(m) }
+
+// Benchmark returns the model of a program by name (e.g. "CG", "milc");
+// it panics on unknown names. Use Benchmarks() to enumerate.
+func Benchmark(name string) *BenchmarkModel { return workload.MustByName(name) }
+
+// Benchmarks returns every modelled program.
+func Benchmarks() []*BenchmarkModel { return workload.All() }
+
+// GenerateWorkload builds a reproducible random server workload for a
+// chip (Sec. VI-B of the paper). The zero WorkloadConfig generates the
+// paper's 1-hour shape.
+func GenerateWorkload(m Model, cfg WorkloadConfig, seed int64) *Workload {
+	return wlgen.Generate(chip.SpecFor(m), cfg, seed)
+}
+
+// SystemConfig selects one of the paper's four evaluated configurations.
+type SystemConfig = experiments.SystemConfig
+
+// The four evaluated system configurations (Tables III/IV).
+const (
+	Baseline       = experiments.Baseline
+	SafeVminConfig = experiments.SafeVmin
+	PlacementOnly  = experiments.Placement
+	Optimal        = experiments.Optimal
+)
+
+// EvalResult is the outcome of replaying a workload under one
+// configuration.
+type EvalResult = experiments.EvalResult
+
+// EvalSet is the four-configuration comparison (Table III/IV).
+type EvalSet = experiments.EvalSet
+
+// Evaluate replays a workload under one system configuration.
+func Evaluate(m Model, wl *Workload, cfg SystemConfig) (EvalResult, error) {
+	return experiments.Evaluate(chip.SpecFor(m), wl, cfg)
+}
+
+// EvaluateAll runs the full four-configuration comparison.
+func EvaluateAll(m Model, wl *Workload) (*EvalSet, error) {
+	return experiments.EvaluateAll(chip.SpecFor(m), wl)
+}
+
+// clusteredCores and spreadedCores adapt the sim package's allocation
+// helpers for the facade.
+func clusteredCores(spec *chip.Spec, n int) ([]chip.CoreID, error) {
+	return sim.ClusteredCores(spec, n)
+}
+
+func spreadedCores(spec *chip.Spec, n int) ([]chip.CoreID, error) {
+	return sim.SpreadedCores(spec, n)
+}

@@ -1,0 +1,105 @@
+// Command ablate runs the design-choice ablation and extension studies:
+// sweeps of the classification threshold, voltage guard, monitoring
+// period, hysteresis band, memory-PMD frequency (X-Gene 2), the relaxed-
+// performance direction, the fail-safe transition ordering, aging drift,
+// migration cost, and the power-capping comparison. Each sweep replays
+// one fixed random workload under daemon variants and compares energy,
+// time and safety against the Baseline.
+//
+// Usage:
+//
+//	ablate [-study threshold|guard|poll|hysteresis|memfreq|relaxed|
+//	        protocol|aging|migration|capping|all]
+//	       [-chip xgene2|xgene3] [-duration 900] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments"
+)
+
+func main() {
+	study := flag.String("study", "all", "threshold, guard, poll, hysteresis, memfreq, relaxed, protocol, aging, migration, capping or all")
+	chipFlag := flag.String("chip", "xgene3", "chip: xgene2 or xgene3")
+	duration := flag.Float64("duration", 900, "workload duration in seconds")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var spec *chip.Spec
+	switch *chipFlag {
+	case "xgene2":
+		spec = chip.XGene2Spec()
+	case "xgene3":
+		spec = chip.XGene3Spec()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipFlag)
+		os.Exit(2)
+	}
+
+	type studyFn func() (experiments.AblationResult, error)
+	studies := []struct {
+		name string
+		fn   studyFn
+	}{
+		{"threshold", func() (experiments.AblationResult, error) {
+			return experiments.AblateThreshold(spec, *duration, *seed)
+		}},
+		{"guard", func() (experiments.AblationResult, error) {
+			return experiments.AblateGuard(spec, *duration, *seed)
+		}},
+		{"poll", func() (experiments.AblationResult, error) {
+			return experiments.AblatePollInterval(spec, *duration, *seed)
+		}},
+		{"hysteresis", func() (experiments.AblationResult, error) {
+			return experiments.AblateHysteresis(spec, *duration, *seed)
+		}},
+		{"memfreq", func() (experiments.AblationResult, error) {
+			return experiments.AblateMemFreq(*duration, *seed)
+		}},
+		{"relaxed", func() (experiments.AblationResult, error) {
+			return experiments.AblateRelaxed(spec, *duration, *seed)
+		}},
+		{"protocol", func() (experiments.AblationResult, error) {
+			return experiments.AblateProtocol(spec, *duration, *seed)
+		}},
+		{"aging", func() (experiments.AblationResult, error) {
+			return experiments.AblateAging(spec, *duration, *seed)
+		}},
+		{"migration", func() (experiments.AblationResult, error) {
+			return experiments.AblateMigrationCost(spec, *duration, *seed)
+		}},
+	}
+
+	ran := false
+	for _, s := range studies {
+		if *study != "all" && *study != s.name {
+			continue
+		}
+		ran = true
+		res, err := s.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablate %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *study == "all" || *study == "capping" {
+		ran = true
+		st, err := experiments.RunCapStudy(spec, *duration, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablate capping: %v\n", err)
+			os.Exit(1)
+		}
+		st.Render(os.Stdout)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+// Command characterize reproduces the paper's voltage-margins
+// characterization: the safe-Vmin study of Fig. 3, the single-/two-core
+// variation study of Fig. 4, the unsafe-region pfail curves of Fig. 5, and
+// the factor-magnitude summary of Fig. 10, plus the Table I chip
+// parameters.
+//
+// Usage:
+//
+//	characterize [-experiment fig3|fig4|fig5|fig10|table1|fleet|all] [-trials N]
+//
+// -trials reduces the per-level run count from the paper's 1000 for faster
+// exploration (the discovered Vmin values are identical in practice: the
+// pfail model rises quickly below the safe point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment: fig3, fig4, fig5, fig10, table1, fleet or all")
+	trials := flag.Int("trials", 0, "runs per voltage level (0 = the paper's 1000)")
+	dies := flag.Int("dies", 100, "sampled dies for the fleet study")
+	flag.Parse()
+
+	ran := false
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		ran = true
+		fmt.Printf("=== %s ===\n", name)
+		fn()
+		fmt.Println()
+	}
+
+	run("table1", func() { experiments.TableI().Render(os.Stdout) })
+	run("fig3", func() { experiments.Figure3(*trials).Render(os.Stdout) })
+	run("fig4", func() { experiments.Figure4(*trials).Render(os.Stdout) })
+	run("fig5", func() { experiments.Figure5(*trials).Render(os.Stdout) })
+	run("fig10", func() { experiments.Figure10().Render(os.Stdout) })
+	run("fleet", func() {
+		experiments.FleetStudy(chip.XGene2Spec(), *dies, 1).Render(os.Stdout)
+		fmt.Println()
+		experiments.FleetStudy(chip.XGene3Spec(), *dies, 1).Render(os.Stdout)
+	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig3, fig4, fig5, fig10, table1, fleet or all)\n", *exp)
+		os.Exit(2)
+	}
+}

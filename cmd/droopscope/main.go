@@ -1,0 +1,41 @@
+// Command droopscope reproduces the paper's voltage-droop analysis: the
+// per-program droop detection rates in the two magnitude windows of
+// Fig. 6, and the droop-class/Vmin correlation of Table II.
+//
+// Usage:
+//
+//	droopscope [-experiment fig6|table2|all] [-cycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment: fig6, table2 or all")
+	cycles := flag.Uint64("cycles", 1_000_000_000, "observation window in cycles for fig6")
+	flag.Parse()
+
+	ran := false
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		ran = true
+		fmt.Printf("=== %s ===\n", name)
+		fn()
+		fmt.Println()
+	}
+
+	run("table2", func() { experiments.TableII().Render(os.Stdout) })
+	run("fig6", func() { experiments.Figure6(*cycles).Render(os.Stdout) })
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, table2 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,101 @@
+// Command evaluate reproduces the paper's system-level evaluation
+// (Sec. VI-B): it generates a random server workload, replays it under the
+// four system configurations (Baseline, Safe Vmin, Placement, Optimal) and
+// prints Tables III/IV plus the Fig. 14/15 timelines.
+//
+// Usage:
+//
+//	evaluate [-chip xgene2|xgene3|both] [-duration 3600] [-seed 42]
+//	         [-fig14] [-fig15] [-seeds N] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments"
+	"avfs/internal/export"
+	"avfs/internal/wlgen"
+)
+
+// sanitizeChip turns a chip name into a directory fragment.
+func sanitizeChip(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "-")
+}
+
+func main() {
+	chipFlag := flag.String("chip", "both", "chip to evaluate: xgene2, xgene3 or both")
+	duration := flag.Float64("duration", 3600, "workload duration in seconds")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	fig14 := flag.Bool("fig14", false, "also render the Fig. 14 power timeline")
+	fig15 := flag.Bool("fig15", false, "also render the Fig. 15 load timeline")
+	seeds := flag.Int("seeds", 0, "run the multi-seed robustness study over N seeds instead of the table")
+	csvDir := flag.String("csv", "", "also export summary and timelines as CSV files into this directory")
+	flag.Parse()
+
+	specs, err := chipsFor(*chipFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, spec := range specs {
+		if *seeds > 0 {
+			var list []int64
+			for i := 0; i < *seeds; i++ {
+				list = append(list, *seed+int64(i))
+			}
+			st, err := experiments.RunSeedStudy(spec, *duration, list)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				os.Exit(1)
+			}
+			st.Render(os.Stdout)
+			fmt.Println()
+			continue
+		}
+		wl := wlgen.Generate(spec, wlgen.Config{Duration: *duration}, *seed)
+		fmt.Printf("generated workload: %d processes, %d threads total, %.0f%% memory-intensive\n",
+			wl.TotalProcesses(), wl.TotalThreads(), 100*wl.MemoryIntensiveShare())
+		set, err := experiments.EvaluateAll(spec, wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		set.Render(os.Stdout)
+		if *csvDir != "" {
+			dir := filepath.Join(*csvDir, sanitizeChip(spec.Name))
+			if err := export.EvalSet(dir, set); err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate: csv export:", err)
+				os.Exit(1)
+			}
+			fmt.Println("CSV written to", dir)
+		}
+		fmt.Println()
+		set.RenderBreakdown(os.Stdout)
+		if *fig14 {
+			fmt.Println()
+			set.RenderFig14(os.Stdout, 100)
+		}
+		if *fig15 {
+			fmt.Println()
+			set.RenderFig15(os.Stdout, 100)
+		}
+		fmt.Println()
+	}
+}
+
+func chipsFor(name string) ([]*chip.Spec, error) {
+	switch name {
+	case "xgene2":
+		return []*chip.Spec{chip.XGene2Spec()}, nil
+	case "xgene3":
+		return []*chip.Spec{chip.XGene3Spec()}, nil
+	case "both":
+		return []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()}, nil
+	}
+	return nil, fmt.Errorf("unknown chip %q (want xgene2, xgene3 or both)", name)
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestChipsFor(t *testing.T) {
+	both, err := chipsFor("both")
+	if err != nil || len(both) != 2 {
+		t.Fatalf("both: %v, %v", both, err)
+	}
+	x2, err := chipsFor("xgene2")
+	if err != nil || len(x2) != 1 || x2[0].Cores != 8 {
+		t.Fatalf("xgene2: %v, %v", x2, err)
+	}
+	x3, err := chipsFor("xgene3")
+	if err != nil || len(x3) != 1 || x3[0].Cores != 32 {
+		t.Fatalf("xgene3: %v, %v", x3, err)
+	}
+	if _, err := chipsFor("nope"); err == nil {
+		t.Error("unknown chip must error")
+	}
+}
+
+func TestSanitizeChip(t *testing.T) {
+	if got := sanitizeChip("X-Gene 2"); got != "x-gene-2" {
+		t.Errorf("sanitizeChip = %q", got)
+	}
+}

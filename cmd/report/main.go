@@ -1,0 +1,49 @@
+// Command report regenerates the entire evaluation — every paper table
+// and figure plus this repository's ablation, extension and robustness
+// studies — into a single markdown document.
+//
+// Usage:
+//
+//	report [-quick] [-o REPORT.md]
+//
+// Without -quick, characterization uses the paper's 1000-run criterion
+// and the evaluation replays 1-hour workloads (several minutes of wall
+// clock); -quick reduces both for an end-to-end run in under a minute.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"avfs/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity for a fast run")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	opts := report.Defaults()
+	if *quick {
+		opts = report.Quick()
+	}
+
+	var w = bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	if err := report.Generate(w, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command tradeoffs reproduces the paper's energy/performance trade-off
+// studies: the clustered-vs-spreaded energy comparison of Fig. 7 and the
+// energy and ED2P grids of Figs. 11 and 12 (every thread-scaling and
+// frequency option, each at its own safe Vmin).
+//
+// Usage:
+//
+//	tradeoffs [-experiment fig7|fig11|fig12|all] [-chip xgene2|xgene3|both]
+//	          [-placement clustered|spreaded]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments"
+	"avfs/internal/sim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment: fig7, fig11, fig12 or all")
+	chipFlag := flag.String("chip", "both", "chip: xgene2, xgene3 or both")
+	placeFlag := flag.String("placement", "clustered", "allocation for fig11/fig12: clustered or spreaded")
+	flag.Parse()
+
+	var specs []*chip.Spec
+	switch *chipFlag {
+	case "xgene2":
+		specs = []*chip.Spec{chip.XGene2Spec()}
+	case "xgene3":
+		specs = []*chip.Spec{chip.XGene3Spec()}
+	case "both":
+		specs = []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipFlag)
+		os.Exit(2)
+	}
+	place := sim.Clustered
+	if *placeFlag == "spreaded" {
+		place = sim.Spreaded
+	}
+
+	ran := false
+	for _, spec := range specs {
+		run := func(name string, fn func()) {
+			if *exp != "all" && *exp != name {
+				return
+			}
+			ran = true
+			fmt.Printf("=== %s (%s) ===\n", name, spec.Name)
+			fn()
+			fmt.Println()
+		}
+		run("fig7", func() { experiments.Figure7(spec).Render(os.Stdout) })
+		if *exp == "all" || *exp == "fig11" || *exp == "fig12" {
+			grid := experiments.EnergyGrid(spec, place)
+			run("fig11", func() { grid.RenderEnergy(os.Stdout) })
+			run("fig12", func() { grid.RenderED2P(os.Stdout) })
+		}
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig7, fig11, fig12 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

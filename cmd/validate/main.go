@@ -1,0 +1,33 @@
+// Command validate checks the reproduction against every quantitative
+// claim of the paper and prints the pass/fail dashboard. It exits non-zero
+// if any claim fails.
+//
+// Usage:
+//
+//	validate [-fast]
+//
+// -fast uses reduced characterization trials and a 10-minute evaluation
+// workload (seconds of runtime); without it, claims are verified at paper
+// fidelity (1000-run characterization, 1-hour workloads — minutes).
+package main
+
+import (
+	"flag"
+	"os"
+
+	"avfs/internal/claims"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "reduced fidelity (seconds instead of minutes)")
+	flag.Parse()
+
+	f := claims.Fidelity{Trials: 0, EvalSeconds: 3600, Seed: 42}
+	if *fast {
+		f = claims.Fast()
+	}
+	results := claims.Verify(f)
+	if failed := claims.Render(os.Stdout, results); failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Servermix reproduces, at example scale, the paper's system-level
+// evaluation (Sec. VI-B): it generates a reproducible random server
+// workload from the 35-program pool and replays it under all four system
+// configurations — Baseline, Safe Vmin, Placement and Optimal — printing a
+// Table III/IV-style comparison plus the Fig. 14 power timeline.
+//
+//	go run ./examples/servermix [seconds] [seed]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"avfs"
+)
+
+func main() {
+	duration := 900.0
+	seed := int64(2026)
+	if len(os.Args) > 1 {
+		if v, err := strconv.ParseFloat(os.Args[1], 64); err == nil {
+			duration = v
+		}
+	}
+	if len(os.Args) > 2 {
+		if v, err := strconv.ParseInt(os.Args[2], 10, 64); err == nil {
+			seed = v
+		}
+	}
+
+	wl := avfs.GenerateWorkload(avfs.XGene3, avfs.WorkloadConfig{Duration: duration}, seed)
+	fmt.Printf("workload: %d processes (%d threads, %.0f%% memory-intensive) over %.0fs, seed %d\n\n",
+		wl.TotalProcesses(), wl.TotalThreads(), 100*wl.MemoryIntensiveShare(), duration, seed)
+
+	set, err := avfs.EvaluateAll(avfs.XGene3, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	set.Render(os.Stdout)
+
+	// Fig. 14, miniature: the two power timelines as sparklines.
+	fmt.Println()
+	set.RenderFig14(os.Stdout, 72)
+
+	// Where the savings come from: the daemon's own action counters.
+	st := set.Results[avfs.Optimal].DaemonStats
+	fmt.Printf("\ndaemon activity (Optimal): %d polls, %d classifications, %d class flips,\n",
+		st.Polls, st.Classifications, st.ClassFlips)
+	fmt.Printf("  %d placements, %d migrations, %d voltage changes, %d frequency changes\n",
+		st.Placements, st.Migrations, st.VoltageChanges, st.FreqChanges)
+
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Printf("energy savings vs baseline: SafeVmin %.1f%%, Placement %.1f%%, Optimal %.1f%%\n",
+		100*set.EnergySavings(avfs.SafeVminConfig),
+		100*set.EnergySavings(avfs.PlacementOnly),
+		100*set.EnergySavings(avfs.Optimal))
+}

@@ -1,0 +1,3 @@
+module avfs
+
+go 1.22

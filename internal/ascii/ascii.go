@@ -1,0 +1,163 @@
+// Package ascii renders the experiment results as plain-text tables and
+// charts, so every paper figure and table has a terminal-readable
+// regeneration (the repository has no plotting dependencies).
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with column-width alignment.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders a horizontal bar chart: one row per label, bar length
+// proportional to value/maxValue over `width` characters.
+func BarChart(w io.Writer, labels []string, values []float64, width int) {
+	if len(labels) != len(values) {
+		panic("ascii: labels/values length mismatch")
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for i, l := range labels {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(values[i] / max * float64(width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%s  %s %.4g\n", pad(l, lw), strings.Repeat("#", n), values[i])
+	}
+}
+
+// Sparkline renders values as a one-line unicode-free sparkline using
+// characters " .:-=+*#%@" scaled to the series range.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := " .:-=+*#%@"
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(glyphs)-1))
+		}
+		b.WriteByte(glyphs[idx])
+	}
+	return b.String()
+}
+
+// LineChart renders one or more equally sampled series as a row-per-series
+// sparkline block with min/max annotations.
+func LineChart(w io.Writer, names []string, series [][]float64) {
+	if len(names) != len(series) {
+		panic("ascii: names/series length mismatch")
+	}
+	lw := 0
+	for _, n := range names {
+		if len(n) > lw {
+			lw = len(n)
+		}
+	}
+	for i, n := range names {
+		vals := series[i]
+		if len(vals) == 0 {
+			fmt.Fprintf(w, "%s  (empty)\n", pad(n, lw))
+			continue
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(w, "%s  |%s|  min=%.4g max=%.4g\n", pad(n, lw), Sparkline(vals), min, max)
+	}
+}
+
+// Downsample reduces values to at most n points by averaging buckets,
+// preserving the overall shape for terminal-width charts.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi == lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range values[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4 (header, separator, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[2], "1")
+	if idx < 0 || !strings.Contains(lines[3][idx:], "22") {
+		t.Error("columns not aligned")
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"a", "b", "c"}, [][]string{{"only-a"}})
+	if !strings.Contains(b.String(), "only-a") {
+		t.Error("short rows must render")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"x", "y"}, []float64{1, 2}, 10)
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max value must render a full-width bar:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Error("half value must render a half bar")
+	}
+}
+
+func TestBarChartMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	BarChart(&strings.Builder{}, []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarChartAllZeros(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(b.String(), "a") {
+		t.Error("zero values must still render labels")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 5, 10})
+	if len(s) != 3 {
+		t.Fatalf("sparkline length %d", len(s))
+	}
+	if s[0] != ' ' || s[2] != '@' {
+		t.Errorf("sparkline extremes = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	flat := Sparkline([]float64{3, 3, 3})
+	if flat != "   " {
+		t.Errorf("flat series = %q, want all-min glyphs", flat)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, []string{"p"}, [][]float64{{1, 2, 3}})
+	out := b.String()
+	if !strings.Contains(out, "min=1") || !strings.Contains(out, "max=3") {
+		t.Errorf("line chart annotations missing:\n%s", out)
+	}
+	var c strings.Builder
+	LineChart(&c, []string{"e"}, [][]float64{nil})
+	if !strings.Contains(c.String(), "(empty)") {
+		t.Error("empty series must render a placeholder")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out := Downsample(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("downsampled to %d, want 10", len(out))
+	}
+	// Bucket means must ascend for an ascending input.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Error("downsample broke monotonicity")
+		}
+	}
+	// Short input passes through.
+	short := []float64{1, 2}
+	if got := Downsample(short, 10); len(got) != 2 {
+		t.Error("short input must pass through")
+	}
+}

@@ -1,0 +1,38 @@
+package chip
+
+import "testing"
+
+// FuzzClamps checks that the regulator and CPPC clamping functions keep
+// any input inside the electrical envelope, on the grid, and idempotent.
+func FuzzClamps(f *testing.F) {
+	for _, v := range []int32{0, -1, 870, 980, 3000, 1 << 30, -(1 << 30), 299, 301, 2401} {
+		f.Add(v, true)
+		f.Add(v, false)
+	}
+	f.Fuzz(func(t *testing.T, raw int32, xg2 bool) {
+		s := XGene3Spec()
+		if xg2 {
+			s = XGene2Spec()
+		}
+		v := s.ClampVoltage(Millivolts(raw))
+		if v < s.MinSafeMV || v > s.NominalMV {
+			t.Fatalf("voltage %v outside envelope", v)
+		}
+		if s.ClampVoltage(v) != v {
+			t.Fatalf("voltage clamp not idempotent at %v", v)
+		}
+		if (v-s.MinSafeMV)%s.VoltageStep != 0 {
+			t.Fatalf("voltage %v off the regulator grid", v)
+		}
+		fr := s.ClampFreq(MHz(raw))
+		if fr < s.MinFreq || fr > s.MaxFreq {
+			t.Fatalf("frequency %v outside envelope", fr)
+		}
+		if s.ClampFreq(fr) != fr {
+			t.Fatalf("frequency clamp not idempotent at %v", fr)
+		}
+		if (s.MaxFreq-fr)%s.FreqStep != 0 {
+			t.Fatalf("frequency %v off the CPPC grid", fr)
+		}
+	})
+}

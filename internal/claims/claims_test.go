@@ -1,0 +1,52 @@
+package claims
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllClaimsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claim verification in -short mode")
+	}
+	results := Verify(Fast())
+	if len(results) < 15 {
+		t.Fatalf("only %d claims registered", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("claim %s (%s) failed: paper %q, measured %q",
+				r.Claim.ID, r.Claim.Source, r.Claim.Paper, r.Measured)
+		}
+	}
+}
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range all {
+		if c.ID == "" || c.Source == "" || c.Statement == "" || c.Paper == "" || c.Check == nil {
+			t.Errorf("claim %q incomplete", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestRenderCountsFailures(t *testing.T) {
+	var b strings.Builder
+	results := []Result{
+		{Claim: Claim{ID: "a", Source: "s", Paper: "p"}, Measured: "m", OK: true},
+		{Claim: Claim{ID: "b", Source: "s", Paper: "p"}, Measured: "m", OK: false},
+	}
+	if failed := Render(&b, results); failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+	if !strings.Contains(b.String(), "1/2 claims reproduced") {
+		t.Errorf("summary missing:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "FAIL") || !strings.Contains(b.String(), "PASS") {
+		t.Error("verdict column missing")
+	}
+}

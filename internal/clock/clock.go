@@ -1,0 +1,115 @@
+// Package clock models the CPPC (Collaborative Processor Performance
+// Control) frequency-delivery semantics of the X-Gene PMD clock tree, which
+// determine how a requested frequency maps onto electrical behaviour.
+//
+// Both chips derive each PMD clock from a full-speed source through two
+// mechanisms (Sec. II-B of the paper):
+//
+//   - Clock skipping: ratios other than 1/2 are produced by skipping pulses
+//     of the input clock. The circuit still observes full-speed edges, so
+//     the timing-critical behaviour (and hence the safe Vmin) of any
+//     skipped ratio above one half matches the maximum frequency, and any
+//     skipped ratio below one half matches the half-speed point.
+//   - Clock division: a ratio of exactly 1/2 is produced by a true divider;
+//     the slower edges relax timing and allow a ~3% lower safe Vmin.
+//
+// On X-Gene 2 the CPPC firmware additionally activates true clock division
+// for the 0.9 GHz setting, producing a much larger (~12% of nominal) Vmin
+// reduction; X-Gene 3's firmware does not exhibit this behaviour, so
+// everything at or below half speed behaves like the half-speed point.
+package clock
+
+import "avfs/internal/chip"
+
+// FreqClass partitions the frequency range into the electrically distinct
+// regions identified by the paper. All frequencies within one class share
+// the same safe Vmin.
+type FreqClass int
+
+const (
+	// FullSpeed covers every setting above half of the maximum clock.
+	// These are produced by clock skipping and have the Vmin of the
+	// maximum frequency.
+	FullSpeed FreqClass = iota
+	// HalfSpeed covers the exact half-clock point (true clock division,
+	// ~3% lower Vmin) and, via skipping, every point below it that does
+	// not qualify for DividedLow.
+	HalfSpeed
+	// DividedLow is the X-Gene 2 specific deep-division region at and
+	// below 0.9 GHz, with a ~12%-of-nominal Vmin reduction.
+	DividedLow
+)
+
+// String names the class.
+func (fc FreqClass) String() string {
+	switch fc {
+	case FullSpeed:
+		return "full-speed"
+	case HalfSpeed:
+		return "half-speed"
+	case DividedLow:
+		return "divided-low"
+	default:
+		return "unknown"
+	}
+}
+
+// XGene2DividedLowMax is the highest X-Gene 2 frequency at which the CPPC
+// firmware engages true clock division with the deep Vmin reduction.
+const XGene2DividedLowMax chip.MHz = 900
+
+// ClassOf returns the frequency class of frequency f on the given chip.
+func ClassOf(spec *chip.Spec, f chip.MHz) FreqClass {
+	half := spec.HalfFreq()
+	if spec.Model == chip.XGene2 && f <= XGene2DividedLowMax {
+		return DividedLow
+	}
+	if f > half {
+		return FullSpeed
+	}
+	return HalfSpeed
+}
+
+// EffectiveHz returns the average delivered clock rate, in Hz, for a
+// requested setting f. CPPC delivers the requested average by interleaving
+// source-clock pulses, so throughput follows the request exactly; only the
+// electrical class is quantized.
+func EffectiveHz(spec *chip.Spec, f chip.MHz) float64 {
+	return spec.ClampFreq(f).Hz()
+}
+
+// ClassRepresentative returns the canonical frequency used to report
+// results for a class: the maximum clock for FullSpeed, the half clock for
+// HalfSpeed, and 0.9 GHz for the X-Gene 2 DividedLow region.
+func ClassRepresentative(spec *chip.Spec, fc FreqClass) chip.MHz {
+	switch fc {
+	case FullSpeed:
+		return spec.MaxFreq
+	case HalfSpeed:
+		return spec.HalfFreq()
+	case DividedLow:
+		return XGene2DividedLowMax
+	}
+	return spec.MaxFreq
+}
+
+// Classes returns the electrically distinct classes available on a chip,
+// fastest first. X-Gene 2 exposes all three; X-Gene 3 only the first two.
+func Classes(spec *chip.Spec) []FreqClass {
+	if spec.Model == chip.XGene2 {
+		return []FreqClass{FullSpeed, HalfSpeed, DividedLow}
+	}
+	return []FreqClass{FullSpeed, HalfSpeed}
+}
+
+// ReportedFrequencies returns the frequencies at which the paper reports
+// results for a chip: 2.4/1.2/0.9 GHz on X-Gene 2 and 3.0/1.5 GHz on
+// X-Gene 3 (one representative per class; intermediate settings share the
+// class Vmin and are therefore redundant for characterization).
+func ReportedFrequencies(spec *chip.Spec) []chip.MHz {
+	var out []chip.MHz
+	for _, fc := range Classes(spec) {
+		out = append(out, ClassRepresentative(spec, fc))
+	}
+	return out
+}

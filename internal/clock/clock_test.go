@@ -1,0 +1,131 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+)
+
+func TestClassOfXGene2(t *testing.T) {
+	s := chip.XGene2Spec()
+	cases := []struct {
+		f    chip.MHz
+		want FreqClass
+	}{
+		{2400, FullSpeed},
+		{2100, FullSpeed},
+		{1500, FullSpeed}, // above half: clock skipping, full-speed Vmin
+		{1201, FullSpeed},
+		{1200, HalfSpeed}, // exactly half: true clock division
+		{1000, HalfSpeed},
+		{901, HalfSpeed},
+		{900, DividedLow}, // X-Gene 2 deep division point
+		{600, DividedLow},
+		{300, DividedLow},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(s, tc.f); got != tc.want {
+			t.Errorf("X-Gene 2 ClassOf(%v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestClassOfXGene3(t *testing.T) {
+	s := chip.XGene3Spec()
+	cases := []struct {
+		f    chip.MHz
+		want FreqClass
+	}{
+		{3000, FullSpeed},
+		{1875, FullSpeed},
+		{1501, FullSpeed},
+		{1500, HalfSpeed},
+		{900, HalfSpeed}, // X-Gene 3 shows no deep-division behaviour
+		{375, HalfSpeed},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(s, tc.f); got != tc.want {
+			t.Errorf("X-Gene 3 ClassOf(%v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestXGene3HasNoDividedLow(t *testing.T) {
+	s := chip.XGene3Spec()
+	f := func(raw uint16) bool {
+		fr := chip.MHz(raw)
+		return ClassOf(s, fr) != DividedLow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassMonotoneInFrequency(t *testing.T) {
+	// Lower frequency can never move to a faster (smaller) class.
+	for _, s := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		prev := ClassOf(s, s.MaxFreq)
+		for f := s.MaxFreq; f >= s.MinFreq; f -= 25 {
+			c := ClassOf(s, f)
+			if c < prev {
+				t.Fatalf("%s: class went faster as frequency dropped at %v", s.Name, f)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestClassRepresentatives(t *testing.T) {
+	x2 := chip.XGene2Spec()
+	if ClassRepresentative(x2, FullSpeed) != 2400 ||
+		ClassRepresentative(x2, HalfSpeed) != 1200 ||
+		ClassRepresentative(x2, DividedLow) != 900 {
+		t.Error("X-Gene 2 representatives must be 2400/1200/900 (the paper's reported points)")
+	}
+	x3 := chip.XGene3Spec()
+	if ClassRepresentative(x3, FullSpeed) != 3000 || ClassRepresentative(x3, HalfSpeed) != 1500 {
+		t.Error("X-Gene 3 representatives must be 3000/1500")
+	}
+}
+
+func TestReportedFrequencies(t *testing.T) {
+	got2 := ReportedFrequencies(chip.XGene2Spec())
+	if len(got2) != 3 || got2[0] != 2400 || got2[1] != 1200 || got2[2] != 900 {
+		t.Errorf("X-Gene 2 reported frequencies = %v, want [2400 1200 900]", got2)
+	}
+	got3 := ReportedFrequencies(chip.XGene3Spec())
+	if len(got3) != 2 || got3[0] != 3000 || got3[1] != 1500 {
+		t.Errorf("X-Gene 3 reported frequencies = %v, want [3000 1500]", got3)
+	}
+}
+
+func TestEffectiveHz(t *testing.T) {
+	s := chip.XGene3Spec()
+	if got := EffectiveHz(s, 1500); got != 1.5e9 {
+		t.Errorf("EffectiveHz(1500) = %v", got)
+	}
+	// Off-grid requests snap down to the CPPC grid.
+	if got := EffectiveHz(s, 1600); got != 1.5e9 {
+		t.Errorf("EffectiveHz(1600) = %v, want 1.5e9", got)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	if n := len(Classes(chip.XGene2Spec())); n != 3 {
+		t.Errorf("X-Gene 2 has %d classes, want 3", n)
+	}
+	if n := len(Classes(chip.XGene3Spec())); n != 2 {
+		t.Errorf("X-Gene 3 has %d classes, want 2", n)
+	}
+}
+
+func TestFreqClassString(t *testing.T) {
+	for fc, want := range map[FreqClass]string{
+		FullSpeed: "full-speed", HalfSpeed: "half-speed", DividedLow: "divided-low",
+	} {
+		if fc.String() != want {
+			t.Errorf("%d.String() = %q, want %q", fc, fc.String(), want)
+		}
+	}
+}

@@ -1,0 +1,694 @@
+// Package daemon implements the paper's contribution: the lightweight
+// online monitoring daemon that guides process placement, per-PMD clock
+// frequency and PCP supply voltage toward the best balanced
+// energy/performance point (Sec. VI).
+//
+// The daemon has the paper's two parts:
+//
+//   - Monitoring: a periodic watchdog that reads the per-process L3C
+//     access counters through the kernel-module protocol (two reads one
+//     million cycles apart) and classifies every non-system process as
+//     CPU-intensive or memory-intensive against the 3K-accesses-per-1M-
+//     cycles threshold; it also tracks the utilized PMDs, which determine
+//     the voltage-droop magnitude class (Table II).
+//
+//   - Placement: invoked on every process arrival, completion, or
+//     classification change. It clusters CPU-intensive threads (fewest
+//     utilized PMDs at maximum frequency), spreads memory-intensive
+//     threads over the remaining PMDs at the reduced frequency class
+//     (their performance barely depends on the core clock), and programs
+//     the supply voltage to the Table II safe Vmin of the resulting
+//     configuration.
+//
+// No Vmin predictor is used — the paper argues predictors are error-prone
+// on real hardware. Instead every reconfiguration follows the fail-safe
+// protocol: first raise the voltage to a level that is safe for both the
+// old and the new configuration, then change placement and frequency, then
+// lower the voltage to the new configuration's safe level. The simulator
+// records a voltage emergency if the programmed voltage ever drops below
+// the true requirement; the daemon's tests assert that never happens.
+package daemon
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/droop"
+	"avfs/internal/perfmon"
+	"avfs/internal/sim"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// Class is the daemon's runtime classification of a process.
+type Class int
+
+const (
+	// Unknown means not yet sampled; treated as CPU-intensive (the
+	// performance-safe default) until the first measurement closes.
+	Unknown Class = iota
+	// CPUIntensive processes run at maximum frequency, clustered.
+	CPUIntensive
+	// MemoryIntensive processes run at the reduced frequency class,
+	// spreaded.
+	MemoryIntensive
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Unknown:
+		return "unknown"
+	case CPUIntensive:
+		return "cpu-intensive"
+	case MemoryIntensive:
+		return "memory-intensive"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config tunes the daemon. The zero value is not valid; use DefaultConfig.
+type Config struct {
+	// PollInterval is the monitoring period in seconds. The paper's 1M-
+	// cycle window takes 300-500 ms depending on IPC; 0.4 s matches.
+	PollInterval float64
+	// L3CThreshold is the memory-intensive classification threshold in
+	// L3C accesses per million cycles (Fig. 9).
+	L3CThreshold float64
+	// Hysteresis is the +/- fraction around the threshold a process must
+	// cross to flip class, preventing reclassification thrash.
+	Hysteresis float64
+	// GuardMV is added above the Table II envelope when programming the
+	// voltage (one regulator step by default).
+	GuardMV chip.Millivolts
+	// AdaptPlacement enables the placement/frequency policy. Disabled,
+	// the daemon only monitors.
+	AdaptPlacement bool
+	// AdaptVoltage enables undervolting to the Table II safe Vmin.
+	// Disabled, the voltage stays at whatever the chip is programmed to
+	// (the paper's "Placement" configuration keeps it nominal).
+	AdaptVoltage bool
+	// MemFreqMHz overrides the frequency programmed on memory-intensive
+	// PMDs; 0 selects the paper's choice (0.9 GHz deep division on
+	// X-Gene 2, half speed on X-Gene 3). Used by the ablation studies.
+	MemFreqMHz chip.MHz
+	// CPUFreqMHz overrides the frequency programmed on CPU-intensive
+	// PMDs; 0 selects the paper's choice (maximum frequency — the paper
+	// restricts itself to minimal performance impact). Setting it to a
+	// reduced class implements the paper's "relaxed performance
+	// constraints" direction: larger energy savings for a visible
+	// slowdown.
+	CPUFreqMHz chip.MHz
+	// TransitionTicks staggers reconfigurations over simulator ticks to
+	// model the real latencies of voltage ramps and migrations: each
+	// phase of the fail-safe protocol (raise voltage → reconfigure →
+	// settle voltage) executes this many ticks after the previous one.
+	// 0 applies transitions atomically within one tick.
+	TransitionTicks int
+	// UnsafeOrder is an ablation switch that inverts the fail-safe
+	// protocol: reconfigure first, adjust the voltage afterwards. With
+	// staggered transitions this exposes the voltage emergencies the
+	// paper's ordering exists to prevent. Never enable outside studies.
+	UnsafeOrder bool
+}
+
+// DefaultConfig returns the paper's "Optimal" configuration: placement,
+// frequency and voltage adaptation all enabled.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:   0.4,
+		L3CThreshold:   workload.MemoryIntensiveThreshold,
+		Hysteresis:     0.10,
+		GuardMV:        5,
+		AdaptPlacement: true,
+		AdaptVoltage:   true,
+	}
+}
+
+// PlacementOnlyConfig returns the paper's "Placement" configuration:
+// placement and frequency adaptation at nominal voltage.
+func PlacementOnlyConfig() Config {
+	c := DefaultConfig()
+	c.AdaptVoltage = false
+	return c
+}
+
+// Stats counts the daemon's actions for reporting and tests.
+type Stats struct {
+	Polls           int
+	Classifications int
+	ClassFlips      int
+	Placements      int
+	Migrations      int
+	VoltageChanges  int
+	FreqChanges     int
+}
+
+// procState is the daemon's bookkeeping for one process.
+type procState struct {
+	proc   *sim.Process
+	class  Class
+	sample *perfmon.Sample
+	// sampleCores remembers the core set the open sample was taken on;
+	// a migration invalidates it.
+	sampleCores []chip.CoreID
+}
+
+// Daemon is the online monitoring daemon bound to one machine.
+type Daemon struct {
+	M   *sim.Machine
+	Cfg Config
+
+	pmu      *perfmon.PMU
+	sampler  perfmon.DeltaSampler
+	states   map[int]*procState
+	nextPoll float64
+	// dirty is set when arrivals/completions require a placement pass.
+	dirty bool
+
+	// queue holds the staged phases of an in-flight transition when
+	// Cfg.TransitionTicks > 0; cooldown counts ticks until the next
+	// phase fires.
+	queue    []func()
+	cooldown int
+
+	stats Stats
+}
+
+// New creates a daemon for a machine. Call Attach to start it.
+func New(m *sim.Machine, cfg Config) *Daemon {
+	if cfg.PollInterval <= 0 {
+		panic("daemon: PollInterval must be positive")
+	}
+	pmu := &perfmon.PMU{M: m}
+	return &Daemon{
+		M:       m,
+		Cfg:     cfg,
+		pmu:     pmu,
+		sampler: perfmon.DeltaSampler{PMU: pmu},
+		states:  map[int]*procState{},
+	}
+}
+
+// Stats returns a copy of the daemon's action counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// ClassOf returns the daemon's current classification of a process
+// (Unknown for processes it has not sampled yet).
+func (d *Daemon) ClassOf(p *sim.Process) Class {
+	if st, ok := d.states[p.ID]; ok {
+		return st.class
+	}
+	return Unknown
+}
+
+// ClassCounts returns how many running processes are currently classified
+// CPU-intensive and memory-intensive (Unknown counts as CPU-intensive,
+// matching the placement default) — the Fig. 15 observable.
+func (d *Daemon) ClassCounts() (cpu, mem int) {
+	for _, p := range d.M.Running() {
+		if d.ClassOf(p) == MemoryIntensive {
+			mem++
+		} else {
+			cpu++
+		}
+	}
+	return
+}
+
+// Attach hooks the daemon into the machine's event loop.
+func (d *Daemon) Attach() {
+	d.M.OnFinish(func(p *sim.Process) {
+		delete(d.states, p.ID)
+		d.dirty = true
+	})
+	d.M.OnTick(func(*sim.Machine) { d.tick() })
+	// Establish the initial electrical state.
+	d.dirty = true
+}
+
+// tick is the daemon's per-simulation-step entry point.
+func (d *Daemon) tick() {
+	// An in-flight staged transition runs to completion before any new
+	// decision is taken (the controller is busy actuating).
+	if len(d.queue) > 0 {
+		if d.cooldown > 0 {
+			d.cooldown--
+			return
+		}
+		step := d.queue[0]
+		d.queue = d.queue[1:]
+		step()
+		d.cooldown = d.Cfg.TransitionTicks
+		return
+	}
+	// Arrivals: any pending process triggers the placement path.
+	if len(d.M.Pending()) > 0 {
+		d.dirty = true
+	}
+	if d.dirty {
+		d.dirty = false
+		d.replace()
+		if len(d.queue) > 0 {
+			return
+		}
+	}
+	if d.M.Now()+1e-12 >= d.nextPoll {
+		d.poll()
+		d.nextPoll = d.M.Now() + d.Cfg.PollInterval
+	}
+}
+
+// TransitionInFlight reports whether a staged transition is executing.
+func (d *Daemon) TransitionInFlight() bool { return len(d.queue) > 0 }
+
+// poll is the Monitoring part: close measurement windows, classify, and
+// adjust frequencies/voltage when a class flips (utilized PMDs stay as
+// they are — the paper only migrates on arrival/completion).
+func (d *Daemon) poll() {
+	d.stats.Polls++
+	flipped := false
+	for _, p := range d.M.Running() {
+		st := d.state(p)
+		cores := p.Cores()
+		if st.sample == nil || !sameCores(st.sampleCores, cores) {
+			st.sample = d.sampler.Open(cores)
+			st.sampleCores = cores
+			continue
+		}
+		if !st.sample.Ready() {
+			continue // fewer than 1M cycles elapsed; keep waiting
+		}
+		meas := st.sample.Close()
+		rate := meas.L3CPer1M(len(cores))
+		d.stats.Classifications++
+		newClass := d.classify(st.class, rate)
+		if newClass != st.class {
+			if st.class != Unknown {
+				d.stats.ClassFlips++
+			}
+			st.class = newClass
+			flipped = true
+		}
+		st.sample = d.sampler.Open(cores)
+		st.sampleCores = cores
+	}
+	if flipped && d.Cfg.AdaptPlacement {
+		d.retune()
+	}
+}
+
+// classify applies the threshold with hysteresis.
+func (d *Daemon) classify(cur Class, rate float64) Class {
+	hi := d.Cfg.L3CThreshold * (1 + d.Cfg.Hysteresis)
+	lo := d.Cfg.L3CThreshold * (1 - d.Cfg.Hysteresis)
+	switch cur {
+	case MemoryIntensive:
+		if rate < lo {
+			return CPUIntensive
+		}
+		return MemoryIntensive
+	default:
+		if rate >= hi {
+			return MemoryIntensive
+		}
+		return CPUIntensive
+	}
+}
+
+// state returns (creating if needed) the bookkeeping for p.
+func (d *Daemon) state(p *sim.Process) *procState {
+	st, ok := d.states[p.ID]
+	if !ok {
+		st = &procState{proc: p, class: Unknown}
+		d.states[p.ID] = st
+	}
+	return st
+}
+
+func sameCores(a, b []chip.CoreID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memFreq returns the frequency programmed on memory-intensive PMDs: the
+// configured override, or the paper's choice — the deep clock-division
+// point on X-Gene 2 (0.9 GHz, ~12% Vmin reduction) and the half-speed
+// point on X-Gene 3.
+func (d *Daemon) memFreq() chip.MHz {
+	if d.Cfg.MemFreqMHz != 0 {
+		return d.M.Spec.ClampFreq(d.Cfg.MemFreqMHz)
+	}
+	if d.M.Spec.Model == chip.XGene2 {
+		return clock.XGene2DividedLowMax
+	}
+	return d.M.Spec.HalfFreq()
+}
+
+// memFreqClass returns the frequency class of the memory-PMD setting.
+func (d *Daemon) memFreqClass() clock.FreqClass {
+	return clock.ClassOf(d.M.Spec, d.memFreq())
+}
+
+// cpuFreq returns the frequency programmed on CPU-intensive PMDs: the
+// configured override, or the maximum clock (the paper's choice).
+func (d *Daemon) cpuFreq() chip.MHz {
+	if d.Cfg.CPUFreqMHz != 0 {
+		return d.M.Spec.ClampFreq(d.Cfg.CPUFreqMHz)
+	}
+	return d.M.Spec.MaxFreq
+}
+
+// requiredMV returns the Table II voltage (envelope + guard) for a set of
+// per-PMD frequencies and a utilized-PMD set: the worst requirement among
+// utilized PMDs. Idle machines fall back to the lowest table entry.
+func (d *Daemon) requiredMV(pmdFreq []chip.MHz, utilized []bool) chip.Millivolts {
+	spec := d.M.Spec
+	n := 0
+	for _, u := range utilized {
+		if u {
+			n++
+		}
+	}
+	if n == 0 {
+		return vmin.ClassEnvelope(spec, d.memFreqClass(), 1) + d.Cfg.GuardMV
+	}
+	var req chip.Millivolts
+	for p, u := range utilized {
+		if !u {
+			continue
+		}
+		fc := clock.ClassOf(spec, pmdFreq[p])
+		v := vmin.ClassEnvelope(spec, fc, n) + d.Cfg.GuardMV
+		if v > req {
+			req = v
+		}
+	}
+	return req
+}
+
+// currentRequired computes the Table II requirement of the machine's
+// present placement and frequencies.
+func (d *Daemon) currentRequired() chip.Millivolts {
+	spec := d.M.Spec
+	freqs := make([]chip.MHz, spec.PMDs())
+	utilized := make([]bool, spec.PMDs())
+	for p := 0; p < spec.PMDs(); p++ {
+		freqs[p] = d.M.Chip.PMDFreq(chip.PMDID(p))
+	}
+	for _, c := range d.M.ActiveCores() {
+		utilized[spec.PMDOf(c)] = true
+	}
+	return d.requiredMV(freqs, utilized)
+}
+
+// setVoltage programs the regulator if the target differs, counting the
+// action.
+func (d *Daemon) setVoltage(v chip.Millivolts) {
+	if d.M.Chip.Voltage() != d.M.Spec.ClampVoltage(v) {
+		d.M.Chip.SetVoltage(v)
+		d.stats.VoltageChanges++
+	}
+}
+
+// setFreq programs one PMD if the target differs, counting the action.
+func (d *Daemon) setFreq(p chip.PMDID, f chip.MHz) {
+	if d.M.Chip.PMDFreq(p) != d.M.Spec.ClampFreq(f) {
+		d.M.Chip.SetPMDFreq(p, f)
+		d.stats.FreqChanges++
+	}
+}
+
+// plan is a complete target configuration produced by the placement
+// policy.
+type plan struct {
+	assign   map[*sim.Process][]chip.CoreID
+	pmdFreq  []chip.MHz
+	utilized []bool
+}
+
+// replace is the Placement part for arrival/completion events: it computes
+// the full target assignment and applies it under the fail-safe protocol.
+func (d *Daemon) replace() {
+	if !d.Cfg.AdaptPlacement {
+		// Monitoring-only mode: nothing to place (an external placer
+		// owns the cores), but voltage adaptation may still apply.
+		if d.Cfg.AdaptVoltage {
+			d.transition(nil)
+		}
+		return
+	}
+	pl := d.buildPlan()
+	d.transition(pl)
+}
+
+// retune re-programs frequencies (and voltage) for the current placement
+// after classification changes, without migrating anything: utilized PMDs
+// can only change on arrival/completion (Sec. VI-A).
+func (d *Daemon) retune() {
+	spec := d.M.Spec
+	pl := &plan{
+		pmdFreq:  make([]chip.MHz, spec.PMDs()),
+		utilized: make([]bool, spec.PMDs()),
+	}
+	for p := 0; p < spec.PMDs(); p++ {
+		pl.pmdFreq[p] = spec.MinFreq
+	}
+	for _, proc := range d.M.Running() {
+		cls := d.ClassOf(proc)
+		for _, c := range proc.Cores() {
+			pmd := spec.PMDOf(c)
+			pl.utilized[pmd] = true
+			want := d.cpuFreq()
+			if cls == MemoryIntensive {
+				want = d.memFreq()
+			}
+			if want > pl.pmdFreq[pmd] {
+				pl.pmdFreq[pmd] = want
+			}
+		}
+	}
+	d.transition(pl)
+}
+
+// buildPlan computes the daemon's target placement:
+//
+//   - CPU-intensive (and Unknown) threads are clustered onto the lowest
+//     PMDs at maximum frequency — fewest utilized PMDs, lowest droop class.
+//   - Memory-intensive threads are spreaded one-per-PMD over the highest
+//     PMDs at the reduced frequency — private L2s, and their PMDs' slower
+//     clocks do not bind the voltage.
+//   - Memory threads overflow onto second cores of memory PMDs when the
+//     chip is too full to spread.
+//
+// Pending processes are admitted FIFO while capacity lasts.
+func (d *Daemon) buildPlan() *plan {
+	spec := d.M.Spec
+	type job struct {
+		proc *sim.Process
+		cls  Class
+	}
+	var jobs []job
+	capacity := spec.Cores
+	for _, p := range d.M.Running() {
+		jobs = append(jobs, job{p, d.ClassOf(p)})
+		capacity -= len(p.Threads)
+	}
+	for _, p := range d.M.Pending() {
+		if len(p.Threads) > capacity {
+			break // FIFO admission
+		}
+		jobs = append(jobs, job{p, Unknown})
+		capacity -= len(p.Threads)
+		d.stats.Placements++
+	}
+
+	// Split thread demand by class, preserving process order.
+	var cpuJobs, memJobs []job
+	for _, j := range jobs {
+		if j.cls == MemoryIntensive {
+			memJobs = append(memJobs, j)
+		} else {
+			cpuJobs = append(cpuJobs, j)
+		}
+	}
+
+	pl := &plan{
+		assign:   map[*sim.Process][]chip.CoreID{},
+		pmdFreq:  make([]chip.MHz, spec.PMDs()),
+		utilized: make([]bool, spec.PMDs()),
+	}
+	for p := range pl.pmdFreq {
+		pl.pmdFreq[p] = spec.MinFreq
+	}
+
+	// CPU block: consecutive cores from 0 upwards.
+	next := 0
+	for _, j := range cpuJobs {
+		cores := make([]chip.CoreID, len(j.proc.Threads))
+		for i := range cores {
+			cores[i] = chip.CoreID(next)
+			next++
+		}
+		pl.assign[j.proc] = cores
+	}
+	cpuPMDs := (next + 1) / 2
+
+	// Memory threads: spread over PMDs from the top downwards, even
+	// cores first; overflow fills odd cores, still from the top.
+	var memSlots []chip.CoreID
+	for p := spec.PMDs() - 1; p >= cpuPMDs; p-- {
+		c0, _ := spec.CoresOf(chip.PMDID(p))
+		memSlots = append(memSlots, c0)
+	}
+	for p := spec.PMDs() - 1; p >= cpuPMDs; p-- {
+		_, c1 := spec.CoresOf(chip.PMDID(p))
+		memSlots = append(memSlots, c1)
+	}
+	// If the CPU block ends mid-PMD, its odd core is a last-resort slot.
+	if next%2 == 1 {
+		memSlots = append(memSlots, chip.CoreID(next))
+	}
+	slot := 0
+	for _, j := range memJobs {
+		cores := make([]chip.CoreID, len(j.proc.Threads))
+		for i := range cores {
+			if slot >= len(memSlots) {
+				panic("daemon: placement overflow despite admission control")
+			}
+			cores[i] = memSlots[slot]
+			slot++
+		}
+		pl.assign[j.proc] = cores
+	}
+
+	// Frequencies: max on PMDs with any CPU/Unknown thread, reduced on
+	// memory-only PMDs.
+	for _, j := range cpuJobs {
+		for _, c := range pl.assign[j.proc] {
+			pmd := spec.PMDOf(c)
+			pl.utilized[pmd] = true
+			pl.pmdFreq[pmd] = d.cpuFreq()
+		}
+	}
+	for _, j := range memJobs {
+		for _, c := range pl.assign[j.proc] {
+			pmd := spec.PMDOf(c)
+			pl.utilized[pmd] = true
+			if pl.pmdFreq[pmd] < d.memFreq() {
+				pl.pmdFreq[pmd] = d.memFreq()
+			}
+		}
+	}
+	return pl
+}
+
+// transition applies a plan under the fail-safe voltage protocol:
+// raise first, reconfigure, then lower. A nil plan means "re-settle the
+// voltage for the current configuration" (monitoring-only mode).
+//
+// With Cfg.TransitionTicks > 0 the three phases are staged over simulator
+// ticks (modelling regulator ramp and migration latency); the ordering is
+// what keeps the staged intermediate states safe. Cfg.UnsafeOrder inverts
+// it for the protocol ablation.
+func (d *Daemon) transition(pl *plan) {
+	nominal := d.M.Spec.NominalMV
+
+	if pl == nil {
+		if d.Cfg.AdaptVoltage {
+			d.setVoltage(d.currentRequired())
+		}
+		return
+	}
+
+	// Phase A: raise the voltage to a level safe for both the current
+	// and the target configuration before touching anything.
+	target := d.requiredMV(pl.pmdFreq, pl.utilized)
+	var raise func()
+	if d.Cfg.AdaptVoltage {
+		safe := maxMV(d.currentRequired(), target)
+		raise = func() {
+			if safe > d.M.Chip.Voltage() {
+				d.setVoltage(safe)
+			}
+		}
+	} else {
+		target = nominal
+		raise = func() {
+			if d.M.Chip.Voltage() < nominal {
+				d.setVoltage(nominal)
+			}
+		}
+	}
+
+	// Phase B: migrations, placements (atomically via Reassign) and the
+	// per-PMD frequency program.
+	reconfigure := func() {
+		if pl.assign != nil {
+			// Processes may have finished while the transition was
+			// staged; their planned cores are simply free by now.
+			assign := make(map[*sim.Process][]chip.CoreID, len(pl.assign))
+			migrations := 0
+			for p, cores := range pl.assign {
+				if p.State == sim.Finished {
+					continue
+				}
+				assign[p] = cores
+				if p.State == sim.Running && !sameCores(p.Cores(), cores) {
+					migrations++
+				}
+			}
+			if err := d.M.Reassign(assign); err != nil {
+				panic(fmt.Sprintf("daemon: reassign failed: %v", err))
+			}
+			d.stats.Migrations += migrations
+		}
+		for p := range pl.pmdFreq {
+			d.setFreq(chip.PMDID(p), pl.pmdFreq[p])
+		}
+	}
+
+	// Phase C: settle the voltage down to the target's safe level.
+	settle := func() {
+		if d.Cfg.AdaptVoltage {
+			d.setVoltage(target)
+		}
+	}
+
+	phases := []func(){raise, reconfigure, settle}
+	if d.Cfg.UnsafeOrder {
+		// Ablation: actuate first, fix the voltage afterwards — the
+		// intermediate state can sit below its safe Vmin.
+		phases = []func(){reconfigure, raise, settle}
+	}
+	if d.Cfg.TransitionTicks <= 0 {
+		for _, ph := range phases {
+			ph()
+		}
+		return
+	}
+	d.queue = append(d.queue, phases...)
+	d.cooldown = 0
+}
+
+func maxMV(a, b chip.Millivolts) chip.Millivolts {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DroopClass reports the current droop magnitude class of the machine, for
+// observability (Table II's left column).
+func (d *Daemon) DroopClass() droop.MagnitudeClass {
+	return droop.ClassOfPMDs(d.M.Spec, d.M.UtilizedPMDCount())
+}

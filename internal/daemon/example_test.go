@@ -1,0 +1,44 @@
+package daemon_test
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// The daemon discovers each process's class through PMU counters and
+// programs placement, frequency and voltage accordingly.
+func Example() {
+	m := sim.New(chip.XGene2Spec())
+	d := daemon.New(m, daemon.DefaultConfig())
+	d.Attach()
+
+	lbm := m.MustSubmit(workload.MustByName("lbm"), 1)     // memory-intensive
+	m.RunFor(2)                                            // monitor classifies lbm
+	sjeng := m.MustSubmit(workload.MustByName("sjeng"), 1) // CPU-intensive
+	m.RunFor(2)                                            // arrival triggers re-placement
+
+	fmt.Println("lbm:", d.ClassOf(lbm), "at", m.Chip.CoreFreq(lbm.Cores()[0]))
+	fmt.Println("sjeng:", d.ClassOf(sjeng), "at", m.Chip.CoreFreq(sjeng.Cores()[0]))
+	fmt.Println("voltage:", m.Chip.Voltage(), "( nominal", m.Spec.NominalMV, ")")
+	// Output:
+	// lbm: memory-intensive at 900MHz
+	// sjeng: cpu-intensive at 2400MHz
+	// voltage: 880mV ( nominal 980mV )
+}
+
+// The paper's evaluation configurations are preset Config values.
+func ExampleDefaultConfig() {
+	opt := daemon.DefaultConfig()
+	place := daemon.PlacementOnlyConfig()
+	fmt.Println("optimal adapts voltage:", opt.AdaptVoltage)
+	fmt.Println("placement-only adapts voltage:", place.AdaptVoltage)
+	fmt.Println("classification threshold:", opt.L3CThreshold, "L3C/1Mcyc")
+	// Output:
+	// optimal adapts voltage: true
+	// placement-only adapts voltage: false
+	// classification threshold: 3000 L3C/1Mcyc
+}

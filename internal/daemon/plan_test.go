@@ -1,0 +1,194 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// Structural properties of the placement policy (buildPlan), tested
+// directly across randomized process mixes.
+
+// planFixture builds a machine with nCPU single-threaded CPU-intensive
+// processes, nMem memory-intensive ones, and optional parallel jobs, all
+// placed and classified, then returns the daemon's next plan.
+func planFixture(t *testing.T, spec *chip.Spec, nCPU, nMem int, parallelThreads []int) (*Daemon, *plan) {
+	t.Helper()
+	m := sim.New(spec)
+	d := New(m, DefaultConfig())
+	d.Attach()
+	for i := 0; i < nCPU; i++ {
+		m.MustSubmit(workload.MustByName("namd"), 1)
+	}
+	for i := 0; i < nMem; i++ {
+		m.MustSubmit(workload.MustByName("lbm"), 1)
+	}
+	for _, n := range parallelThreads {
+		m.MustSubmit(workload.MustByName("CG"), n)
+	}
+	m.RunFor(2) // place + classify
+	return d, d.buildPlan()
+}
+
+func TestPlanNoDoubleAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := chip.XGene3Spec()
+	for trial := 0; trial < 20; trial++ {
+		nCPU := rng.Intn(8)
+		nMem := rng.Intn(8)
+		var par []int
+		if rng.Intn(2) == 0 {
+			par = []int{2 + 2*rng.Intn(3)}
+		}
+		if nCPU+nMem == 0 {
+			nCPU = 1
+		}
+		_, pl := planFixture(t, spec, nCPU, nMem, par)
+		seen := map[chip.CoreID]bool{}
+		for p, cores := range pl.assign {
+			if len(cores) != len(p.Threads) {
+				t.Fatalf("plan shape mismatch for process %d", p.ID)
+			}
+			for _, c := range cores {
+				if !spec.ValidCore(c) {
+					t.Fatalf("invalid core %d in plan", c)
+				}
+				if seen[c] {
+					t.Fatalf("core %d double-assigned (trial %d)", c, trial)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func TestPlanCPUBlockIsClustered(t *testing.T) {
+	d, pl := planFixture(t, chip.XGene3Spec(), 6, 0, nil)
+	_ = d
+	// 6 CPU threads must sit on cores 0..5 (3 PMDs).
+	used := map[chip.CoreID]bool{}
+	for _, cores := range pl.assign {
+		for _, c := range cores {
+			used[c] = true
+		}
+	}
+	for c := chip.CoreID(0); c < 6; c++ {
+		if !used[c] {
+			t.Errorf("core %d not used by the clustered CPU block", c)
+		}
+	}
+	for c := chip.CoreID(6); c < 32; c++ {
+		if used[c] {
+			t.Errorf("core %d used beyond the clustered block", c)
+		}
+	}
+}
+
+func TestPlanMemorySpreadFromTop(t *testing.T) {
+	spec := chip.XGene3Spec()
+	_, pl := planFixture(t, spec, 2, 3, nil)
+	// CPU block: cores 0,1 (PMD0). Memory: even cores of PMD15,14,13.
+	memCores := map[chip.CoreID]bool{30: true, 28: true, 26: true}
+	found := 0
+	for p, cores := range pl.assign {
+		if p.Bench.Name != "lbm" {
+			continue
+		}
+		for _, c := range cores {
+			if !memCores[c] {
+				t.Errorf("memory thread on core %d, want top-down even cores", c)
+			}
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("%d memory threads placed, want 3", found)
+	}
+}
+
+func TestPlanFrequenciesByClass(t *testing.T) {
+	spec := chip.XGene3Spec()
+	d, pl := planFixture(t, spec, 4, 4, nil)
+	for pmd := 0; pmd < spec.PMDs(); pmd++ {
+		c0, c1 := spec.CoresOf(chip.PMDID(pmd))
+		hasCPU, hasMem := false, false
+		for p, cores := range pl.assign {
+			mem := d.ClassOf(p) == MemoryIntensive
+			for _, c := range cores {
+				if c == c0 || c == c1 {
+					if mem {
+						hasMem = true
+					} else {
+						hasCPU = true
+					}
+				}
+			}
+		}
+		f := pl.pmdFreq[pmd]
+		switch {
+		case hasCPU:
+			if f != spec.MaxFreq {
+				t.Errorf("PMD%d hosts CPU threads at %v, want max", pmd, f)
+			}
+		case hasMem:
+			if f != spec.HalfFreq() {
+				t.Errorf("PMD%d hosts only memory threads at %v, want half", pmd, f)
+			}
+		default:
+			if f != spec.MinFreq {
+				t.Errorf("idle PMD%d at %v, want min", pmd, f)
+			}
+		}
+		if pl.utilized[pmd] != (hasCPU || hasMem) {
+			t.Errorf("PMD%d utilization flag wrong", pmd)
+		}
+	}
+}
+
+func TestPlanMemoryOverflowDoublesUp(t *testing.T) {
+	// X-Gene 2: 2 CPU + 6 memory threads on 8 cores. CPU block takes
+	// PMD0; memory spreads over PMDs 3,2,1 (even cores) and must then
+	// double up on odd cores rather than fail.
+	spec := chip.XGene2Spec()
+	_, pl := planFixture(t, spec, 2, 6, nil)
+	placed := 0
+	for p, cores := range pl.assign {
+		if p.Bench.Name == "lbm" {
+			placed += len(cores)
+		}
+	}
+	if placed != 6 {
+		t.Fatalf("%d memory threads placed, want 6", placed)
+	}
+}
+
+func TestPlanFullChipExactFit(t *testing.T) {
+	spec := chip.XGene2Spec()
+	_, pl := planFixture(t, spec, 4, 4, nil)
+	used := 0
+	for _, cores := range pl.assign {
+		used += len(cores)
+	}
+	if used != spec.Cores {
+		t.Errorf("%d cores assigned on a full chip, want %d", used, spec.Cores)
+	}
+}
+
+func TestPlanAdmissionFIFO(t *testing.T) {
+	// A pending process that does not fit must block later ones.
+	spec := chip.XGene2Spec()
+	m := sim.New(spec)
+	d := New(m, DefaultConfig())
+	d.Attach()
+	m.MustSubmit(workload.MustByName("EP"), 8) // fills the chip
+	m.RunFor(0.5)
+	big := m.MustSubmit(workload.MustByName("CG"), 4)
+	small := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.RunFor(0.5)
+	if big.State != sim.Pending || small.State != sim.Pending {
+		t.Error("FIFO admission must keep both queued while the chip is full")
+	}
+}

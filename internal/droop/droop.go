@@ -1,0 +1,236 @@
+// Package droop models supply-voltage droop events — the transient dips
+// caused by di/dt load steps on the power-delivery network — as observed
+// through the X-Gene 3 embedded oscilloscope and the droop PMU counters
+// (Sec. IV-A of the paper).
+//
+// The paper's central electrical finding is that in multicore executions
+// the *magnitude* of the worst droops is workload-independent and is set
+// by how many PMDs are simultaneously active (more active core pairs →
+// more aligned current steps → deeper droops), while the *rate* of events
+// varies per program. Table II captures the resulting magnitude classes:
+//
+//	utilized PMDs   magnitude bin
+//	1–2             [25 mV, 35 mV)
+//	3–4             [35 mV, 45 mV)
+//	5–8             [45 mV, 55 mV)
+//	9–16            [55 mV, 65 mV)
+//
+// at full speed; reduced-frequency classes shave roughly one sub-bin off
+// the magnitude because lower clock rates soften the current steps. The
+// safe Vmin of a configuration is, to first order, the class's critical
+// voltage plus its worst droop magnitude — which is why the daemon can use
+// the utilized-PMD count as a safe proxy for the required voltage.
+package droop
+
+import (
+	"math/rand"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/workload"
+)
+
+// MagnitudeClass indexes the droop magnitude bins of Table II, from the
+// shallowest (0, 1–2 PMDs) to the deepest (3, 9–16 PMDs).
+type MagnitudeClass int
+
+// NumClasses is the number of magnitude classes.
+const NumClasses = 4
+
+// Bin is a half-open droop magnitude interval [Lo, Hi) in millivolts.
+type Bin struct {
+	Lo, Hi chip.Millivolts
+}
+
+// Contains reports whether magnitude m falls in the bin.
+func (b Bin) Contains(m chip.Millivolts) bool { return m >= b.Lo && m < b.Hi }
+
+// String renders the bin like the paper: "[45mV, 55mV)".
+func (b Bin) String() string {
+	return "[" + b.Lo.String() + ", " + b.Hi.String() + ")"
+}
+
+// bins holds the Table II magnitude bins indexed by class.
+var bins = [NumClasses]Bin{
+	{25, 35},
+	{35, 45},
+	{45, 55},
+	{55, 65},
+}
+
+// BinOf returns the magnitude bin of class c.
+func BinOf(c MagnitudeClass) Bin { return bins[c] }
+
+// Bins returns all magnitude bins in ascending class order.
+func Bins() []Bin { return bins[:] }
+
+// ClassOfPMDs maps the number of simultaneously utilized PMDs to its
+// magnitude class (Table II). The count is clamped to [1, spec.PMDs()].
+func ClassOfPMDs(spec *chip.Spec, utilized int) MagnitudeClass {
+	if utilized < 1 {
+		utilized = 1
+	}
+	if utilized > spec.PMDs() {
+		utilized = spec.PMDs()
+	}
+	switch {
+	case utilized <= 2:
+		return 0
+	case utilized <= 4:
+		return 1
+	case utilized <= 8:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// freqClassSoftenMV is how much a frequency class below full speed shaves
+// off droop magnitudes: slower clocks soften current steps.
+func freqClassSoftenMV(fc clock.FreqClass) chip.Millivolts {
+	switch fc {
+	case clock.FullSpeed:
+		return 0
+	case clock.HalfSpeed:
+		return 6
+	default: // DividedLow
+		return 12
+	}
+}
+
+// WorstMagnitude returns the worst-case droop magnitude for a
+// configuration: the top of the class's bin minus the frequency softening.
+// This is the quantity the safe-Vmin model adds to the critical voltage.
+func WorstMagnitude(spec *chip.Spec, utilized int, fc clock.FreqClass) chip.Millivolts {
+	c := ClassOfPMDs(spec, utilized)
+	m := bins[c].Hi - 1 - freqClassSoftenMV(fc)
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// Event is one droop detection: its depth and the cycle it occurred at.
+type Event struct {
+	Cycle     uint64
+	Magnitude chip.Millivolts
+}
+
+// Histogram counts droop detections per magnitude bin.
+type Histogram struct {
+	Counts [NumClasses]uint64
+	Cycles uint64 // observation window length in cycles
+}
+
+// Add records one event.
+func (h *Histogram) Add(e Event) {
+	for i, b := range bins {
+		if b.Contains(e.Magnitude) {
+			h.Counts[i]++
+			return
+		}
+	}
+	// Below 25 mV: too shallow for the detector; above 65 mV cannot
+	// happen in this model. Shallow events are simply not detected.
+	_ = e
+}
+
+// Per1M returns the detection rate of bin class c per million cycles.
+func (h *Histogram) Per1M(c MagnitudeClass) float64 {
+	if h.Cycles == 0 {
+		return 0
+	}
+	return float64(h.Counts[c]) * 1e6 / float64(h.Cycles)
+}
+
+// Oscilloscope synthesizes droop event streams for a running
+// configuration, standing in for the X-Gene 3 embedded oscilloscope. A
+// fixed seed makes runs reproducible.
+type Oscilloscope struct {
+	spec *chip.Spec
+	rng  *rand.Rand
+}
+
+// NewOscilloscope creates a scope for one chip with a deterministic seed.
+func NewOscilloscope(spec *chip.Spec, seed int64) *Oscilloscope {
+	return &Oscilloscope{spec: spec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// relativeRate returns how the event rate of class bin `bin` relates to the
+// configuration's own class: the dominant bin is the configuration's class,
+// one bin shallower sees a reduced tail, and deeper bins are essentially
+// silent (<0.5% leakage models detector noise).
+func relativeRate(cfg, bin MagnitudeClass) float64 {
+	switch {
+	case bin == cfg:
+		return 1.0
+	case bin == cfg-1:
+		return 0.35
+	case bin < cfg-1:
+		return 0.10
+	default: // bin > cfg: deeper droops than the class can produce
+		return 0.003
+	}
+}
+
+// Observe runs the scope over `cycles` cycles of benchmark b executing on
+// `utilized` PMDs in frequency class fc, and returns the detection
+// histogram. The per-program rate comes from the benchmark model; the
+// magnitude distribution comes from the utilized-PMD class (Fig. 6).
+func (o *Oscilloscope) Observe(b *workload.Benchmark, utilized int, fc clock.FreqClass, cycles uint64) Histogram {
+	cfg := ClassOfPMDs(o.spec, utilized)
+	// Frequency softening can demote the effective class by one bin at
+	// half speed and below (the same mechanism that lowers Vmin).
+	if fc != clock.FullSpeed && cfg > 0 {
+		cfg--
+	}
+	h := Histogram{Cycles: cycles}
+	millions := float64(cycles) / 1e6
+	for bin := MagnitudeClass(0); bin < NumClasses; bin++ {
+		mean := b.DroopPer1M * relativeRate(cfg, bin) * millions
+		// Poisson-like jitter around the mean (±10%), deterministic
+		// under the scope's seed.
+		n := mean * (0.9 + 0.2*o.rng.Float64())
+		h.Counts[bin] = uint64(n + 0.5)
+	}
+	return h
+}
+
+// SampleEvents draws up to max individual droop events for a window, for
+// consumers that need event-level detail (e.g. the trace examples). Event
+// magnitudes are uniform within each bin.
+func (o *Oscilloscope) SampleEvents(b *workload.Benchmark, utilized int, fc clock.FreqClass, cycles uint64, max int) []Event {
+	h := o.Observe(b, utilized, fc, cycles)
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 || max == 0 {
+		return nil
+	}
+	n := int(total)
+	if n > max {
+		n = max
+	}
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		// Pick a bin proportionally to its count.
+		pick := uint64(o.rng.Int63n(int64(total)))
+		var bin MagnitudeClass
+		var acc uint64
+		for c := MagnitudeClass(0); c < NumClasses; c++ {
+			acc += h.Counts[c]
+			if pick < acc {
+				bin = c
+				break
+			}
+		}
+		bn := bins[bin]
+		mag := bn.Lo + chip.Millivolts(o.rng.Intn(int(bn.Hi-bn.Lo)))
+		events = append(events, Event{
+			Cycle:     uint64(o.rng.Int63n(int64(cycles))),
+			Magnitude: mag,
+		})
+	}
+	return events
+}

@@ -1,0 +1,210 @@
+package droop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/workload"
+)
+
+func TestClassOfPMDsTableII(t *testing.T) {
+	s := chip.XGene3Spec()
+	cases := []struct {
+		pmds int
+		want MagnitudeClass
+	}{
+		{1, 0}, {2, 0},
+		{3, 1}, {4, 1},
+		{5, 2}, {8, 2},
+		{9, 3}, {16, 3},
+	}
+	for _, tc := range cases {
+		if got := ClassOfPMDs(s, tc.pmds); got != tc.want {
+			t.Errorf("ClassOfPMDs(%d) = %d, want %d", tc.pmds, got, tc.want)
+		}
+	}
+}
+
+func TestClassOfPMDsClamping(t *testing.T) {
+	s := chip.XGene2Spec() // 4 PMDs
+	if got := ClassOfPMDs(s, 0); got != 0 {
+		t.Errorf("0 PMDs clamps to class 0, got %d", got)
+	}
+	if got := ClassOfPMDs(s, 100); got != 1 {
+		t.Errorf("overflow clamps to the chip's max PMDs (4 → class 1), got %d", got)
+	}
+}
+
+func TestBinsMatchTableII(t *testing.T) {
+	want := []Bin{{25, 35}, {35, 45}, {45, 55}, {55, 65}}
+	for i, b := range Bins() {
+		if b != want[i] {
+			t.Errorf("bin %d = %v, want %v", i, b, want[i])
+		}
+	}
+	if BinOf(2).String() != "[45mV, 55mV)" {
+		t.Errorf("Bin.String = %q", BinOf(2).String())
+	}
+}
+
+func TestBinContains(t *testing.T) {
+	b := Bin{45, 55}
+	if !b.Contains(45) || !b.Contains(54) {
+		t.Error("bin must contain its half-open range")
+	}
+	if b.Contains(55) || b.Contains(44) {
+		t.Error("bin must exclude its upper bound and below-range values")
+	}
+}
+
+func TestWorstMagnitudeMonotoneInPMDs(t *testing.T) {
+	s := chip.XGene3Spec()
+	prev := chip.Millivolts(0)
+	for n := 1; n <= s.PMDs(); n++ {
+		m := WorstMagnitude(s, n, clock.FullSpeed)
+		if m < prev {
+			t.Fatalf("worst magnitude decreased at %d PMDs", n)
+		}
+		prev = m
+	}
+}
+
+func TestWorstMagnitudeSoftensWithFrequency(t *testing.T) {
+	s := chip.XGene2Spec()
+	full := WorstMagnitude(s, 4, clock.FullSpeed)
+	half := WorstMagnitude(s, 4, clock.HalfSpeed)
+	div := WorstMagnitude(s, 4, clock.DividedLow)
+	if !(div < half && half < full) {
+		t.Errorf("magnitudes must soften with slower clocks: %v / %v / %v", full, half, div)
+	}
+}
+
+// TestFig6BinPopulation checks the paper's Fig. 6 observation: a
+// configuration's own magnitude bin is populated for every program, while
+// deeper bins are essentially silent.
+func TestFig6BinPopulation(t *testing.T) {
+	s := chip.XGene3Spec()
+	scope := NewOscilloscope(s, 1)
+	const cycles = 1_000_000_000
+	for _, tc := range []struct {
+		utilized int
+		own      MagnitudeClass
+	}{
+		{16, 3}, // 32T or 16T spreaded
+		{8, 2},  // 16T clustered or 8T spreaded
+		{4, 1},  // 8T clustered
+	} {
+		for _, b := range workload.CharacterizationSet() {
+			h := scope.Observe(b, tc.utilized, clock.FullSpeed, cycles)
+			own := h.Per1M(tc.own)
+			if own < 1 {
+				t.Errorf("%s @ %d PMDs: own-bin rate %.2f/1M too low", b.Name, tc.utilized, own)
+			}
+			for deeper := tc.own + 1; deeper < NumClasses; deeper++ {
+				if r := h.Per1M(deeper); r > own*0.05 {
+					t.Errorf("%s @ %d PMDs: deeper bin %d rate %.2f not near-zero (own %.2f)",
+						b.Name, tc.utilized, deeper, r, own)
+				}
+			}
+		}
+	}
+}
+
+// TestFig6HalfSpeedDemotesClass checks that reduced frequency shifts the
+// droop distribution one bin shallower.
+func TestFig6HalfSpeedDemotesClass(t *testing.T) {
+	s := chip.XGene3Spec()
+	scope := NewOscilloscope(s, 2)
+	b := workload.MustByName("CG")
+	const cycles = 1_000_000_000
+	full := scope.Observe(b, 16, clock.FullSpeed, cycles)
+	half := scope.Observe(b, 16, clock.HalfSpeed, cycles)
+	if full.Per1M(3) < 1 {
+		t.Error("full speed at 16 PMDs must populate the [55,65) bin")
+	}
+	if half.Per1M(3) > full.Per1M(3)*0.05 {
+		t.Error("half speed at 16 PMDs must vacate the [55,65) bin")
+	}
+	if half.Per1M(2) < 1 {
+		t.Error("half speed at 16 PMDs must populate the [45,55) bin instead")
+	}
+}
+
+func TestObserveDeterministicUnderSeed(t *testing.T) {
+	s := chip.XGene3Spec()
+	b := workload.MustByName("milc")
+	h1 := NewOscilloscope(s, 7).Observe(b, 8, clock.FullSpeed, 1e8)
+	h2 := NewOscilloscope(s, 7).Observe(b, 8, clock.FullSpeed, 1e8)
+	if h1 != h2 {
+		t.Error("same seed must reproduce the same histogram")
+	}
+	h3 := NewOscilloscope(s, 8).Observe(b, 8, clock.FullSpeed, 1e8)
+	if h1 == h3 {
+		t.Error("different seeds should perturb the histogram")
+	}
+}
+
+func TestRatesScaleWithBenchmark(t *testing.T) {
+	// lbm's droop event rate must exceed namd's in the same config.
+	s := chip.XGene3Spec()
+	scope := NewOscilloscope(s, 3)
+	lbm := scope.Observe(workload.MustByName("lbm"), 16, clock.FullSpeed, 1e9)
+	namd := scope.Observe(workload.MustByName("namd"), 16, clock.FullSpeed, 1e9)
+	if lbm.Per1M(3) <= namd.Per1M(3) {
+		t.Errorf("lbm rate %.1f should exceed namd rate %.1f", lbm.Per1M(3), namd.Per1M(3))
+	}
+}
+
+func TestSampleEventsWithinBins(t *testing.T) {
+	s := chip.XGene3Spec()
+	scope := NewOscilloscope(s, 4)
+	b := workload.MustByName("CG")
+	const cycles = 100_000_000
+	events := scope.SampleEvents(b, 16, clock.FullSpeed, cycles, 200)
+	if len(events) == 0 {
+		t.Fatal("expected sampled events")
+	}
+	for _, e := range events {
+		if e.Magnitude < 25 || e.Magnitude >= 65 {
+			t.Errorf("event magnitude %v outside detector range", e.Magnitude)
+		}
+		if e.Cycle >= cycles {
+			t.Errorf("event cycle %d outside window", e.Cycle)
+		}
+	}
+}
+
+func TestHistogramAddAndPer1M(t *testing.T) {
+	var h Histogram
+	h.Cycles = 2_000_000
+	h.Add(Event{Magnitude: 30})
+	h.Add(Event{Magnitude: 60})
+	h.Add(Event{Magnitude: 60})
+	h.Add(Event{Magnitude: 10}) // too shallow: not detected
+	if h.Counts[0] != 1 || h.Counts[3] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Per1M(3) != 1.0 {
+		t.Errorf("Per1M(3) = %v, want 1.0", h.Per1M(3))
+	}
+	var empty Histogram
+	if empty.Per1M(0) != 0 {
+		t.Error("empty histogram rate must be 0")
+	}
+}
+
+func TestClassMonotoneProperty(t *testing.T) {
+	s := chip.XGene3Spec()
+	f := func(a, b uint8) bool {
+		na, nb := int(a%17), int(b%17)
+		if na > nb {
+			na, nb = nb, na
+		}
+		return ClassOfPMDs(s, na) <= ClassOfPMDs(s, nb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package droop_test
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/droop"
+	"avfs/internal/workload"
+)
+
+// The droop magnitude class depends on the utilized PMDs, not the
+// workload — the electrical core of Table II.
+func ExampleClassOfPMDs() {
+	spec := chip.XGene3Spec()
+	for _, pmds := range []int{2, 4, 8, 16} {
+		c := droop.ClassOfPMDs(spec, pmds)
+		fmt.Printf("%2d PMDs -> class %d, droops in %v\n", pmds, c, droop.BinOf(c))
+	}
+	// Output:
+	//  2 PMDs -> class 0, droops in [25mV, 35mV)
+	//  4 PMDs -> class 1, droops in [35mV, 45mV)
+	//  8 PMDs -> class 2, droops in [45mV, 55mV)
+	// 16 PMDs -> class 3, droops in [55mV, 65mV)
+}
+
+// The oscilloscope reproduces Fig. 6: a configuration populates its own
+// magnitude bin; deeper bins stay silent.
+func ExampleOscilloscope_Observe() {
+	spec := chip.XGene3Spec()
+	scope := droop.NewOscilloscope(spec, 1)
+	cg := workload.MustByName("CG")
+	const cycles = 1_000_000_000
+	full := scope.Observe(cg, 16, clock.FullSpeed, cycles) // 32T or 16T spreaded
+	clust := scope.Observe(cg, 8, clock.FullSpeed, cycles) // 16T clustered
+	fmt.Printf("16 PMDs: [55,65) populated: %v\n", full.Per1M(3) > 10)
+	fmt.Printf(" 8 PMDs: [55,65) silent: %v, [45,55) populated: %v\n",
+		clust.Per1M(3) < 1, clust.Per1M(2) > 10)
+	// Output:
+	// 16 PMDs: [55,65) populated: true
+	//  8 PMDs: [55,65) silent: true, [45,55) populated: true
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/metrics"
+	"avfs/internal/sim"
+	"avfs/internal/wlgen"
+)
+
+// The ablation studies quantify the design choices DESIGN.md calls out:
+// the 3K classification threshold, the one-step voltage guard above the
+// Table II envelope, the monitoring period, the hysteresis band, the
+// memory-PMD frequency choice (X-Gene 2's deep division vs plain half
+// speed), and the fail-safe transition ordering. Each sweep replays the
+// same workload under daemon variants and reports energy savings, time
+// penalty and voltage emergencies against the shared Baseline.
+
+// AblationPoint is one daemon variant's outcome.
+type AblationPoint struct {
+	Label string
+	// EnergySavings and TimePenalty are vs the Baseline run.
+	EnergySavings float64
+	TimePenalty   float64
+	Emergencies   int
+	ClassFlips    int
+	Migrations    int
+}
+
+// AblationResult is one sweep.
+type AblationResult struct {
+	Study    string
+	Chip     *chip.Spec
+	Seed     int64
+	Duration float64
+	Points   []AblationPoint
+}
+
+// Render writes the sweep as a table.
+func (r AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s (%s, %.0fs workload, seed %d)\n", r.Study, r.Chip.Name, r.Duration, r.Seed)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Label,
+			metrics.Percent(p.EnergySavings),
+			metrics.Percent(p.TimePenalty),
+			fmt.Sprint(p.Emergencies),
+			fmt.Sprint(p.ClassFlips),
+			fmt.Sprint(p.Migrations),
+		})
+	}
+	ascii.Table(w, []string{"variant", "energy savings", "time penalty", "emergencies", "class flips", "migrations"}, rows)
+}
+
+// ablationHarness replays wl once per variant and once for the baseline.
+type ablationHarness struct {
+	spec *chip.Spec
+	wl   *wlgen.Workload
+	base EvalResult
+}
+
+func newAblationHarness(spec *chip.Spec, duration float64, seed int64) (*ablationHarness, error) {
+	wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
+	base, err := Evaluate(spec, wl, Baseline)
+	if err != nil {
+		return nil, err
+	}
+	return &ablationHarness{spec: spec, wl: wl, base: base}, nil
+}
+
+// runVariant replays the workload under one daemon configuration; setup,
+// if non-nil, prepares the machine before the daemon attaches (e.g. aging
+// drift).
+func (h *ablationHarness) runVariant(label string, cfg daemon.Config, setup func(*sim.Machine)) (AblationPoint, error) {
+	m := sim.New(h.spec)
+	if setup != nil {
+		setup(m)
+	}
+	d := daemon.New(m, cfg)
+	d.Attach()
+	next := 0
+	limit := h.wl.Duration*3 + 3600
+	for {
+		for next < len(h.wl.Arrivals) && h.wl.Arrivals[next].At <= m.Now() {
+			a := h.wl.Arrivals[next]
+			if _, err := m.Submit(a.Bench, a.Threads); err != nil {
+				return AblationPoint{}, err
+			}
+			next++
+		}
+		if next == len(h.wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
+			break
+		}
+		if m.Now() > limit {
+			return AblationPoint{}, fmt.Errorf("experiments: ablation variant %q stuck", label)
+		}
+		m.Step()
+	}
+	st := d.Stats()
+	return AblationPoint{
+		Label:         label,
+		EnergySavings: metrics.Savings(h.base.EnergyJ, m.Meter.Energy()),
+		TimePenalty:   metrics.RelDiff(m.Now(), h.base.TimeSec),
+		Emergencies:   len(m.Emergencies()),
+		ClassFlips:    st.ClassFlips,
+		Migrations:    st.Migrations,
+	}, nil
+}
+
+// variant is one labelled daemon configuration of a sweep; setup, if
+// non-nil, prepares the machine (e.g. applies aging drift).
+type variant struct {
+	label string
+	cfg   daemon.Config
+	setup func(*sim.Machine)
+}
+
+// sweep runs a list of labelled variants.
+func (h *ablationHarness) sweep(study string, seed int64, duration float64, variants []variant) (AblationResult, error) {
+	res := AblationResult{Study: study, Chip: h.spec, Seed: seed, Duration: duration}
+	for _, v := range variants {
+		p, err := h.runVariant(v.label, v.cfg, v.setup)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// AblateThreshold sweeps the L3C classification threshold around the
+// paper's 3K accesses per 1M cycles.
+func AblateThreshold(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, th := range []float64{500, 1500, 3000, 6000, 12000, 1e9} {
+		cfg := daemon.DefaultConfig()
+		cfg.L3CThreshold = th
+		label := fmt.Sprintf("threshold %.0f/1Mcyc", th)
+		if th >= 1e9 {
+			label = "threshold inf (all CPU-class)"
+		}
+		vs = append(vs, variant{label: label, cfg: cfg})
+	}
+	return h.sweep("L3C classification threshold sweep", seed, duration, vs)
+}
+
+// AblateGuard sweeps the voltage guard above the Table II envelope,
+// including negative guards that undercut it — which must trip voltage
+// emergencies, demonstrating that the envelope is tight.
+func AblateGuard(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, g := range []chip.Millivolts{30, 15, 5, 0, -10, -25} {
+		cfg := daemon.DefaultConfig()
+		cfg.GuardMV = g
+		vs = append(vs, variant{label: fmt.Sprintf("guard %+dmV", g), cfg: cfg})
+	}
+	return h.sweep("voltage guard sweep", seed, duration, vs)
+}
+
+// AblatePollInterval sweeps the monitoring period around the paper's
+// ~0.4 s window.
+func AblatePollInterval(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, iv := range []float64{0.1, 0.4, 1.0, 3.0, 10.0} {
+		cfg := daemon.DefaultConfig()
+		cfg.PollInterval = iv
+		vs = append(vs, variant{label: fmt.Sprintf("poll every %.1fs", iv), cfg: cfg})
+	}
+	return h.sweep("monitoring period sweep", seed, duration, vs)
+}
+
+// AblateHysteresis compares classification with and without the
+// hysteresis band.
+func AblateHysteresis(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, hy := range []float64{0, 0.05, 0.10, 0.25} {
+		cfg := daemon.DefaultConfig()
+		cfg.Hysteresis = hy
+		vs = append(vs, variant{label: fmt.Sprintf("hysteresis %.0f%%", 100*hy), cfg: cfg})
+	}
+	return h.sweep("classification hysteresis sweep", seed, duration, vs)
+}
+
+// AblateMemFreq compares the memory-PMD frequency choice on X-Gene 2: the
+// paper's 0.9 GHz deep-division point versus plain half speed versus
+// leaving memory PMDs at full speed.
+func AblateMemFreq(duration float64, seed int64) (AblationResult, error) {
+	spec := chip.XGene2Spec()
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, f := range []chip.MHz{900, 1200, 2400} {
+		cfg := daemon.DefaultConfig()
+		cfg.MemFreqMHz = f
+		vs = append(vs, variant{label: fmt.Sprintf("memory PMDs @ %v", f), cfg: cfg})
+	}
+	return h.sweep("memory-PMD frequency choice (X-Gene 2)", seed, duration, vs)
+}
+
+// AblateRelaxed explores the paper's "relaxed performance constraints"
+// direction (Sec. I): beyond the minimal-impact Optimal point, also
+// reducing the frequency of CPU-intensive PMDs buys further energy at a
+// visible slowdown. Points walk from the paper's policy toward an
+// everything-at-reduced-speed policy.
+func AblateRelaxed(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	mk := func(cpuF chip.MHz) daemon.Config {
+		cfg := daemon.DefaultConfig()
+		cfg.CPUFreqMHz = cpuF
+		return cfg
+	}
+	vs := []variant{
+		{label: "paper policy (CPU PMDs @ max)", cfg: mk(0)},
+		{label: fmt.Sprintf("CPU PMDs @ %v", spec.MaxFreq*3/4), cfg: mk(spec.MaxFreq * 3 / 4)},
+		{label: fmt.Sprintf("CPU PMDs @ %v (half)", spec.HalfFreq()), cfg: mk(spec.HalfFreq())},
+	}
+	return h.sweep("relaxed performance constraints (CPU-PMD frequency)", seed, duration, vs)
+}
+
+// AblateProtocol compares the fail-safe transition ordering against the
+// inverted (reconfigure-first) ordering under staged transitions.
+func AblateProtocol(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	mk := func(unsafe bool) daemon.Config {
+		cfg := daemon.DefaultConfig()
+		cfg.TransitionTicks = 5
+		cfg.UnsafeOrder = unsafe
+		return cfg
+	}
+	return h.sweep("fail-safe transition ordering (staged, 5 ticks/phase)", seed, duration, []variant{
+		{label: "raise -> reconfigure -> settle (paper)", cfg: mk(false)},
+		{label: "reconfigure -> raise -> settle (inverted)", cfg: mk(true)},
+	})
+}

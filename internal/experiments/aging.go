@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/metrics"
+	"avfs/internal/sim"
+	"avfs/internal/vmin"
+	"avfs/internal/wlgen"
+)
+
+// AblateAging studies the daemon over the chip's lifetime — the extension
+// DESIGN.md lists beyond the paper's fresh-silicon measurements. For each
+// age, the machine's true safe-Vmin requirement is drifted per the aging
+// model and the daemon runs twice: once with the fresh-silicon guard (one
+// regulator step, the paper's deployment), once with the age-aware guard
+// (vmin.GuardForAge). The fresh guard on aged silicon must trip voltage
+// emergencies; the age-aware guard stays safe at the cost of part of the
+// savings.
+func AblateAging(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	aging := vmin.DefaultAging(spec)
+	var vs []variant
+	for _, years := range []float64{0, 3, 7} {
+		drift := aging.DriftMV(years)
+		setup := func(m *sim.Machine) { m.SetVminDrift(drift) }
+
+		fresh := daemon.DefaultConfig()
+		vs = append(vs, variant{
+			label: fmt.Sprintf("age %.0fy, fresh guard (+%dmV)", years, fresh.GuardMV),
+			cfg:   fresh,
+			setup: setup,
+		})
+		aware := daemon.DefaultConfig()
+		aware.GuardMV = aging.GuardForAge(spec, years)
+		vs = append(vs, variant{
+			label: fmt.Sprintf("age %.0fy, age-aware guard (+%dmV)", years, aware.GuardMV),
+			cfg:   aware,
+			setup: setup,
+		})
+	}
+	return h.sweep("aging drift vs voltage guard", seed, duration, vs)
+}
+
+// AblateMigrationCost quantifies the paper's claim that the daemon's
+// placement overhead "has equal impact as a process migration of the
+// Linux kernel" — i.e. is negligible. The machine charges each migrated
+// thread a stall; at realistic costs (tens of microseconds to a few
+// milliseconds) the savings are untouched, and only absurd costs erode
+// them.
+func AblateMigrationCost(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var vs []variant
+	for _, cost := range []float64{0, 0.0001, 0.005, 0.05, 1.0} {
+		cost := cost
+		label := fmt.Sprintf("migration cost %gms", 1000*cost)
+		vs = append(vs, variant{
+			label: label,
+			cfg:   daemon.DefaultConfig(),
+			setup: func(m *sim.Machine) { m.SetMigrationPenalty(cost) },
+		})
+	}
+	return h.sweep("migration cost (paper: negligible)", seed, duration, vs)
+}
+
+// SeedPoint is one workload seed's evaluation outcome under Optimal.
+type SeedPoint struct {
+	Seed          int64
+	EnergySavings float64
+	TimePenalty   float64
+	Emergencies   int
+}
+
+// SeedStudy is the robustness study: the Optimal daemon's savings across
+// independently generated workloads.
+type SeedStudy struct {
+	Chip     *chip.Spec
+	Duration float64
+	Points   []SeedPoint
+}
+
+// Savings returns the per-seed savings values.
+func (s SeedStudy) Savings() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.EnergySavings
+	}
+	return out
+}
+
+// MeanSavings returns the mean Optimal energy saving across seeds.
+func (s SeedStudy) MeanSavings() float64 { return metrics.Mean(s.Savings()) }
+
+// StddevSavings returns the spread of savings across seeds.
+func (s SeedStudy) StddevSavings() float64 { return metrics.Stddev(s.Savings()) }
+
+// RunSeedStudy evaluates Baseline and Optimal over `seeds` independent
+// workloads of the given duration.
+func RunSeedStudy(spec *chip.Spec, duration float64, seeds []int64) (SeedStudy, error) {
+	st := SeedStudy{Chip: spec, Duration: duration}
+	for _, seed := range seeds {
+		wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
+		base, err := Evaluate(spec, wl, Baseline)
+		if err != nil {
+			return st, err
+		}
+		opt, err := Evaluate(spec, wl, Optimal)
+		if err != nil {
+			return st, err
+		}
+		st.Points = append(st.Points, SeedPoint{
+			Seed:          seed,
+			EnergySavings: metrics.Savings(base.EnergyJ, opt.EnergyJ),
+			TimePenalty:   metrics.RelDiff(opt.TimeSec, base.TimeSec),
+			Emergencies:   opt.Emergencies,
+		})
+	}
+	return st, nil
+}
+
+// Render writes the per-seed table plus the summary line.
+func (s SeedStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "Optimal savings across workload seeds (%s, %.0fs each)\n", s.Chip.Name, s.Duration)
+	rows := make([][]string, 0, len(s.Points))
+	for _, p := range s.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Seed),
+			metrics.Percent(p.EnergySavings),
+			metrics.Percent(p.TimePenalty),
+			fmt.Sprint(p.Emergencies),
+		})
+	}
+	ascii.Table(w, []string{"seed", "energy savings", "time penalty", "emergencies"}, rows)
+	fmt.Fprintf(w, "mean %.1f%% +- %.1f%% across %d seeds\n",
+		100*s.MeanSavings(), 100*s.StddevSavings(), len(s.Points))
+}

@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/sim"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3 — safe Vmin of the 25 benchmarks across thread/frequency options.
+// ---------------------------------------------------------------------------
+
+// Fig3Entry is one benchmark's safe Vmin in one configuration.
+type Fig3Entry struct {
+	Bench    string
+	SafeVmin chip.Millivolts
+}
+
+// Fig3Config is one (chip, frequency, threads) panel of Fig. 3.
+type Fig3Config struct {
+	Chip    *chip.Spec
+	Freq    chip.MHz
+	Threads int
+	Entries []Fig3Entry
+}
+
+// SpreadMV returns the max-min spread of safe Vmin across benchmarks — the
+// paper's headline observation is that this collapses to ≤10 mV in
+// multicore runs.
+func (c Fig3Config) SpreadMV() chip.Millivolts {
+	if len(c.Entries) == 0 {
+		return 0
+	}
+	min, max := c.Entries[0].SafeVmin, c.Entries[0].SafeVmin
+	for _, e := range c.Entries[1:] {
+		if e.SafeVmin < min {
+			min = e.SafeVmin
+		}
+		if e.SafeVmin > max {
+			max = e.SafeVmin
+		}
+	}
+	return max - min
+}
+
+// Fig3Result holds every panel of the figure.
+type Fig3Result struct {
+	Configs []Fig3Config
+}
+
+// Figure3 characterizes the 25 benchmarks on both chips at the paper's
+// reported frequencies and thread-scaling options (8/4 threads on X-Gene 2
+// at 2.4/1.2/0.9 GHz; 32/16/8 threads on X-Gene 3 at 3/1.5 GHz). The
+// characterizer's trial counts can be reduced for fast runs; trials<=0
+// uses the paper's 1000-run criterion.
+func Figure3(trials int) Fig3Result {
+	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
+	var out Fig3Result
+	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		threadOpts := []int{spec.Cores, spec.Cores / 2}
+		if spec.Model == chip.XGene3 {
+			threadOpts = append(threadOpts, spec.Cores/4)
+		}
+		for _, f := range clock.ReportedFrequencies(spec) {
+			for _, n := range threadOpts {
+				cfg := Fig3Config{Chip: spec, Freq: f, Threads: n}
+				cores, err := sim.SpreadedCores(spec, n)
+				if err != nil {
+					panic(err)
+				}
+				for _, b := range workload.CharacterizationSet() {
+					cz := ch.Characterize(&vmin.Config{
+						Spec:      spec,
+						FreqClass: clock.ClassOf(spec, f),
+						Cores:     cores,
+						Bench:     b,
+					})
+					cfg.Entries = append(cfg.Entries, Fig3Entry{b.Name, cz.SafeVmin})
+				}
+				out.Configs = append(out.Configs, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// Render writes the figure as one table per panel.
+func (r Fig3Result) Render(w io.Writer) {
+	for _, c := range r.Configs {
+		fmt.Fprintf(w, "\n%s  %dT @ %v  (nominal %v, spread %dmV)\n",
+			c.Chip.Name, c.Threads, c.Freq, c.Chip.NominalMV, c.SpreadMV())
+		labels := make([]string, len(c.Entries))
+		values := make([]float64, len(c.Entries))
+		for i, e := range c.Entries {
+			labels[i] = e.Bench
+			values[i] = float64(e.SafeVmin)
+		}
+		ascii.BarChart(w, labels, values, 40)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — single- and two-core executions: per-core safe regions.
+// ---------------------------------------------------------------------------
+
+// Fig4Cell is the safe Vmin of one benchmark on one core (or core pair).
+type Fig4Cell struct {
+	Bench    string
+	Target   string // "core3" or "PMD2"
+	SafeVmin chip.Millivolts
+}
+
+// Fig4Result holds the single-core and two-core sweeps of X-Gene 2 at
+// maximum frequency, exposing the core-to-core and workload variation
+// that multicore runs wash out.
+type Fig4Result struct {
+	Chip       *chip.Spec
+	SingleCore []Fig4Cell
+	TwoCore    []Fig4Cell
+}
+
+// Figure4 characterizes every benchmark on every individual core (top
+// graphs) and on both cores of every PMD (bottom graphs) of the X-Gene 2
+// at 2.4 GHz.
+func Figure4(trials int) Fig4Result {
+	spec := chip.XGene2Spec()
+	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
+	out := Fig4Result{Chip: spec}
+	for _, b := range workload.CharacterizationSet() {
+		for c := 0; c < spec.Cores; c++ {
+			cz := ch.Characterize(&vmin.Config{
+				Spec:      spec,
+				FreqClass: clock.FullSpeed,
+				Cores:     []chip.CoreID{chip.CoreID(c)},
+				Bench:     b,
+			})
+			out.SingleCore = append(out.SingleCore, Fig4Cell{
+				Bench: b.Name, Target: fmt.Sprintf("core%d", c), SafeVmin: cz.SafeVmin,
+			})
+		}
+		for p := 0; p < spec.PMDs(); p++ {
+			c0, c1 := spec.CoresOf(chip.PMDID(p))
+			cz := ch.Characterize(&vmin.Config{
+				Spec:      spec,
+				FreqClass: clock.FullSpeed,
+				Cores:     []chip.CoreID{c0, c1},
+				Bench:     b,
+			})
+			out.TwoCore = append(out.TwoCore, Fig4Cell{
+				Bench: b.Name, Target: fmt.Sprintf("PMD%d", p), SafeVmin: cz.SafeVmin,
+			})
+		}
+	}
+	return out
+}
+
+// variation summarizes a cell group: the max-min spread.
+func variation(cells []Fig4Cell, key func(Fig4Cell) string) map[string]chip.Millivolts {
+	min := map[string]chip.Millivolts{}
+	max := map[string]chip.Millivolts{}
+	for _, c := range cells {
+		k := key(c)
+		if v, ok := min[k]; !ok || c.SafeVmin < v {
+			min[k] = c.SafeVmin
+		}
+		if v, ok := max[k]; !ok || c.SafeVmin > v {
+			max[k] = c.SafeVmin
+		}
+	}
+	out := map[string]chip.Millivolts{}
+	for k := range min {
+		out[k] = max[k] - min[k]
+	}
+	return out
+}
+
+// WorkloadVariationMV returns, per core, the spread of safe Vmin across
+// benchmarks in the single-core sweep (the paper reports up to 40 mV).
+func (r Fig4Result) WorkloadVariationMV() chip.Millivolts {
+	var worst chip.Millivolts
+	for _, v := range variation(r.SingleCore, func(c Fig4Cell) string { return c.Target }) {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// CoreVariationMV returns, per benchmark, the spread of safe Vmin across
+// cores in the single-core sweep (the paper reports up to 30 mV).
+func (r Fig4Result) CoreVariationMV() chip.Millivolts {
+	var worst chip.Millivolts
+	for _, v := range variation(r.SingleCore, func(c Fig4Cell) string { return c.Bench }) {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Render writes per-target summaries of both sweeps.
+func (r Fig4Result) Render(w io.Writer) {
+	render := func(title string, cells []Fig4Cell) {
+		fmt.Fprintf(w, "\n%s (%s @ %v)\n", title, r.Chip.Name, r.Chip.MaxFreq)
+		byTarget := map[string][]chip.Millivolts{}
+		var targets []string
+		for _, c := range cells {
+			if _, ok := byTarget[c.Target]; !ok {
+				targets = append(targets, c.Target)
+			}
+			byTarget[c.Target] = append(byTarget[c.Target], c.SafeVmin)
+		}
+		sort.Strings(targets)
+		rows := make([][]string, 0, len(targets))
+		for _, t := range targets {
+			vs := byTarget[t]
+			min, max := vs[0], vs[0]
+			for _, v := range vs {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			rows = append(rows, []string{t, min.String(), max.String(), fmt.Sprintf("%dmV", max-min)})
+		}
+		ascii.Table(w, []string{"target", "best Vmin", "worst Vmin", "workload spread"}, rows)
+	}
+	render("Single-core executions", r.SingleCore)
+	render("Two-core executions", r.TwoCore)
+	fmt.Fprintf(w, "\nworkload variation up to %dmV, core-to-core variation up to %dmV\n",
+		r.WorkloadVariationMV(), r.CoreVariationMV())
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — cumulative probability of failure below the safe Vmin.
+// ---------------------------------------------------------------------------
+
+// Fig5Line is the benchmark-averaged pfail curve of one configuration.
+type Fig5Line struct {
+	Label   string
+	Chip    *chip.Spec
+	Freq    chip.MHz
+	Threads int
+	Place   sim.Placement
+	// Voltage[i] and PFail[i] are the averaged curve points, descending
+	// voltage.
+	Voltage []chip.Millivolts
+	PFail   []float64
+}
+
+// SafeVmin returns the highest voltage with pfail 0 on the averaged curve.
+func (l Fig5Line) SafeVmin() chip.Millivolts {
+	safe := l.Voltage[0]
+	for i, p := range l.PFail {
+		if p == 0 {
+			safe = l.Voltage[i]
+		} else {
+			break
+		}
+	}
+	return safe
+}
+
+// Fig5Result holds all configuration lines.
+type Fig5Result struct {
+	Lines []Fig5Line
+}
+
+// Figure5 sweeps the unsafe region for the paper's frequency, thread
+// scaling and core allocation options on both chips and averages the
+// pfail curves over the 25 benchmarks.
+func Figure5(trials int) Fig5Result {
+	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
+	var out Fig5Result
+	type cfg struct {
+		threadsDiv int
+		place      sim.Placement
+	}
+	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		for _, f := range clock.ReportedFrequencies(spec) {
+			for _, c := range []cfg{
+				{1, sim.Clustered},
+				{2, sim.Spreaded},
+				{2, sim.Clustered},
+			} {
+				n := spec.Cores / c.threadsDiv
+				cores, err := sim.CoresFor(spec, c.place, n)
+				if err != nil {
+					panic(err)
+				}
+				label := fmt.Sprintf("%s %dT @ %v", spec.Name, n, f)
+				if c.threadsDiv > 1 {
+					label = fmt.Sprintf("%s %dT(%v) @ %v", spec.Name, n, c.place, f)
+				}
+				line := Fig5Line{
+					Label: label, Chip: spec, Freq: f,
+					Threads: n, Place: c.place,
+				}
+				// Per-benchmark curves, then average over the union
+				// of voltage levels. Levels above a benchmark's safe
+				// point count as pfail 0 for it; levels below its
+				// last recorded point count as pfail 1 (complete
+				// failure continues downwards).
+				type curve struct {
+					pts  map[chip.Millivolts]float64
+					safe chip.Millivolts
+					last chip.Millivolts
+				}
+				var curves []curve
+				levelSet := map[chip.Millivolts]bool{}
+				for _, b := range workload.CharacterizationSet() {
+					cz := ch.Characterize(&vmin.Config{
+						Spec:      spec,
+						FreqClass: clock.ClassOf(spec, f),
+						Cores:     cores,
+						Bench:     b,
+					})
+					cv := curve{pts: map[chip.Millivolts]float64{}, safe: cz.SafeVmin, last: cz.SafeVmin}
+					for _, pt := range cz.CumulativePFail() {
+						cv.pts[pt.Voltage] = pt.PFail
+						if pt.Voltage < cv.last {
+							cv.last = pt.Voltage
+						}
+						levelSet[pt.Voltage] = true
+					}
+					curves = append(curves, cv)
+				}
+				var levels []chip.Millivolts
+				for v := range levelSet {
+					levels = append(levels, v)
+				}
+				sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+				for _, v := range levels {
+					var sum float64
+					for _, cv := range curves {
+						switch {
+						case v >= cv.safe:
+							// pfail 0 above the safe point
+						case v < cv.last:
+							sum += 1
+						default:
+							sum += cv.pts[v]
+						}
+					}
+					line.Voltage = append(line.Voltage, v)
+					line.PFail = append(line.PFail, sum/float64(len(curves)))
+				}
+				out.Lines = append(out.Lines, line)
+			}
+		}
+	}
+	return out
+}
+
+// Render writes each line as voltage → pfail pairs.
+func (r Fig5Result) Render(w io.Writer) {
+	for _, l := range r.Lines {
+		fmt.Fprintf(w, "\n%s  (avg over 25 benchmarks, safe Vmin %v)\n", l.Label, l.SafeVmin())
+		rows := make([][]string, 0, len(l.Voltage))
+		for i := range l.Voltage {
+			rows = append(rows, []string{
+				l.Voltage[i].String(),
+				fmt.Sprintf("%.1f%%", 100*l.PFail[i]),
+			})
+		}
+		ascii.Table(w, []string{"voltage", "pfail"}, rows)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — magnitude of the safe-Vmin dependence per factor.
+// ---------------------------------------------------------------------------
+
+// Fig10Result quantifies each factor's impact on the safe Vmin as a
+// fraction of the nominal voltage (X-Gene 2, like the paper).
+type Fig10Result struct {
+	Chip *chip.Spec
+	// Fractions of nominal voltage.
+	Workload       float64
+	CoreAllocation float64
+	FreqSkipStep   float64
+	ClockDivision  float64
+}
+
+// Figure10 derives the factor magnitudes from the Vmin model the same way
+// the paper derives them from its measurements.
+func Figure10() Fig10Result {
+	spec := chip.XGene2Spec()
+	nom := float64(spec.NominalMV)
+
+	// Workload: the worst benchmark margin at the 4-thread damping.
+	var worst int
+	for _, b := range workload.CharacterizationSet() {
+		if -b.VminOffsetMV > worst {
+			worst = -b.VminOffsetMV
+		}
+	}
+	wl := float64(worst) // damping at 3-4 threads is 1.0 on X-Gene 2
+
+	alloc := float64(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) -
+		vmin.ClassEnvelope(spec, clock.FullSpeed, 1))
+	skip := float64(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) -
+		vmin.ClassEnvelope(spec, clock.HalfSpeed, spec.PMDs()))
+	div := float64(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) -
+		vmin.ClassEnvelope(spec, clock.DividedLow, spec.PMDs()))
+
+	return Fig10Result{
+		Chip:           spec,
+		Workload:       wl / nom,
+		CoreAllocation: alloc / nom,
+		FreqSkipStep:   skip / nom,
+		ClockDivision:  div / nom,
+	}
+}
+
+// Render writes the factor bars.
+func (r Fig10Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Safe-Vmin dependence magnitudes (%s, %% of nominal %v)\n", r.Chip.Name, r.Chip.NominalMV)
+	ascii.BarChart(w,
+		[]string{"workload", "core allocation", "frequency step (skipping)", "clock division"},
+		[]float64{100 * r.Workload, 100 * r.CoreAllocation, 100 * r.FreqSkipStep, 100 * r.ClockDivision},
+		40)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 8 — relative performance under full-chip contention.
+// ---------------------------------------------------------------------------
+
+// Fig8Entry is one benchmark's contention ratio: the single-instance
+// execution time divided by the per-instance execution time when every
+// core runs a copy (or, for parallel programs, per-thread useful time).
+// Ratios near 1 mean CPU-intensive; ratios well below 1 mean the program
+// saturates the shared memory system.
+type Fig8Entry struct {
+	Bench string
+	Ratio float64
+}
+
+// Fig8Result holds the figure for one chip.
+type Fig8Result struct {
+	Chip    *chip.Spec
+	Entries []Fig8Entry
+}
+
+// Figure8 measures every characterization benchmark solo and under
+// full-chip multi-copy (or max-thread parallel) contention at maximum
+// frequency and nominal voltage.
+func Figure8(spec *chip.Spec) Fig8Result {
+	out := Fig8Result{Chip: spec}
+	for _, b := range workload.CharacterizationSet() {
+		solo := MustMeasure(RunSpec{
+			Chip: spec, Bench: b, Threads: 1,
+			Placement: sim.Clustered, Freq: spec.MaxFreq,
+		})
+		full := MustMeasure(RunSpec{
+			Chip: spec, Bench: b, Threads: spec.Cores,
+			Placement: sim.Clustered, Freq: spec.MaxFreq,
+		})
+		ratio := 0.0
+		if b.Parallel {
+			// A parallel run divides the same work across N threads:
+			// compare against the ideal 1/N scaling of the solo time.
+			ideal := solo.Runtime*b.SerialFrac + solo.Runtime*(1-b.SerialFrac)/float64(spec.Cores)
+			ratio = ideal / full.Runtime
+		} else {
+			ratio = solo.Runtime / full.Runtime
+		}
+		out.Entries = append(out.Entries, Fig8Entry{b.Name, ratio})
+	}
+	return out
+}
+
+// Render writes the ratio bars ordered from CPU- to memory-intensive.
+func (r Fig8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Relative performance under contention (%s): T(1 instance)/T(%d instances)\n",
+		r.Chip.Name, r.Chip.Cores)
+	labels := make([]string, len(r.Entries))
+	values := make([]float64, len(r.Entries))
+	for i, e := range r.Entries {
+		labels[i] = e.Bench
+		values[i] = e.Ratio
+	}
+	ascii.BarChart(w, labels, values, 40)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — L3C access rate per 1M cycles at three thread counts.
+// ---------------------------------------------------------------------------
+
+// Fig9Entry is one benchmark's measured L3C rates at the three
+// thread-scaling options.
+type Fig9Entry struct {
+	Bench string
+	// RatePerThreads maps thread count → measured L3C accesses per 1M
+	// cycles (per core).
+	RatePerThreads map[int]float64
+	// MemoryIntensive is the classification against the 3K threshold at
+	// the least-contended (quarter-thread) configuration: under full-
+	// chip saturation the shared memory path throttles everyone's
+	// per-cycle access rate, so the lightest configuration shows a
+	// program's intrinsic intensity.
+	MemoryIntensive bool
+}
+
+// Fig9Result holds the figure for one chip (the paper shows X-Gene 3).
+type Fig9Result struct {
+	Chip      *chip.Spec
+	Threshold float64
+	Entries   []Fig9Entry
+}
+
+// Figure9 measures the L3C access rate of every characterization
+// benchmark at max/half/quarter threads and maximum frequency, the data
+// that motivates the daemon's 3K-per-1M-cycles classification threshold.
+func Figure9(spec *chip.Spec) Fig9Result {
+	out := Fig9Result{Chip: spec, Threshold: workload.MemoryIntensiveThreshold}
+	for _, b := range workload.CharacterizationSet() {
+		e := Fig9Entry{Bench: b.Name, RatePerThreads: map[int]float64{}}
+		for _, n := range ThreadOptions(spec) {
+			res := MustMeasure(RunSpec{
+				Chip: spec, Bench: b, Threads: n,
+				Placement: sim.Spreaded, Freq: spec.MaxFreq,
+			})
+			e.RatePerThreads[n] = res.L3CPer1M
+		}
+		e.MemoryIntensive = e.RatePerThreads[spec.Cores/4] >= out.Threshold
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}
+
+// Render writes the per-thread-count rates and the classification.
+func (r Fig9Result) Render(w io.Writer) {
+	opts := ThreadOptions(r.Chip)
+	fmt.Fprintf(w, "L3C accesses per 1M cycles (%s @ %v, threshold %.0f)\n",
+		r.Chip.Name, r.Chip.MaxFreq, r.Threshold)
+	headers := []string{"benchmark"}
+	for _, n := range opts {
+		headers = append(headers, fmt.Sprintf("%dT", n))
+	}
+	headers = append(headers, "class")
+	rows := make([][]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		row := []string{e.Bench}
+		for _, n := range opts {
+			row = append(row, fmt.Sprintf("%.0f", e.RatePerThreads[n]))
+		}
+		cls := "cpu"
+		if e.MemoryIntensive {
+			cls = "memory"
+		}
+		row = append(row, cls)
+		rows = append(rows, row)
+	}
+	ascii.Table(w, headers, rows)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/droop"
+	"avfs/internal/sim"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 6 — droop detections per 1M cycles in two magnitude windows.
+// ---------------------------------------------------------------------------
+
+// Fig6Config labels one core-allocation option of the figure.
+type Fig6Config struct {
+	Label   string
+	Threads int
+	Place   sim.Placement
+	// PerBench is the detection rate per 1M cycles for each of the 25
+	// benchmarks, in characterization-set order.
+	PerBench []float64
+}
+
+// Fig6Window is one magnitude bin panel: [55,65) on the left of the
+// paper's figure, [45,55) on the right.
+type Fig6Window struct {
+	Bin     droop.Bin
+	Configs []Fig6Config
+}
+
+// Fig6Result holds both panels for X-Gene 3 at 3 GHz.
+type Fig6Result struct {
+	Chip    *chip.Spec
+	Windows []Fig6Window
+}
+
+// Figure6 observes droop detections with the embedded oscilloscope for
+// the paper's five allocation options over windowCycles cycles each.
+func Figure6(windowCycles uint64) Fig6Result {
+	spec := chip.XGene3Spec()
+	scope := droop.NewOscilloscope(spec, 6)
+	out := Fig6Result{Chip: spec}
+
+	type opt struct {
+		threads int
+		place   sim.Placement
+	}
+	opts := []opt{
+		{32, sim.Clustered}, // 32T: every core busy (allocation moot)
+		{16, sim.Spreaded},
+		{16, sim.Clustered},
+		{8, sim.Spreaded},
+		{8, sim.Clustered},
+	}
+	for _, binClass := range []droop.MagnitudeClass{3, 2} {
+		win := Fig6Window{Bin: droop.BinOf(binClass)}
+		for _, o := range opts {
+			cores, err := sim.CoresFor(spec, o.place, o.threads)
+			if err != nil {
+				panic(err)
+			}
+			utilized := len(sim.UtilizedPMDs(spec, cores))
+			label := fmt.Sprintf("%dT", o.threads)
+			if o.threads < spec.Cores {
+				label = fmt.Sprintf("%dT(%v)", o.threads, o.place)
+			}
+			cfg := Fig6Config{Label: label, Threads: o.threads, Place: o.place}
+			for _, b := range workload.CharacterizationSet() {
+				h := scope.Observe(b, utilized, clock.FullSpeed, windowCycles)
+				cfg.PerBench = append(cfg.PerBench, h.Per1M(binClass))
+			}
+			win.Configs = append(win.Configs, cfg)
+		}
+		out.Windows = append(out.Windows, win)
+	}
+	return out
+}
+
+// Render writes each window's per-configuration average rates.
+func (r Fig6Result) Render(w io.Writer) {
+	benches := workload.CharacterizationSet()
+	for _, win := range r.Windows {
+		fmt.Fprintf(w, "\nDroop detections per 1M cycles in %v (%s @ %v)\n",
+			win.Bin, r.Chip.Name, r.Chip.MaxFreq)
+		headers := []string{"benchmark"}
+		for _, c := range win.Configs {
+			headers = append(headers, c.Label)
+		}
+		rows := make([][]string, 0, len(benches))
+		for i, b := range benches {
+			row := []string{b.Name}
+			for _, c := range win.Configs {
+				row = append(row, fmt.Sprintf("%.1f", c.PerBench[i]))
+			}
+			rows = append(rows, row)
+		}
+		ascii.Table(w, headers, rows)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — droop magnitude vs utilized PMDs vs safe Vmin.
+// ---------------------------------------------------------------------------
+
+// TableIIRow is one row of Table II.
+type TableIIRow struct {
+	Bin          droop.Bin
+	UtilizedPMDs string
+	Scaling      string
+	VminFull     chip.Millivolts
+	VminHalf     chip.Millivolts
+}
+
+// TableIIResult is the reconstructed Table II for X-Gene 3.
+type TableIIResult struct {
+	Chip *chip.Spec
+	Rows []TableIIRow
+}
+
+// TableII reconstructs the paper's Table II from the model: for each droop
+// magnitude class, the utilized-PMD range, the thread-scaling options that
+// produce it, and the safe Vmin at full and half speed.
+func TableII() TableIIResult {
+	spec := chip.XGene3Spec()
+	out := TableIIResult{Chip: spec}
+	meta := []struct {
+		pmds    int
+		pmdsStr string
+		scaling string
+	}{
+		{2, "1, 2 PMDs", "1T, 2T, 4T(clustered)"},
+		{4, "4 PMDs", "8T(clustered), 4T(spreaded)"},
+		{8, "8 PMDs", "16T(clustered), 8T(spreaded)"},
+		{16, "16 PMDs", "32T, 16T(spreaded)"},
+	}
+	for i, m := range meta {
+		out.Rows = append(out.Rows, TableIIRow{
+			Bin:          droop.BinOf(droop.MagnitudeClass(i)),
+			UtilizedPMDs: m.pmdsStr,
+			Scaling:      m.scaling,
+			VminFull:     vmin.ClassEnvelope(spec, clock.FullSpeed, m.pmds),
+			VminHalf:     vmin.ClassEnvelope(spec, clock.HalfSpeed, m.pmds),
+		})
+	}
+	return out
+}
+
+// Render writes the table in the paper's layout.
+func (r TableIIResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Correlation of droop magnitude with frequency and core allocation (%s)\n", r.Chip.Name)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Bin.String(),
+			row.UtilizedPMDs,
+			row.Scaling,
+			row.VminFull.String(),
+			row.VminHalf.String(),
+		})
+	}
+	ascii.Table(w, []string{"droop magnitude", "utilized PMDs", "thread scaling",
+		fmt.Sprintf("Vmin @ %v", r.Chip.MaxFreq), fmt.Sprintf("Vmin @ %v", r.Chip.HalfFreq())}, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Table I — basic chip parameters.
+// ---------------------------------------------------------------------------
+
+// TableIResult pairs both chip specs.
+type TableIResult struct {
+	XGene2, XGene3 *chip.Spec
+}
+
+// TableI returns the chips' static parameters.
+func TableI() TableIResult {
+	return TableIResult{XGene2: chip.XGene2Spec(), XGene3: chip.XGene3Spec()}
+}
+
+// Render writes the parameter table.
+func (r TableIResult) Render(w io.Writer) {
+	kb := func(b int) string { return fmt.Sprintf("%dKB", b>>10) }
+	mb := func(b int) string { return fmt.Sprintf("%dMB", b>>20) }
+	rows := [][]string{
+		{"CPU cores", fmt.Sprint(r.XGene2.Cores), fmt.Sprint(r.XGene3.Cores)},
+		{"Core clock", r.XGene2.MaxFreq.String(), r.XGene3.MaxFreq.String()},
+		{"L1 I/D cache (per core)", kb(r.XGene2.L1I), kb(r.XGene3.L1I)},
+		{"L2 cache (per PMD)", kb(r.XGene2.L2), kb(r.XGene3.L2)},
+		{"L3 cache", mb(r.XGene2.L3), mb(r.XGene3.L3)},
+		{"Technology", r.XGene2.Process.String(), r.XGene3.Process.String()},
+		{"TDP", fmt.Sprintf("%.0f W", r.XGene2.TDPWatts), fmt.Sprintf("%.0f W", r.XGene3.TDPWatts)},
+		{"Nominal voltage", r.XGene2.NominalMV.String(), r.XGene3.NominalMV.String()},
+	}
+	ascii.Table(w, []string{"parameter", r.XGene2.Name, r.XGene3.Name}, rows)
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/daemon"
+	"avfs/internal/metrics"
+	"avfs/internal/power"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+	"avfs/internal/trace"
+	"avfs/internal/vmin"
+	"avfs/internal/wlgen"
+)
+
+// SystemConfig selects one of the four evaluated system configurations of
+// Sec. VI-B.
+type SystemConfig int
+
+const (
+	// Baseline: default placement, ondemand governor, nominal voltage.
+	Baseline SystemConfig = iota
+	// SafeVmin: like Baseline, but the supply voltage is programmed to
+	// the Table II safe Vmin of the worst-case (all-PMD, full-speed)
+	// configuration — quantifying the pessimistic guardband alone.
+	SafeVmin
+	// Placement: the daemon drives placement and per-PMD frequency, but
+	// the voltage stays nominal.
+	Placement
+	// Optimal: the full daemon — placement, frequency and voltage.
+	Optimal
+)
+
+// String names the configuration like the paper's tables.
+func (c SystemConfig) String() string {
+	switch c {
+	case Baseline:
+		return "Baseline"
+	case SafeVmin:
+		return "Safe Vmin"
+	case Placement:
+		return "Placement"
+	case Optimal:
+		return "Optimal"
+	default:
+		return fmt.Sprintf("SystemConfig(%d)", int(c))
+	}
+}
+
+// SystemConfigs lists all four in table order.
+func SystemConfigs() []SystemConfig {
+	return []SystemConfig{Baseline, SafeVmin, Placement, Optimal}
+}
+
+// EvalResult is the outcome of replaying one workload under one
+// configuration.
+type EvalResult struct {
+	Config SystemConfig
+	Chip   *chip.Spec
+
+	// TimeSec is the completion time of the whole workload.
+	TimeSec float64
+	// AvgPowerW is mean PCP power over the run.
+	AvgPowerW float64
+	// EnergyJ is the total consumed energy.
+	EnergyJ float64
+	// ED2P is EnergyJ × TimeSec².
+	ED2P float64
+	// Emergencies counts voltage-emergency instants (must be zero).
+	Emergencies int
+
+	// Power is the 1-second-sampled power series (Fig. 14).
+	Power *trace.Series
+	// Load is the busy-core count series (Fig. 15, before the 1-minute
+	// moving average).
+	Load *trace.Series
+	// CPUProcs and MemProcs are the running-process counts per class
+	// (Fig. 15; classes are the daemon's when a daemon runs, otherwise
+	// the catalog ground truth).
+	CPUProcs *trace.Series
+	MemProcs *trace.Series
+
+	// DaemonStats is populated for Placement and Optimal.
+	DaemonStats daemon.Stats
+
+	// EnergyBD decomposes EnergyJ by power-model component (joules).
+	EnergyBD power.Breakdown
+}
+
+// Evaluate replays workload wl on a fresh machine of the given chip under
+// the chosen system configuration and measures the paper's table metrics.
+func Evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig) (EvalResult, error) {
+	m := sim.New(spec)
+	res := EvalResult{Config: cfg, Chip: spec}
+
+	var d *daemon.Daemon
+	switch cfg {
+	case Baseline:
+		sched.NewBaseline(m)
+	case SafeVmin:
+		sched.NewBaseline(m)
+		// Static undervolt to the worst-case class envelope: safe for
+		// every placement the default stack can produce at any
+		// frequency (full speed is the binding class).
+		m.Chip.SetVoltage(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) + GuardMV)
+	case Placement:
+		d = daemon.New(m, daemon.PlacementOnlyConfig())
+		d.Attach()
+	case Optimal:
+		d = daemon.New(m, daemon.DefaultConfig())
+		d.Attach()
+	default:
+		return res, fmt.Errorf("experiments: unknown system config %v", cfg)
+	}
+
+	rec := trace.NewRecorder(1.0)
+	res.Power = rec.Track("power (W)", m.LastPower)
+	res.Load = rec.Track("busy cores", func() float64 {
+		return float64(len(m.ActiveCores()))
+	})
+	classCounts := func() (cpu, mem int) {
+		if d != nil {
+			return d.ClassCounts()
+		}
+		for _, p := range m.Running() {
+			if p.Bench.MemoryIntensive() {
+				mem++
+			} else {
+				cpu++
+			}
+		}
+		return
+	}
+	res.CPUProcs = rec.Track("cpu-intensive procs", func() float64 {
+		c, _ := classCounts()
+		return float64(c)
+	})
+	res.MemProcs = rec.Track("memory-intensive procs", func() float64 {
+		_, mm := classCounts()
+		return float64(mm)
+	})
+	m.OnTick(func(mm *sim.Machine) { rec.Tick(mm.Now()) })
+
+	// Replay the arrival schedule.
+	next := 0
+	limit := wl.Duration*3 + 3600
+	for {
+		for next < len(wl.Arrivals) && wl.Arrivals[next].At <= m.Now() {
+			a := wl.Arrivals[next]
+			if _, err := m.Submit(a.Bench, a.Threads); err != nil {
+				return res, fmt.Errorf("experiments: submit %s: %w", a.Bench.Name, err)
+			}
+			next++
+		}
+		if next == len(wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
+			break
+		}
+		if m.Now() > limit {
+			return res, fmt.Errorf("experiments: %v run exceeded %.0fs (running=%d pending=%d)",
+				cfg, limit, len(m.Running()), len(m.Pending()))
+		}
+		m.Step()
+	}
+
+	res.TimeSec = m.Now()
+	res.EnergyJ = m.Meter.Energy()
+	res.EnergyBD = m.EnergyBreakdown()
+	res.AvgPowerW = m.Meter.AveragePower()
+	res.ED2P = res.EnergyJ * res.TimeSec * res.TimeSec
+	res.Emergencies = len(m.Emergencies())
+	if d != nil {
+		res.DaemonStats = d.Stats()
+	}
+	return res, nil
+}
+
+// EvalSet is the four-configuration comparison of Table III (X-Gene 2) or
+// Table IV (X-Gene 3).
+type EvalSet struct {
+	Chip     *chip.Spec
+	Workload *wlgen.Workload
+	Results  map[SystemConfig]EvalResult
+}
+
+// EvaluateAll runs all four configurations over the same workload.
+func EvaluateAll(spec *chip.Spec, wl *wlgen.Workload) (*EvalSet, error) {
+	set := &EvalSet{Chip: spec, Workload: wl, Results: map[SystemConfig]EvalResult{}}
+	for _, cfg := range SystemConfigs() {
+		r, err := Evaluate(spec, wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		set.Results[cfg] = r
+	}
+	return set, nil
+}
+
+// EnergySavings returns a configuration's energy saving vs Baseline.
+func (s *EvalSet) EnergySavings(cfg SystemConfig) float64 {
+	return metrics.Savings(s.Results[Baseline].EnergyJ, s.Results[cfg].EnergyJ)
+}
+
+// ED2PSavings returns a configuration's ED2P saving vs Baseline.
+func (s *EvalSet) ED2PSavings(cfg SystemConfig) float64 {
+	return metrics.Savings(s.Results[Baseline].ED2P, s.Results[cfg].ED2P)
+}
+
+// TimePenalty returns a configuration's completion-time increase vs
+// Baseline (positive = slower).
+func (s *EvalSet) TimePenalty(cfg SystemConfig) float64 {
+	return metrics.RelDiff(s.Results[cfg].TimeSec, s.Results[Baseline].TimeSec)
+}
+
+// Render writes the Table III/IV layout.
+func (s *EvalSet) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s results for the 4 configurations (%d processes over %.0fs, seed %d)\n",
+		s.Chip.Name, s.Workload.TotalProcesses(), s.Workload.Duration, s.Workload.Seed)
+	headers := []string{""}
+	for _, cfg := range SystemConfigs() {
+		headers = append(headers, cfg.String())
+	}
+	row := func(name string, f func(EvalResult) string) []string {
+		r := []string{name}
+		for _, cfg := range SystemConfigs() {
+			r = append(r, f(s.Results[cfg]))
+		}
+		return r
+	}
+	rows := [][]string{
+		row("Time (s)", func(r EvalResult) string { return fmt.Sprintf("%.0f", r.TimeSec) }),
+		row("Avg. Power (W)", func(r EvalResult) string { return fmt.Sprintf("%.2f", r.AvgPowerW) }),
+		row("Energy (J)", func(r EvalResult) string { return fmt.Sprintf("%.2f", r.EnergyJ) }),
+		row("Energy Savings", func(r EvalResult) string {
+			if r.Config == Baseline {
+				return "-"
+			}
+			return metrics.Percent(s.EnergySavings(r.Config))
+		}),
+		row("ED2P (workload)", func(r EvalResult) string { return fmt.Sprintf("%.3g", r.ED2P) }),
+		row("ED2P Savings", func(r EvalResult) string {
+			if r.Config == Baseline {
+				return "-"
+			}
+			return metrics.Percent(s.ED2PSavings(r.Config))
+		}),
+		row("Time Penalty", func(r EvalResult) string {
+			if r.Config == Baseline {
+				return "-"
+			}
+			return metrics.Percent(s.TimePenalty(r.Config))
+		}),
+		row("Voltage Emergencies", func(r EvalResult) string { return fmt.Sprint(r.Emergencies) }),
+	}
+	ascii.Table(w, headers, rows)
+}
+
+// RenderBreakdown writes where the Optimal configuration's energy savings
+// come from, component by component — insight beyond the paper's totals.
+func (s *EvalSet) RenderBreakdown(w io.Writer) {
+	base := s.Results[Baseline].EnergyBD
+	opt := s.Results[Optimal].EnergyBD
+	fmt.Fprintf(w, "Energy by component, Baseline vs Optimal (%s)\n", s.Chip.Name)
+	row := func(name string, b, o float64) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%.0f", b),
+			fmt.Sprintf("%.0f", o),
+			metrics.Percent(metrics.Savings(b, o)),
+		}
+	}
+	rows := [][]string{
+		row("core dynamic", base.CoreDynamic, opt.CoreDynamic),
+		row("PMD uncore", base.PMDUncore, opt.PMDUncore),
+		row("L3 + fabric", base.L3Fabric, opt.L3Fabric),
+		row("memory ctl", base.MemCtl, opt.MemCtl),
+		row("leakage", base.Leakage, opt.Leakage),
+		row("total", base.Total(), opt.Total()),
+	}
+	ascii.Table(w, []string{"component", "baseline (J)", "optimal (J)", "savings"}, rows)
+}
+
+// RenderFig14 writes the Baseline-vs-Optimal power timelines (Fig. 14).
+func (s *EvalSet) RenderFig14(w io.Writer, width int) {
+	fmt.Fprintf(w, "Average power, Baseline vs Optimal (%s)\n", s.Chip.Name)
+	base := seriesValues(s.Results[Baseline].Power)
+	opt := seriesValues(s.Results[Optimal].Power)
+	ascii.LineChart(w,
+		[]string{"Baseline", "Optimal"},
+		[][]float64{ascii.Downsample(base, width), ascii.Downsample(opt, width)})
+	fmt.Fprintf(w, "mean power: baseline %.2fW, optimal %.2fW\n",
+		s.Results[Baseline].AvgPowerW, s.Results[Optimal].AvgPowerW)
+}
+
+// RenderFig15 writes the Optimal run's system load (1-minute moving
+// average) and per-class process counts (Fig. 15).
+func (s *EvalSet) RenderFig15(w io.Writer, width int) {
+	r := s.Results[Optimal]
+	fmt.Fprintf(w, "System load and running processes (%s, Optimal)\n", s.Chip.Name)
+	load := r.Load.MovingAvg(60)
+	ascii.LineChart(w,
+		[]string{"load (1-min avg)", "cpu-intensive", "memory-intensive"},
+		[][]float64{
+			ascii.Downsample(seriesValues(load), width),
+			ascii.Downsample(seriesValues(r.CPUProcs), width),
+			ascii.Downsample(seriesValues(r.MemProcs), width),
+		})
+}
+
+func seriesValues(s *trace.Series) []float64 {
+	pts := s.Points()
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}

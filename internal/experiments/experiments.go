@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrates. Each experiment has one entry
+// point returning structured results plus a Render method that writes the
+// paper-shaped rows/series as text; DESIGN.md §3 maps experiment IDs to
+// these functions.
+package experiments
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/sim"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// GuardMV is the regulator guard step added above class envelopes when an
+// experiment programs a safe Vmin.
+const GuardMV chip.Millivolts = 5
+
+// RunSpec describes one measured execution for the trade-off studies:
+// a benchmark at a thread count, core allocation, frequency and voltage.
+type RunSpec struct {
+	Chip      *chip.Spec
+	Bench     *workload.Benchmark
+	Threads   int
+	Placement sim.Placement
+	Freq      chip.MHz
+	// Voltage 0 means nominal; VoltageSafeVmin means the configuration's
+	// class-envelope safe Vmin plus the guard step.
+	Voltage chip.Millivolts
+}
+
+// VoltageSafeVmin selects the configuration's own safe Vmin (Table II
+// envelope + guard) instead of a fixed level.
+const VoltageSafeVmin chip.Millivolts = -1
+
+// RunResult is the measurement of one RunSpec execution.
+type RunResult struct {
+	Spec RunSpec
+	// Runtime is the wall-clock completion time of all the work.
+	Runtime float64
+	// EnergyJ is total PCP energy; for multi-copy single-threaded runs
+	// it is normalized per instance (Sec. II-B's fairness rule).
+	EnergyJ float64
+	// AvgPowerW is mean PCP power over the run.
+	AvgPowerW float64
+	// AppliedMV is the voltage the run executed at.
+	AppliedMV chip.Millivolts
+	// L3CPer1M is the measured per-core L3C access rate.
+	L3CPer1M float64
+	// Instances is 1 for parallel programs, Threads for multi-copy runs.
+	Instances int
+}
+
+// EDP returns energy×delay of the run.
+func (r RunResult) EDP() float64 { return r.EnergyJ * r.Runtime }
+
+// ED2P returns energy×delay² of the run.
+func (r RunResult) ED2P() float64 { return r.EnergyJ * r.Runtime * r.Runtime }
+
+// SafeVminFor returns the Table II voltage (envelope + guard) of a
+// (frequency, allocation, thread-count) configuration on a chip.
+func SafeVminFor(spec *chip.Spec, f chip.MHz, placement sim.Placement, threads int) chip.Millivolts {
+	cores, err := sim.CoresFor(spec, placement, threads)
+	if err != nil {
+		panic(err)
+	}
+	utilized := len(sim.UtilizedPMDs(spec, cores))
+	fc := clock.ClassOf(spec, f)
+	return vmin.ClassEnvelope(spec, fc, utilized) + GuardMV
+}
+
+// Measure executes one RunSpec on a fresh machine and returns the
+// measurement. Parallel benchmarks run as one process with Threads
+// threads; single-threaded benchmarks run as Threads independent copies
+// (the paper's two execution modes).
+func Measure(rs RunSpec) (RunResult, error) {
+	if rs.Threads < 1 || rs.Threads > rs.Chip.Cores {
+		return RunResult{}, fmt.Errorf("experiments: %d threads out of range on %s", rs.Threads, rs.Chip.Name)
+	}
+	m := sim.New(rs.Chip)
+	m.Chip.SetAllFreq(rs.Freq)
+	applied := rs.Chip.NominalMV
+	switch rs.Voltage {
+	case 0:
+		// nominal
+	case VoltageSafeVmin:
+		applied = SafeVminFor(rs.Chip, rs.Freq, rs.Placement, rs.Threads)
+	default:
+		applied = rs.Voltage
+	}
+	m.Chip.SetVoltage(applied)
+
+	cores, err := sim.CoresFor(rs.Chip, rs.Placement, rs.Threads)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	instances := 1
+	if rs.Bench.Parallel {
+		p, err := m.Submit(rs.Bench, rs.Threads)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if err := m.Place(p, cores); err != nil {
+			return RunResult{}, err
+		}
+	} else {
+		instances = rs.Threads
+		for _, c := range cores {
+			p, err := m.Submit(rs.Bench, 1)
+			if err != nil {
+				return RunResult{}, err
+			}
+			if err := m.Place(p, []chip.CoreID{c}); err != nil {
+				return RunResult{}, err
+			}
+		}
+	}
+	if err := m.RunUntilIdle(48 * 3600); err != nil {
+		return RunResult{}, err
+	}
+	if n := len(m.Emergencies()); n > 0 {
+		return RunResult{}, fmt.Errorf("experiments: %d voltage emergencies at %v on %s (model guard violated)",
+			n, applied, rs.Chip.Name)
+	}
+
+	// Aggregate counters over the run's cores for the L3C rate.
+	var cyc, l3c uint64
+	for _, c := range cores {
+		cc := m.Counters(c)
+		cyc += cc.Cycles
+		l3c += cc.L3CAccesses
+	}
+	rate := 0.0
+	if cyc > 0 {
+		rate = float64(l3c) / float64(len(cores)) * 1e6 / (float64(cyc) / float64(len(cores)))
+	}
+
+	res := RunResult{
+		Spec:      rs,
+		Runtime:   m.Now(),
+		EnergyJ:   m.Meter.Energy() / float64(instances),
+		AvgPowerW: m.Meter.AveragePower(),
+		AppliedMV: applied,
+		L3CPer1M:  rate,
+		Instances: instances,
+	}
+	return res, nil
+}
+
+// MustMeasure is Measure for known-good specs.
+func MustMeasure(rs RunSpec) RunResult {
+	r, err := Measure(rs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ThreadOptions returns the paper's thread-scaling options for a chip:
+// max, half and quarter of the core count (8/4/2 on X-Gene 2, 32/16/8 on
+// X-Gene 3).
+func ThreadOptions(spec *chip.Spec) []int {
+	return []int{spec.Cores, spec.Cores / 2, spec.Cores / 4}
+}
+
+// FiveBenchmarks returns the five programs of Figs. 11/12, ordered from
+// the most CPU-intensive to the most memory-intensive: namd, EP, milc,
+// CG, FT.
+func FiveBenchmarks() []*workload.Benchmark {
+	names := []string{"namd", "EP", "milc", "CG", "FT"}
+	out := make([]*workload.Benchmark, len(names))
+	for i, n := range names {
+		out[i] = workload.MustByName(n)
+	}
+	return out
+}

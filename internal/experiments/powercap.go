@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"avfs/internal/ascii"
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/metrics"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+	"avfs/internal/wlgen"
+)
+
+// CapPoint is one system's outcome in the capping comparison.
+type CapPoint struct {
+	Label       string
+	AvgPowerW   float64
+	PeakPowerW  float64
+	EnergyJ     float64
+	TimeSec     float64
+	Emergencies int
+}
+
+// CapStudy compares the paper's efficiency-first daemon against naive
+// RAPL-style power capping (the Sec. I motivation): the cap budget is set
+// to the daemon's own average power, so both systems draw comparable
+// power — the question is what each pays in completion time and energy.
+type CapStudy struct {
+	Chip     *chip.Spec
+	Seed     int64
+	Duration float64
+	BudgetW  float64
+	Points   []CapPoint
+}
+
+// RunCapStudy replays one workload under Baseline, a power cap at the
+// daemon's average power, and the Optimal daemon.
+func RunCapStudy(spec *chip.Spec, duration float64, seed int64) (CapStudy, error) {
+	wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
+	st := CapStudy{Chip: spec, Seed: seed, Duration: duration}
+
+	replay := func(label string, setup func(*sim.Machine)) (CapPoint, error) {
+		m := sim.New(spec)
+		setup(m)
+		next := 0
+		limit := duration*3 + 3600
+		for {
+			for next < len(wl.Arrivals) && wl.Arrivals[next].At <= m.Now() {
+				a := wl.Arrivals[next]
+				if _, err := m.Submit(a.Bench, a.Threads); err != nil {
+					return CapPoint{}, err
+				}
+				next++
+			}
+			if next == len(wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
+				break
+			}
+			if m.Now() > limit {
+				return CapPoint{}, fmt.Errorf("experiments: cap-study %q stuck", label)
+			}
+			m.Step()
+		}
+		return CapPoint{
+			Label:       label,
+			AvgPowerW:   m.Meter.AveragePower(),
+			PeakPowerW:  m.Meter.Peak(),
+			EnergyJ:     m.Meter.Energy(),
+			TimeSec:     m.Now(),
+			Emergencies: len(m.Emergencies()),
+		}, nil
+	}
+
+	base, err := replay("Baseline (ondemand)", func(m *sim.Machine) { sched.NewBaseline(m) })
+	if err != nil {
+		return st, err
+	}
+	opt, err := replay("Optimal daemon", func(m *sim.Machine) {
+		daemon.New(m, daemon.DefaultConfig()).Attach()
+	})
+	if err != nil {
+		return st, err
+	}
+	st.BudgetW = opt.AvgPowerW
+	capped, err := replay(fmt.Sprintf("Power cap @ %.1fW", st.BudgetW), func(m *sim.Machine) {
+		sched.NewPowerCap(m, st.BudgetW).Attach()
+	})
+	if err != nil {
+		return st, err
+	}
+	st.Points = []CapPoint{base, capped, opt}
+	return st, nil
+}
+
+// Point returns the outcome with the given label prefix.
+func (s CapStudy) Point(prefix string) (CapPoint, bool) {
+	for _, p := range s.Points {
+		if len(p.Label) >= len(prefix) && p.Label[:len(prefix)] == prefix {
+			return p, true
+		}
+	}
+	return CapPoint{}, false
+}
+
+// Render writes the comparison table.
+func (s CapStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "Power capping vs the efficiency daemon (%s, %.0fs workload, seed %d, budget %.1fW)\n",
+		s.Chip.Name, s.Duration, s.Seed, s.BudgetW)
+	base := s.Points[0]
+	rows := make([][]string, 0, len(s.Points))
+	for _, p := range s.Points {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.2f", p.AvgPowerW),
+			fmt.Sprintf("%.2f", p.PeakPowerW),
+			fmt.Sprintf("%.0f", p.EnergyJ),
+			fmt.Sprintf("%.0f", p.TimeSec),
+			metrics.Percent(metrics.RelDiff(p.TimeSec, base.TimeSec)),
+			fmt.Sprint(p.Emergencies),
+		})
+	}
+	ascii.Table(w, []string{"system", "avg W", "peak W", "energy J", "time s", "time vs baseline", "emergencies"}, rows)
+}

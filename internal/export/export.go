@@ -1,0 +1,151 @@
+// Package export writes experiment results as CSV files so the figures
+// can be re-plotted outside the repository (the ascii renderings are for
+// terminals; these are for papers and notebooks).
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"avfs/internal/experiments"
+	"avfs/internal/trace"
+)
+
+// writeCSV writes rows under a header to w.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series writes one time series as (t,value) rows.
+func Series(w io.Writer, s *trace.Series) error {
+	rows := make([][]string, 0, s.Len())
+	for _, p := range s.Points() {
+		rows = append(rows, []string{
+			strconv.FormatFloat(p.T, 'f', 3, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"t_seconds", s.Name}, rows)
+}
+
+// EvalSet writes the four-configuration comparison as one summary CSV
+// plus per-configuration timeline CSVs (power, load, process classes)
+// into dir — the machine-readable form of Tables III/IV and Figs. 14/15.
+func EvalSet(dir string, set *experiments.EvalSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, cfg := range experiments.SystemConfigs() {
+		r := set.Results[cfg]
+		rows = append(rows, []string{
+			cfg.String(),
+			strconv.FormatFloat(r.TimeSec, 'f', 1, 64),
+			strconv.FormatFloat(r.AvgPowerW, 'f', 3, 64),
+			strconv.FormatFloat(r.EnergyJ, 'f', 2, 64),
+			strconv.FormatFloat(r.ED2P, 'g', 6, 64),
+			strconv.FormatFloat(set.EnergySavings(cfg), 'f', 4, 64),
+			strconv.FormatFloat(set.TimePenalty(cfg), 'f', 4, 64),
+			strconv.Itoa(r.Emergencies),
+		})
+	}
+	if err := writeFile(filepath.Join(dir, "summary.csv"),
+		[]string{"config", "time_s", "avg_power_w", "energy_j", "ed2p", "energy_savings", "time_penalty", "emergencies"},
+		rows); err != nil {
+		return err
+	}
+	for _, cfg := range experiments.SystemConfigs() {
+		r := set.Results[cfg]
+		name := sanitize(cfg.String())
+		for suffix, s := range map[string]*trace.Series{
+			"power": r.Power,
+			"load":  r.Load,
+			"cpu":   r.CPUProcs,
+			"mem":   r.MemProcs,
+		} {
+			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", name, suffix)))
+			if err != nil {
+				return err
+			}
+			if err := Series(f, s); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Grid writes a Fig. 11/12 energy/ED2P grid as long-format rows.
+func Grid(w io.Writer, g experiments.GridResult) error {
+	rows := make([][]string, 0, len(g.Cells))
+	for _, c := range g.Cells {
+		rows = append(rows, []string{
+			c.Bench,
+			strconv.Itoa(c.Threads),
+			strconv.Itoa(int(c.Freq)),
+			strconv.Itoa(int(c.AppliedMV)),
+			strconv.FormatFloat(c.EnergyJ, 'f', 3, 64),
+			strconv.FormatFloat(c.Runtime, 'f', 3, 64),
+			strconv.FormatFloat(c.ED2P, 'g', 6, 64),
+		})
+	}
+	return writeCSV(w, []string{"benchmark", "threads", "freq_mhz", "voltage_mv", "energy_j", "runtime_s", "ed2p"}, rows)
+}
+
+// Fig7 writes the clustered/spreaded comparison as rows.
+func Fig7(w io.Writer, r experiments.Fig7Result) error {
+	rows := make([][]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			e.Bench,
+			strconv.FormatFloat(e.ClusteredJ, 'f', 3, 64),
+			strconv.FormatFloat(e.SpreadedJ, 'f', 3, 64),
+			strconv.FormatFloat(e.DiffFrac, 'f', 5, 64),
+			strconv.FormatBool(e.MemoryIntensive),
+		})
+	}
+	return writeCSV(w, []string{"benchmark", "clustered_j", "spreaded_j", "diff_frac", "memory_intensive"}, rows)
+}
+
+func writeFile(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return writeCSV(f, header, rows)
+}
+
+// sanitize turns a config label into a file-name fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ', r == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

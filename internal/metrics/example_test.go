@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"avfs/internal/metrics"
+)
+
+// ED2P is the paper's server metric: it weights delay quadratically so an
+// "energy saving" bought with a big slowdown never looks like a win.
+func ExampleRun_ED2P() {
+	fast := metrics.Run{Seconds: 100, Joules: 1000}
+	slow := metrics.Run{Seconds: 150, Joules: 800} // 20% less energy, 50% slower
+	fmt.Printf("fast: E=%.0fJ EDP=%.2g ED2P=%.2g\n", fast.Joules, fast.EDP(), fast.ED2P())
+	fmt.Printf("slow: E=%.0fJ EDP=%.2g ED2P=%.2g\n", slow.Joules, slow.EDP(), slow.ED2P())
+	fmt.Println("slow wins on energy:", slow.Joules < fast.Joules)
+	fmt.Println("slow wins on ED2P:", slow.ED2P() < fast.ED2P())
+	// Output:
+	// fast: E=1000J EDP=1e+05 ED2P=1e+07
+	// slow: E=800J EDP=1.2e+05 ED2P=1.8e+07
+	// slow wins on energy: true
+	// slow wins on ED2P: false
+}
+
+// Savings follows the paper's convention: (base-new)/base.
+func ExampleSavings() {
+	fmt.Println(metrics.Percent(metrics.Savings(25578.30, 19145.00)))
+	// Output:
+	// 25.2%
+}

@@ -1,0 +1,134 @@
+// Package metrics provides the energy-efficiency figures of merit the
+// paper evaluates: energy, energy-delay product (EDP) and energy-delay-
+// squared product (ED2P, the paper's headline server metric, Sec. V-B),
+// plus the small statistical helpers the experiment harness needs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Run captures one measured execution: its duration and consumed energy.
+type Run struct {
+	Seconds float64
+	Joules  float64
+}
+
+// AvgPower returns the mean power of the run in watts.
+func (r Run) AvgPower() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return r.Joules / r.Seconds
+}
+
+// EDP returns the energy-delay product E×D in joule-seconds.
+func (r Run) EDP() float64 { return r.Joules * r.Seconds }
+
+// ED2P returns the energy-delay-squared product E×D² in joule-seconds²,
+// the metric the paper uses to keep performance constraints honest while
+// optimizing energy.
+func (r Run) ED2P() float64 { return r.Joules * r.Seconds * r.Seconds }
+
+// Savings returns the fractional reduction of `new` relative to `base`
+// (positive = improvement): (base-new)/base.
+func Savings(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - new) / base
+}
+
+// Percent formats a fraction as a percentage string like "25.2%".
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", 100*frac) }
+
+// RelDiff returns (a-b)/b.
+func RelDiff(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs; all values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: GeoMean requires positive values, got %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs; it panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("metrics: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; it panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunMetrics(t *testing.T) {
+	r := Run{Seconds: 10, Joules: 200}
+	if r.AvgPower() != 20 {
+		t.Errorf("AvgPower = %v", r.AvgPower())
+	}
+	if r.EDP() != 2000 {
+		t.Errorf("EDP = %v", r.EDP())
+	}
+	if r.ED2P() != 20000 {
+		t.Errorf("ED2P = %v", r.ED2P())
+	}
+	var zero Run
+	if zero.AvgPower() != 0 {
+		t.Error("zero run AvgPower must be 0")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	if got := Savings(100, 75); got != 0.25 {
+		t.Errorf("Savings = %v, want 0.25", got)
+	}
+	if got := Savings(100, 120); got != -0.2 {
+		t.Errorf("negative savings = %v", got)
+	}
+	if Savings(0, 5) != 0 {
+		t.Error("zero baseline must yield 0")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.252); got != "25.2%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(-0.032); got != "-3.2%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelDiff = %v", got)
+	}
+	if RelDiff(1, 0) != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+}
+
+func TestMeanAndStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("degenerate inputs")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean must be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with zero should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Percentile must not sort the caller's slice")
+	}
+}
+
+func TestSavingsRoundTripProperty(t *testing.T) {
+	f := func(base, frac uint16) bool {
+		b := float64(base) + 1
+		s := float64(frac%1000) / 1000
+		return math.Abs(Savings(b, b*(1-s))-s) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestED2POrderingProperty(t *testing.T) {
+	// With equal energy, the slower run always has worse ED2P.
+	f := func(e, d1, d2 uint16) bool {
+		energy := float64(e) + 1
+		a := Run{Joules: energy, Seconds: float64(d1) + 1}
+		b := Run{Joules: energy, Seconds: float64(d1) + float64(d2) + 2}
+		return a.ED2P() < b.ED2P()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

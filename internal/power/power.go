@@ -1,0 +1,251 @@
+// Package power implements the analytic power and energy model of the PCP
+// (Processor ComPlex) power domain of the X-Gene chips: cores, L2 caches
+// (per PMD), L3 cache, and memory controllers — the domain whose supply
+// voltage the SLIMpro regulator controls and whose consumption dominates
+// the chip (Sec. II-A of the paper).
+//
+// The model is the standard CMOS decomposition
+//
+//	P = Σ_cores  C_core·V²·f·activity·util     (core dynamic)
+//	  + Σ_PMDs   C_pmd·V²·f·gate               (L2 + clock tree per PMD)
+//	  + P_L3·(V/Vnom)²                         (L3 + fabric)
+//	  + P_mem·memUtil·(V/Vnom)²                (memory controllers)
+//	  + P_leak·(V/Vnom)³                       (leakage, superlinear in V)
+//
+// Coefficients are calibrated per chip so that full-load power sits inside
+// the TDP envelope of Table I and so that the relative savings of
+// undervolting, frequency reduction, and PMD consolidation land in the
+// bands the paper reports (Tables III/IV). Absolute watts are simulator
+// watts, not silicon watts.
+package power
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+)
+
+// Coefficients hold the calibrated per-chip constants of the model.
+type Coefficients struct {
+	// CoreCapF is the effective switched capacitance of one core in
+	// farads (appears in C·V²·f).
+	CoreCapF float64
+	// PMDCapF is the effective switched capacitance of one PMD's shared
+	// uncore (L2, clock distribution).
+	PMDCapF float64
+	// IdlePMDFactor scales PMD uncore power when the PMD is clock-gated
+	// (no runnable thread on either core).
+	IdlePMDFactor float64
+	// IdleCoreFactor scales core dynamic power for an idle (WFI) core on
+	// an active PMD.
+	IdleCoreFactor float64
+	// L3Watts is L3+fabric power at nominal voltage.
+	L3Watts float64
+	// MemWatts is the memory-controller power at full memory-bandwidth
+	// utilization and nominal voltage.
+	MemWatts float64
+	// LeakWatts is total PCP leakage at nominal voltage.
+	LeakWatts float64
+}
+
+// CoefficientsFor returns the calibrated constants for a chip model.
+func CoefficientsFor(m chip.Model) Coefficients {
+	switch m {
+	case chip.XGene2:
+		// 28 nm planar bulk: higher per-operation energy (dynamic power
+		// dominates), a far smaller chip than X-Gene 3.
+		return Coefficients{
+			CoreCapF:       1.35e-9,
+			PMDCapF:        0.34e-9,
+			IdlePMDFactor:  0.05,
+			IdleCoreFactor: 0.03,
+			L3Watts:        0.70,
+			MemWatts:       1.80,
+			LeakWatts:      1.50,
+		}
+	case chip.XGene3:
+		// 16 nm FinFET: lower voltage, much larger core count and L3.
+		return Coefficients{
+			CoreCapF:       1.05e-9,
+			PMDCapF:        0.25e-9,
+			IdlePMDFactor:  0.05,
+			IdleCoreFactor: 0.03,
+			L3Watts:        3.00,
+			MemWatts:       6.00,
+			LeakWatts:      5.00,
+		}
+	}
+	panic(fmt.Sprintf("power: unknown chip model %v", m))
+}
+
+// CoreState is the per-core activity input to the model for one instant.
+type CoreState struct {
+	// Busy reports whether a thread is currently scheduled on the core.
+	Busy bool
+	// Activity is the switching-activity factor of the running thread in
+	// (0,1]; ignored when idle. Memory-bound threads stall more and
+	// toggle less logic.
+	Activity float64
+	// StallFrac is the fraction of cycles the running thread spends
+	// stalled on memory; stalled cycles burn less dynamic power.
+	StallFrac float64
+}
+
+// State is the whole-chip instantaneous operating point.
+type State struct {
+	Voltage chip.Millivolts
+	// PMDFreq is the programmed frequency of each PMD.
+	PMDFreq []chip.MHz
+	// Cores holds one entry per core (core i belongs to PMD i/2).
+	Cores []CoreState
+	// MemUtil is the utilization of the shared L3/DRAM path in [0,1].
+	MemUtil float64
+}
+
+// Breakdown is the instantaneous power decomposition in watts.
+type Breakdown struct {
+	CoreDynamic float64
+	PMDUncore   float64
+	L3Fabric    float64
+	MemCtl      float64
+	Leakage     float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.CoreDynamic + b.PMDUncore + b.L3Fabric + b.MemCtl + b.Leakage
+}
+
+// Model evaluates PCP power for a given chip.
+type Model struct {
+	Spec  *chip.Spec
+	Coeff Coefficients
+}
+
+// NewModel builds the calibrated model for a chip.
+func NewModel(spec *chip.Spec) *Model {
+	return &Model{Spec: spec, Coeff: CoefficientsFor(spec.Model)}
+}
+
+// stallActivityFloor is the fraction of a core's activity that persists
+// while the pipeline is stalled on memory (clocks keep toggling).
+const stallActivityFloor = 0.55
+
+// Power evaluates the instantaneous power breakdown at state st.
+// It panics if the state's shape does not match the chip topology.
+func (m *Model) Power(st State) Breakdown {
+	if len(st.PMDFreq) != m.Spec.PMDs() || len(st.Cores) != m.Spec.Cores {
+		panic(fmt.Sprintf("power: state shape %d PMDs/%d cores does not match %s (%d/%d)",
+			len(st.PMDFreq), len(st.Cores), m.Spec.Name, m.Spec.PMDs(), m.Spec.Cores))
+	}
+	v := st.Voltage.Volts()
+	vn := m.Spec.NominalMV.Volts()
+	v2 := v * v
+	rel2 := v2 / (vn * vn)
+	rel3 := rel2 * (v / vn)
+
+	var b Breakdown
+	for p := 0; p < m.Spec.PMDs(); p++ {
+		fHz := st.PMDFreq[p].Hz()
+		c0, c1 := m.Spec.CoresOf(chip.PMDID(p))
+		pmdBusy := st.Cores[c0].Busy || st.Cores[c1].Busy
+		gate := m.Coeff.IdlePMDFactor
+		if pmdBusy {
+			gate = 1.0
+		}
+		b.PMDUncore += m.Coeff.PMDCapF * v2 * fHz * gate
+		for _, ci := range []chip.CoreID{c0, c1} {
+			cs := st.Cores[ci]
+			if !cs.Busy {
+				b.CoreDynamic += m.Coeff.CoreCapF * v2 * fHz * m.Coeff.IdleCoreFactor
+				continue
+			}
+			// A stalled cycle burns only the activity floor.
+			eff := cs.Activity * ((1-cs.StallFrac)*1.0 + cs.StallFrac*stallActivityFloor)
+			b.CoreDynamic += m.Coeff.CoreCapF * v2 * fHz * eff
+		}
+	}
+	b.L3Fabric = m.Coeff.L3Watts * rel2
+	b.MemCtl = m.Coeff.MemWatts * clamp01(st.MemUtil) * rel2
+	b.Leakage = m.Coeff.LeakWatts * rel3
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// CoreDynamicPower returns the dynamic power of a single core at voltage
+// v and frequency f in state cs — the per-core term of the aggregate
+// model, exposed so the simulator can attribute energy to the thread
+// occupying the core.
+func (m *Model) CoreDynamicPower(v chip.Millivolts, f chip.MHz, cs CoreState) float64 {
+	vv := v.Volts()
+	if !cs.Busy {
+		return m.Coeff.CoreCapF * vv * vv * f.Hz() * m.Coeff.IdleCoreFactor
+	}
+	eff := cs.Activity * ((1-cs.StallFrac)*1.0 + cs.StallFrac*stallActivityFloor)
+	return m.Coeff.CoreCapF * vv * vv * f.Hz() * eff
+}
+
+// IdlePower returns the chip's power with no runnable threads, all PMDs at
+// frequency f and voltage v — the floor the server pays during idle phases.
+func (m *Model) IdlePower(v chip.Millivolts, f chip.MHz) float64 {
+	st := State{
+		Voltage: v,
+		PMDFreq: make([]chip.MHz, m.Spec.PMDs()),
+		Cores:   make([]CoreState, m.Spec.Cores),
+	}
+	for i := range st.PMDFreq {
+		st.PMDFreq[i] = f
+	}
+	return m.Power(st).Total()
+}
+
+// Meter integrates power over time into energy, and tracks averages. It is
+// the simulator-side stand-in for the external power instrumentation the
+// paper's measurements rely on.
+type Meter struct {
+	energyJ float64
+	seconds float64
+	peakW   float64
+}
+
+// Accumulate adds watts over dt seconds.
+func (e *Meter) Accumulate(watts, dt float64) {
+	if dt < 0 {
+		panic("power: negative dt")
+	}
+	e.energyJ += watts * dt
+	e.seconds += dt
+	if watts > e.peakW {
+		e.peakW = watts
+	}
+}
+
+// Energy returns the accumulated energy in joules.
+func (e *Meter) Energy() float64 { return e.energyJ }
+
+// Seconds returns the accumulated wall-clock time.
+func (e *Meter) Seconds() float64 { return e.seconds }
+
+// AveragePower returns accumulated energy divided by accumulated time,
+// or 0 before any accumulation.
+func (e *Meter) AveragePower() float64 {
+	if e.seconds == 0 {
+		return 0
+	}
+	return e.energyJ / e.seconds
+}
+
+// Peak returns the highest instantaneous power seen.
+func (e *Meter) Peak() float64 { return e.peakW }
+
+// Reset clears the meter.
+func (e *Meter) Reset() { *e = Meter{} }

@@ -1,0 +1,219 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+)
+
+// fullLoadState builds a state with every core busy at frequency f and
+// voltage v, with uniform activity.
+func fullLoadState(s *chip.Spec, v chip.Millivolts, f chip.MHz, activity, stall float64) State {
+	st := State{
+		Voltage: v,
+		PMDFreq: make([]chip.MHz, s.PMDs()),
+		Cores:   make([]CoreState, s.Cores),
+		MemUtil: 0.5,
+	}
+	for i := range st.PMDFreq {
+		st.PMDFreq[i] = f
+	}
+	for i := range st.Cores {
+		st.Cores[i] = CoreState{Busy: true, Activity: activity, StallFrac: stall}
+	}
+	return st
+}
+
+func TestFullLoadWithinTDP(t *testing.T) {
+	for _, s := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		m := NewModel(s)
+		st := fullLoadState(s, s.NominalMV, s.MaxFreq, 1.0, 0)
+		st.MemUtil = 1.0
+		p := m.Power(st).Total()
+		if p > s.TDPWatts {
+			t.Errorf("%s: worst-case power %.1fW exceeds TDP %.0fW", s.Name, p, s.TDPWatts)
+		}
+		if p < s.TDPWatts*0.4 {
+			t.Errorf("%s: worst-case power %.1fW implausibly far below TDP %.0fW", s.Name, p, s.TDPWatts)
+		}
+	}
+}
+
+func TestIdleBelowBusy(t *testing.T) {
+	for _, s := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		m := NewModel(s)
+		idle := m.IdlePower(s.NominalMV, s.MaxFreq)
+		busy := m.Power(fullLoadState(s, s.NominalMV, s.MaxFreq, 0.8, 0)).Total()
+		if idle >= busy {
+			t.Errorf("%s: idle %.1fW >= busy %.1fW", s.Name, idle, busy)
+		}
+		if idle <= 0 {
+			t.Errorf("%s: idle power %.1fW must be positive (leakage floor)", s.Name, idle)
+		}
+	}
+}
+
+func TestPowerMonotoneInVoltage(t *testing.T) {
+	s := chip.XGene3Spec()
+	m := NewModel(s)
+	prev := 0.0
+	for v := s.MinSafeMV; v <= s.NominalMV; v += 10 {
+		p := m.Power(fullLoadState(s, v, s.MaxFreq, 0.8, 0.2)).Total()
+		if p <= prev {
+			t.Fatalf("power not increasing in voltage at %v", v)
+		}
+		prev = p
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	s := chip.XGene2Spec()
+	m := NewModel(s)
+	prev := 0.0
+	for _, f := range s.FreqSteps() {
+		p := m.Power(fullLoadState(s, s.NominalMV, f, 0.8, 0.2)).Total()
+		if p <= prev {
+			t.Fatalf("power not increasing in frequency at %v", f)
+		}
+		prev = p
+	}
+}
+
+func TestVoltageQuadraticDominance(t *testing.T) {
+	// Dynamic power must scale ~V²: dropping X-Gene 3 from 870 to 820 mV
+	// should cut the dynamic components by ~(820/870)² = 0.888.
+	s := chip.XGene3Spec()
+	m := NewModel(s)
+	hi := m.Power(fullLoadState(s, 870, s.MaxFreq, 0.8, 0))
+	lo := m.Power(fullLoadState(s, 820, s.MaxFreq, 0.8, 0))
+	ratio := lo.CoreDynamic / hi.CoreDynamic
+	want := (820.0 / 870.0) * (820.0 / 870.0)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("core dynamic scaling = %.4f, want %.4f", ratio, want)
+	}
+	// Leakage scales ~V³ (steeper).
+	leakRatio := lo.Leakage / hi.Leakage
+	if leakRatio >= ratio {
+		t.Errorf("leakage scaling %.4f should be steeper than dynamic %.4f", leakRatio, ratio)
+	}
+}
+
+func TestStalledCoreBurnsLess(t *testing.T) {
+	s := chip.XGene3Spec()
+	m := NewModel(s)
+	comp := m.Power(fullLoadState(s, s.NominalMV, s.MaxFreq, 0.8, 0)).CoreDynamic
+	stalled := m.Power(fullLoadState(s, s.NominalMV, s.MaxFreq, 0.8, 0.9)).CoreDynamic
+	if stalled >= comp {
+		t.Errorf("stalled cores %.1fW >= compute-bound cores %.1fW", stalled, comp)
+	}
+	if stalled < comp*stallActivityFloor*0.9 {
+		t.Errorf("stalled cores %.1fW below the activity floor of %.1fW", stalled, comp*stallActivityFloor)
+	}
+}
+
+func TestClusteringSavesUncorePower(t *testing.T) {
+	// 4 threads on 2 PMDs (clustered) must burn less uncore power than
+	// 4 threads on 4 PMDs (spreaded) — the Fig. 7 mechanism.
+	s := chip.XGene2Spec()
+	m := NewModel(s)
+	mk := func(cores []int) State {
+		st := fullLoadState(s, s.NominalMV, s.MaxFreq, 0, 0)
+		for i := range st.Cores {
+			st.Cores[i] = CoreState{}
+		}
+		for _, c := range cores {
+			st.Cores[c] = CoreState{Busy: true, Activity: 0.8}
+		}
+		return st
+	}
+	clustered := m.Power(mk([]int{0, 1, 2, 3}))
+	spreaded := m.Power(mk([]int{0, 2, 4, 6}))
+	if clustered.PMDUncore >= spreaded.PMDUncore {
+		t.Errorf("clustered uncore %.2fW >= spreaded %.2fW", clustered.PMDUncore, spreaded.PMDUncore)
+	}
+	// Both states have 4 busy and 4 idle cores at the same V/F, so core
+	// dynamic power must match (up to summation order).
+	if math.Abs(clustered.CoreDynamic-spreaded.CoreDynamic) > 1e-9 {
+		t.Errorf("core dynamic differs: %.3f vs %.3f", clustered.CoreDynamic, spreaded.CoreDynamic)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{CoreDynamic: 1, PMDUncore: 2, L3Fabric: 3, MemCtl: 4, Leakage: 5}
+	if b.Total() != 15 {
+		t.Errorf("Total = %v, want 15", b.Total())
+	}
+}
+
+func TestPowerShapePanics(t *testing.T) {
+	m := NewModel(chip.XGene2Spec())
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched state shape should panic")
+		}
+	}()
+	m.Power(State{Voltage: 980, PMDFreq: make([]chip.MHz, 1), Cores: make([]CoreState, 1)})
+}
+
+func TestMemUtilClamped(t *testing.T) {
+	s := chip.XGene2Spec()
+	m := NewModel(s)
+	st := fullLoadState(s, s.NominalMV, s.MaxFreq, 0.5, 0)
+	st.MemUtil = 5.0
+	over := m.Power(st).MemCtl
+	st.MemUtil = 1.0
+	one := m.Power(st).MemCtl
+	if over != one {
+		t.Errorf("MemUtil must clamp at 1: %.2f vs %.2f", over, one)
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	var e Meter
+	e.Accumulate(10, 2)
+	e.Accumulate(20, 1)
+	if e.Energy() != 40 {
+		t.Errorf("Energy = %v, want 40", e.Energy())
+	}
+	if e.Seconds() != 3 {
+		t.Errorf("Seconds = %v, want 3", e.Seconds())
+	}
+	if math.Abs(e.AveragePower()-40.0/3.0) > 1e-12 {
+		t.Errorf("AveragePower = %v", e.AveragePower())
+	}
+	if e.Peak() != 20 {
+		t.Errorf("Peak = %v, want 20", e.Peak())
+	}
+	e.Reset()
+	if e.Energy() != 0 || e.Seconds() != 0 || e.AveragePower() != 0 {
+		t.Error("Reset did not clear the meter")
+	}
+}
+
+func TestMeterNegativeDtPanics(t *testing.T) {
+	var e Meter
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dt should panic")
+		}
+	}()
+	e.Accumulate(1, -1)
+}
+
+func TestPowerNonNegativeProperty(t *testing.T) {
+	s := chip.XGene3Spec()
+	m := NewModel(s)
+	f := func(vRaw uint16, fRaw uint16, act, stall float64) bool {
+		v := s.ClampVoltage(chip.Millivolts(vRaw))
+		fr := s.ClampFreq(chip.MHz(fRaw))
+		act = math.Abs(math.Mod(act, 1))
+		stall = math.Abs(math.Mod(stall, 1))
+		b := m.Power(fullLoadState(s, v, fr, act, stall))
+		return b.CoreDynamic >= 0 && b.PMDUncore > 0 && b.L3Fabric > 0 && b.Leakage > 0 && b.Total() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

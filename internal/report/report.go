@@ -1,0 +1,218 @@
+// Package report generates a single self-contained reproduction report:
+// it runs every experiment of the paper's evaluation (plus this
+// repository's ablation and robustness studies) and renders them into one
+// markdown document. It is the "regenerate everything" entry point behind
+// cmd/report.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments"
+	"avfs/internal/sim"
+	"avfs/internal/wlgen"
+)
+
+// Options control the fidelity/runtime trade-off of a report run.
+type Options struct {
+	// Trials is the per-voltage-level run count for characterization
+	// experiments (0 = the paper's 1000).
+	Trials int
+	// EvalDuration is the workload length of the Tables III/IV runs in
+	// seconds (the paper uses 3600).
+	EvalDuration float64
+	// AblationDuration is the workload length of the ablation sweeps.
+	AblationDuration float64
+	// Seed drives the workload generator.
+	Seed int64
+	// Seeds is the robustness-study seed count (0 skips it).
+	Seeds int
+	// SkipSlow drops the slowest studies (ablations, robustness) for a
+	// figures-and-tables-only report.
+	SkipSlow bool
+}
+
+// Defaults returns paper-fidelity settings (minutes of runtime).
+func Defaults() Options {
+	return Options{
+		Trials:           0,
+		EvalDuration:     3600,
+		AblationDuration: 900,
+		Seed:             42,
+		Seeds:            5,
+	}
+}
+
+// Quick returns reduced settings for fast runs (tens of seconds).
+func Quick() Options {
+	return Options{
+		Trials:           120,
+		EvalDuration:     900,
+		AblationDuration: 600,
+		Seed:             42,
+		Seeds:            3,
+		SkipSlow:         false,
+	}
+}
+
+// section writes one titled block whose body is produced by fn.
+func section(w io.Writer, title string, fn func(io.Writer)) {
+	fmt.Fprintf(w, "\n## %s\n\n```\n", title)
+	fn(w)
+	fmt.Fprint(w, "```\n")
+}
+
+// Generate runs everything and writes the report to w.
+func Generate(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "# AVFS reproduction report")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Generated %s. Settings: trials=%d (0 = paper's 1000), evaluation %gs, ablations %gs, seed %d.\n",
+		time.Now().UTC().Format(time.RFC3339), opts.Trials, opts.EvalDuration, opts.AblationDuration, opts.Seed)
+	fmt.Fprintln(w, "\nPaper: Papadimitriou, Chatzidimitriou, Gizopoulos — \"Adaptive Voltage/Frequency")
+	fmt.Fprintln(w, "Scaling and Core Allocation for Balanced Energy and Performance on Multicore")
+	fmt.Fprintln(w, "CPUs\", HPCA 2019. Substrates are calibrated simulations; see DESIGN.md.")
+
+	section(w, "Table I — chip parameters", func(w io.Writer) {
+		experiments.TableI().Render(w)
+	})
+	section(w, "Figure 3 — safe Vmin characterization", func(w io.Writer) {
+		experiments.Figure3(opts.Trials).Render(w)
+	})
+	section(w, "Figure 4 — single-/two-core variation", func(w io.Writer) {
+		experiments.Figure4(opts.Trials).Render(w)
+	})
+	section(w, "Figure 5 — pfail below safe Vmin", func(w io.Writer) {
+		experiments.Figure5(opts.Trials).Render(w)
+	})
+	section(w, "Figure 6 — droop detections", func(w io.Writer) {
+		experiments.Figure6(500_000_000).Render(w)
+	})
+	section(w, "Table II — droop class vs Vmin", func(w io.Writer) {
+		experiments.TableII().Render(w)
+	})
+	section(w, "Figure 7 — clustered vs spreaded energy (X-Gene 2)", func(w io.Writer) {
+		experiments.Figure7(chip.XGene2Spec()).Render(w)
+	})
+	section(w, "Figure 8 — contention ratios (X-Gene 3)", func(w io.Writer) {
+		experiments.Figure8(chip.XGene3Spec()).Render(w)
+	})
+	section(w, "Figure 9 — L3C access rates (X-Gene 3)", func(w io.Writer) {
+		experiments.Figure9(chip.XGene3Spec()).Render(w)
+	})
+	section(w, "Figure 10 — Vmin factor magnitudes", func(w io.Writer) {
+		experiments.Figure10().Render(w)
+	})
+	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		spec := spec
+		section(w, fmt.Sprintf("Figures 11/12 — energy and ED2P grids (%s)", spec.Name), func(w io.Writer) {
+			grid := experiments.EnergyGrid(spec, sim.Clustered)
+			grid.RenderEnergy(w)
+			fmt.Fprintln(w)
+			grid.RenderED2P(w)
+		})
+	}
+
+	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		wl := wlgen.Generate(spec, wlgen.Config{Duration: opts.EvalDuration}, opts.Seed)
+		set, err := experiments.EvaluateAll(spec, wl)
+		if err != nil {
+			return fmt.Errorf("report: evaluation on %s: %w", spec.Name, err)
+		}
+		title := "Table III"
+		if spec.Model == chip.XGene3 {
+			title = "Table IV"
+		}
+		section(w, fmt.Sprintf("%s — system evaluation (%s)", title, spec.Name), func(w io.Writer) {
+			set.Render(w)
+		})
+		section(w, fmt.Sprintf("Energy breakdown by component (%s)", spec.Name), func(w io.Writer) {
+			set.RenderBreakdown(w)
+		})
+		if spec.Model == chip.XGene3 {
+			section(w, "Figure 14 — power timeline (X-Gene 3)", func(w io.Writer) {
+				set.RenderFig14(w, 100)
+			})
+			section(w, "Figure 15 — load timeline (X-Gene 3)", func(w io.Writer) {
+				set.RenderFig15(w, 100)
+			})
+		}
+	}
+
+	if opts.SkipSlow {
+		return nil
+	}
+
+	type study struct {
+		title string
+		run   func() (experiments.AblationResult, error)
+	}
+	x3 := chip.XGene3Spec()
+	studies := []study{
+		{"Ablation — classification threshold", func() (experiments.AblationResult, error) {
+			return experiments.AblateThreshold(chip.XGene2Spec(), opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — voltage guard", func() (experiments.AblationResult, error) {
+			return experiments.AblateGuard(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — monitoring period", func() (experiments.AblationResult, error) {
+			return experiments.AblatePollInterval(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — hysteresis", func() (experiments.AblationResult, error) {
+			return experiments.AblateHysteresis(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — memory-PMD frequency (X-Gene 2)", func() (experiments.AblationResult, error) {
+			return experiments.AblateMemFreq(opts.AblationDuration, opts.Seed)
+		}},
+		{"Extension — relaxed performance constraints", func() (experiments.AblationResult, error) {
+			return experiments.AblateRelaxed(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — fail-safe transition ordering", func() (experiments.AblationResult, error) {
+			return experiments.AblateProtocol(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Extension — aging drift vs voltage guard", func() (experiments.AblationResult, error) {
+			return experiments.AblateAging(x3, opts.AblationDuration, opts.Seed)
+		}},
+		{"Ablation — migration cost", func() (experiments.AblationResult, error) {
+			return experiments.AblateMigrationCost(x3, opts.AblationDuration, opts.Seed)
+		}},
+	}
+	for _, s := range studies {
+		res, err := s.run()
+		if err != nil {
+			return fmt.Errorf("report: %s: %w", s.title, err)
+		}
+		section(w, s.title, func(w io.Writer) { res.Render(w) })
+	}
+
+	section(w, "Extension — chip-to-chip variation (fleet study)", func(w io.Writer) {
+		experiments.FleetStudy(chip.XGene2Spec(), 100, opts.Seed).Render(w)
+		fmt.Fprintln(w)
+		experiments.FleetStudy(x3, 100, opts.Seed).Render(w)
+	})
+
+	capStudy, err := experiments.RunCapStudy(x3, opts.AblationDuration, opts.Seed)
+	if err != nil {
+		return fmt.Errorf("report: cap study: %w", err)
+	}
+	section(w, "Comparison — power capping vs the efficiency daemon", func(w io.Writer) {
+		capStudy.Render(w)
+	})
+
+	if opts.Seeds > 0 {
+		var seeds []int64
+		for i := 0; i < opts.Seeds; i++ {
+			seeds = append(seeds, opts.Seed+int64(i))
+		}
+		st, err := experiments.RunSeedStudy(x3, opts.AblationDuration, seeds)
+		if err != nil {
+			return fmt.Errorf("report: seed study: %w", err)
+		}
+		section(w, "Robustness — savings across workload seeds", func(w io.Writer) {
+			st.Render(w)
+		})
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateQuickContainsEverySection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation in -short mode")
+	}
+	var b strings.Builder
+	opts := Quick()
+	opts.EvalDuration = 420
+	opts.AblationDuration = 420
+	opts.Seeds = 2
+	if err := Generate(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# AVFS reproduction report",
+		"Table I — chip parameters",
+		"Figure 3 — safe Vmin characterization",
+		"Figure 4 — single-/two-core variation",
+		"Figure 5 — pfail below safe Vmin",
+		"Figure 6 — droop detections",
+		"Table II — droop class vs Vmin",
+		"Figure 7 — clustered vs spreaded energy",
+		"Figure 8 — contention ratios",
+		"Figure 9 — L3C access rates",
+		"Figure 10 — Vmin factor magnitudes",
+		"Figures 11/12 — energy and ED2P grids (X-Gene 2)",
+		"Figures 11/12 — energy and ED2P grids (X-Gene 3)",
+		"Table III — system evaluation (X-Gene 2)",
+		"Table IV — system evaluation (X-Gene 3)",
+		"Figure 14 — power timeline",
+		"Figure 15 — load timeline",
+		"Ablation — classification threshold",
+		"Ablation — voltage guard",
+		"Ablation — monitoring period",
+		"Ablation — hysteresis",
+		"Ablation — memory-PMD frequency",
+		"Extension — relaxed performance constraints",
+		"Ablation — fail-safe transition ordering",
+		"Extension — aging drift vs voltage guard",
+		"Ablation — migration cost",
+		"Extension — chip-to-chip variation (fleet study)",
+		"Comparison — power capping vs the efficiency daemon",
+		"Energy breakdown by component (X-Gene 2)",
+		"Robustness — savings across workload seeds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	// Key quantities must appear somewhere.
+	for _, want := range []string{"830mV", "Energy Savings", "mean "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing content %q", want)
+		}
+	}
+}
+
+func TestSkipSlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation in -short mode")
+	}
+	var b strings.Builder
+	opts := Quick()
+	opts.EvalDuration = 300
+	opts.SkipSlow = true
+	if err := Generate(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Ablation —") {
+		t.Error("SkipSlow must drop the ablation sections")
+	}
+	if !strings.Contains(b.String(), "Table IV") {
+		t.Error("SkipSlow must keep the core tables")
+	}
+}
+
+func TestOptionPresets(t *testing.T) {
+	d := Defaults()
+	if d.Trials != 0 || d.EvalDuration != 3600 {
+		t.Error("Defaults must be paper fidelity")
+	}
+	q := Quick()
+	if q.Trials == 0 || q.EvalDuration >= d.EvalDuration {
+		t.Error("Quick must reduce fidelity")
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+)
+
+// PowerCap is a RAPL-style power-capping governor (the paper's Sec. I
+// motivation: capping peak power through power-performance knobs such as
+// DVFS). It samples the chip's power and walks every busy PMD's frequency
+// down one CPPC step while the budget is exceeded, back up while there is
+// headroom — trading performance for a power ceiling, with voltage left
+// untouched (the knob the X-Gene firmware exposes).
+//
+// It composes with the default placer (cap + placement ≈ a capped
+// Baseline) and serves as the comparison substrate for studies of capping
+// versus the paper's efficiency-first daemon.
+type PowerCap struct {
+	M *sim.Machine
+	// BudgetW is the power ceiling in watts.
+	BudgetW float64
+	// SamplePeriod is the controller's evaluation interval in seconds.
+	SamplePeriod float64
+	// Headroom is the fraction of the budget below which the governor
+	// raises frequency again (hysteresis; default 0.92).
+	Headroom float64
+
+	nextSample float64
+	throttles  int
+	boosts     int
+}
+
+// NewPowerCap creates the governor with RAPL-like defaults (10 ms control
+// loop).
+func NewPowerCap(m *sim.Machine, budgetW float64) *PowerCap {
+	if budgetW <= 0 {
+		panic("sched: power budget must be positive")
+	}
+	return &PowerCap{M: m, BudgetW: budgetW, SamplePeriod: 0.01, Headroom: 0.92}
+}
+
+// Attach hooks the governor (and the default placer) onto the machine.
+func (g *PowerCap) Attach() {
+	placer := &DefaultPlacer{M: g.M}
+	g.M.OnTick(func(*sim.Machine) {
+		placer.PlacePending()
+		g.Tick()
+	})
+}
+
+// Throttles returns how many down-steps the controller issued.
+func (g *PowerCap) Throttles() int { return g.throttles }
+
+// Boosts returns how many up-steps the controller issued.
+func (g *PowerCap) Boosts() int { return g.boosts }
+
+// Tick runs one control-loop evaluation if the sample period elapsed.
+func (g *PowerCap) Tick() {
+	now := g.M.Now()
+	if now+1e-12 < g.nextSample {
+		return
+	}
+	g.nextSample = now + g.SamplePeriod
+	p := g.M.LastPower()
+	switch {
+	case p > g.BudgetW:
+		g.step(-1)
+		g.throttles++
+	case p < g.BudgetW*g.Headroom:
+		if g.step(+1) {
+			g.boosts++
+		}
+	}
+}
+
+// step moves every busy PMD one CPPC frequency step in the given
+// direction; it reports whether any PMD actually changed.
+func (g *PowerCap) step(dir int) bool {
+	spec := g.M.Spec
+	changed := false
+	for pmd := 0; pmd < spec.PMDs(); pmd++ {
+		id := chip.PMDID(pmd)
+		c0, c1 := spec.CoresOf(id)
+		if g.M.ThreadOn(c0) == nil && g.M.ThreadOn(c1) == nil {
+			continue
+		}
+		cur := g.M.Chip.PMDFreq(id)
+		next := spec.ClampFreq(cur + chip.MHz(dir)*spec.FreqStep)
+		if next != cur {
+			g.M.Chip.SetPMDFreq(id, next)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// String describes the governor.
+func (g *PowerCap) String() string {
+	return fmt.Sprintf("powercap(%.1fW, %.0fms loop)", g.BudgetW, 1000*g.SamplePeriod)
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// fullLoad fills the machine with CPU-intensive copies.
+func fullLoad(m *sim.Machine) {
+	for i := 0; i < m.Spec.Cores; i++ {
+		m.MustSubmit(workload.MustByName("namd"), 1)
+	}
+}
+
+func TestPowerCapHoldsBudget(t *testing.T) {
+	// Uncapped full load on X-Gene 3 runs near 90 W; a 50 W budget must
+	// hold after the controller settles.
+	m := sim.New(chip.XGene3Spec())
+	g := NewPowerCap(m, 50)
+	g.Attach()
+	fullLoad(m)
+	m.RunFor(2) // settle
+	var worst float64
+	for i := 0; i < 500; i++ {
+		m.Step()
+		if p := m.LastPower(); p > worst {
+			worst = p
+		}
+	}
+	// One control step of slack above the budget is tolerated (the
+	// controller reacts after the excursion).
+	if worst > g.BudgetW*1.15 {
+		t.Errorf("sustained power %.1fW far above the %.0fW budget", worst, g.BudgetW)
+	}
+	if g.Throttles() == 0 {
+		t.Error("controller never throttled under an over-budget load")
+	}
+}
+
+func TestPowerCapRestoresHeadroom(t *testing.T) {
+	// With a generous budget the controller must keep (or restore) max
+	// frequency.
+	m := sim.New(chip.XGene3Spec())
+	g := NewPowerCap(m, 500)
+	g.Attach()
+	m.Chip.SetAllFreq(m.Spec.HalfFreq())
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.RunFor(2)
+	if f := m.Chip.CoreFreq(p.Cores()[0]); f != m.Spec.MaxFreq {
+		t.Errorf("busy PMD at %v under a generous budget, want max", f)
+	}
+	if g.Boosts() == 0 {
+		t.Error("controller never boosted despite headroom")
+	}
+}
+
+func TestPowerCapCostsTime(t *testing.T) {
+	run := func(budget float64) float64 {
+		m := sim.New(chip.XGene2Spec())
+		if budget > 0 {
+			NewPowerCap(m, budget).Attach()
+		} else {
+			NewBaseline(m)
+		}
+		for i := 0; i < 4; i++ {
+			m.MustSubmit(workload.MustByName("namd"), 1)
+		}
+		if err := m.RunUntilIdle(24 * 3600); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	free := run(0)
+	capped := run(8) // well below the ~14W the 4 copies draw
+	if capped <= free*1.2 {
+		t.Errorf("capped run %.1fs not clearly slower than uncapped %.1fs", capped, free)
+	}
+}
+
+func TestPowerCapNeverTouchesIdlePMDsOrVoltage(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	g := NewPowerCap(m, 20)
+	g.Attach()
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.RunFor(1)
+	if m.Chip.Voltage() != m.Spec.NominalMV {
+		t.Error("power capping must not change voltage")
+	}
+	busyPMD := m.Spec.PMDOf(p.Cores()[0])
+	for pmd := 0; pmd < m.Spec.PMDs(); pmd++ {
+		if chip.PMDID(pmd) == busyPMD {
+			continue
+		}
+		if f := m.Chip.PMDFreq(chip.PMDID(pmd)); f != m.Spec.MaxFreq {
+			t.Errorf("idle PMD%d frequency changed to %v", pmd, f)
+		}
+	}
+}
+
+func TestPowerCapBadBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero budget should panic")
+		}
+	}()
+	NewPowerCap(sim.New(chip.XGene2Spec()), 0)
+}

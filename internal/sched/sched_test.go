@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+func TestDefaultPlacerSpreadsAcrossPMDs(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	p := &DefaultPlacer{M: m}
+	for i := 0; i < 4; i++ {
+		m.MustSubmit(workload.MustByName("namd"), 1)
+	}
+	p.PlacePending()
+	if n := len(m.Running()); n != 4 {
+		t.Fatalf("%d processes placed, want 4", n)
+	}
+	if pmds := m.UtilizedPMDCount(); pmds != 4 {
+		t.Errorf("default placement used %d PMDs for 4 tasks, want 4 (spread)", pmds)
+	}
+}
+
+func TestDefaultPlacerFillsSiblingsWhenFull(t *testing.T) {
+	m := sim.New(chip.XGene2Spec()) // 8 cores
+	p := &DefaultPlacer{M: m}
+	for i := 0; i < 8; i++ {
+		m.MustSubmit(workload.MustByName("namd"), 1)
+	}
+	p.PlacePending()
+	if n := len(m.Running()); n != 8 {
+		t.Fatalf("%d placed, want 8", n)
+	}
+	if len(m.FreeCores()) != 0 {
+		t.Error("all cores must be occupied")
+	}
+}
+
+func TestDefaultPlacerFIFOBlocks(t *testing.T) {
+	m := sim.New(chip.XGene2Spec())
+	p := &DefaultPlacer{M: m}
+	big := m.MustSubmit(workload.MustByName("CG"), 8)
+	small := m.MustSubmit(workload.MustByName("namd"), 1)
+	occupier := m.MustSubmit(workload.MustByName("EP"), 2)
+	if err := m.Place(occupier, []chip.CoreID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.PlacePending()
+	// big (8 threads) cannot fit while occupier holds 2 cores; FIFO
+	// fairness must also keep small queued behind it.
+	if big.State != sim.Pending || small.State != sim.Pending {
+		t.Error("FIFO queue must block behind the oversized head")
+	}
+}
+
+func TestDefaultPlacerParallelProcess(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	p := &DefaultPlacer{M: m}
+	proc := m.MustSubmit(workload.MustByName("FT"), 8)
+	p.PlacePending()
+	if proc.State != sim.Running {
+		t.Fatal("parallel process must be placed")
+	}
+	if got := len(proc.Cores()); got != 8 {
+		t.Errorf("%d cores assigned, want 8", got)
+	}
+}
+
+func TestOndemandRampsUpWhenBusy(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	g := NewOndemand(m)
+	m.Chip.SetAllFreq(m.Spec.MinFreq)
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.Place(p, []chip.CoreID{4})
+	g.Tick()
+	if got := m.Chip.PMDFreq(2); got != m.Spec.MaxFreq {
+		t.Errorf("busy PMD2 at %v after governor tick, want max", got)
+	}
+	if got := m.Chip.PMDFreq(3); got != m.Spec.MinFreq {
+		t.Errorf("idle PMD3 at %v, want min (was min, stays)", got)
+	}
+}
+
+func TestOndemandDecaysWhenIdle(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	g := NewOndemand(m)
+	// All PMDs start at max; several governor periods of idleness must
+	// decay them to the minimum.
+	for i := 0; i < 10; i++ {
+		g.nextSample = 0 // force an evaluation regardless of sim time
+		g.Tick()
+		m.RunFor(0.01)
+	}
+	for pmd := 0; pmd < m.Spec.PMDs(); pmd++ {
+		if got := m.Chip.PMDFreq(chip.PMDID(pmd)); got != m.Spec.MinFreq {
+			t.Fatalf("idle PMD%d at %v after decay, want min", pmd, got)
+		}
+	}
+}
+
+func TestOndemandSamplePeriod(t *testing.T) {
+	m := sim.New(chip.XGene2Spec())
+	g := NewOndemand(m)
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.Place(p, []chip.CoreID{0})
+	m.Chip.SetAllFreq(m.Spec.MinFreq)
+	g.Tick() // evaluates at t=0
+	if m.Chip.PMDFreq(0) != m.Spec.MaxFreq {
+		t.Fatal("first tick must evaluate")
+	}
+	m.Chip.SetPMDFreq(0, m.Spec.MinFreq)
+	g.Tick() // same sim time: inside the sample period, no evaluation
+	if m.Chip.PMDFreq(0) != m.Spec.MinFreq {
+		t.Error("governor must respect its sample period")
+	}
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	NewBaseline(m)
+	for _, name := range []string{"namd", "milc", "gcc", "CG"} {
+		m.MustSubmit(workload.MustByName(name), 1)
+	}
+	if err := m.RunUntilIdle(24 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Finished()) != 4 {
+		t.Fatalf("%d finished, want 4", len(m.Finished()))
+	}
+	if m.Chip.Voltage() != m.Spec.NominalMV {
+		t.Error("baseline must never touch the voltage")
+	}
+	if len(m.Emergencies()) != 0 {
+		t.Error("baseline at nominal voltage can never emergency")
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+)
+
+// EventKind classifies a machine event.
+type EventKind int
+
+const (
+	// EvSubmit: a process was submitted.
+	EvSubmit EventKind = iota
+	// EvPlace: a pending process was placed on cores.
+	EvPlace
+	// EvMigrate: a running process moved to new cores.
+	EvMigrate
+	// EvFinish: a process completed.
+	EvFinish
+	// EvVoltage: the PCP voltage changed.
+	EvVoltage
+	// EvFreq: a PMD frequency changed.
+	EvFreq
+	// EvEmergency: the programmed voltage fell below the requirement.
+	EvEmergency
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvPlace:
+		return "place"
+	case EvMigrate:
+		return "migrate"
+	case EvFinish:
+		return "finish"
+	case EvVoltage:
+		return "voltage"
+	case EvFreq:
+		return "freq"
+	case EvEmergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the machine's event log.
+type Event struct {
+	At   float64
+	Kind EventKind
+	// Proc is the process ID for lifecycle events, -1 otherwise.
+	Proc int
+	// Detail is a human-readable summary.
+	Detail string
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	if e.Proc >= 0 {
+		return fmt.Sprintf("%9.3fs %-9s proc=%d %s", e.At, e.Kind, e.Proc, e.Detail)
+	}
+	return fmt.Sprintf("%9.3fs %-9s %s", e.At, e.Kind, e.Detail)
+}
+
+// eventLog is a bounded append-only log; when full, the oldest half is
+// dropped (long evaluations would otherwise accumulate millions of freq
+// events).
+type eventLog struct {
+	events  []Event
+	dropped int
+	limit   int
+}
+
+const defaultEventLimit = 100_000
+
+func (l *eventLog) add(e Event) {
+	if l.limit == 0 {
+		l.limit = defaultEventLimit
+	}
+	if len(l.events) >= l.limit {
+		half := len(l.events) / 2
+		l.dropped += half
+		l.events = append(l.events[:0], l.events[half:]...)
+	}
+	l.events = append(l.events, e)
+}
+
+// EnableEventLog turns on structured event recording (off by default;
+// recording costs allocations on hot paths). Existing history starts from
+// this call.
+func (m *Machine) EnableEventLog() {
+	if m.log != nil {
+		return
+	}
+	m.log = &eventLog{}
+	// Seed the V/F mirrors so only future changes are logged.
+	m.lastV = m.Chip.Voltage()
+	m.lastF = make([]chip.MHz, m.Spec.PMDs())
+	for p := range m.lastF {
+		m.lastF[p] = m.Chip.PMDFreq(chip.PMDID(p))
+	}
+}
+
+// Events returns the recorded events (nil when the log is disabled).
+func (m *Machine) Events() []Event {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.events
+}
+
+// EventsDropped reports how many old events were discarded by the bound.
+func (m *Machine) EventsDropped() int {
+	if m.log == nil {
+		return 0
+	}
+	return m.log.dropped
+}
+
+// logEvent appends to the log when enabled.
+func (m *Machine) logEvent(kind EventKind, proc int, format string, args ...any) {
+	if m.log == nil {
+		return
+	}
+	m.log.add(Event{At: m.now, Kind: kind, Proc: proc, Detail: fmt.Sprintf(format, args...)})
+}
+
+// coresString renders a core list compactly.
+func coresString(cores []chip.CoreID) string {
+	return fmt.Sprint(cores)
+}

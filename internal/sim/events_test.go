@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/workload"
+)
+
+func TestEventLogDisabledByDefault(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.Place(p, []chip.CoreID{0})
+	m.RunFor(0.1)
+	if m.Events() != nil {
+		t.Error("event log must be off by default")
+	}
+}
+
+func TestEventLogLifecycle(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	m.EnableEventLog()
+	p := m.MustSubmit(workload.MustByName("IS"), 2)
+	m.Place(p, []chip.CoreID{0, 1})
+	m.RunFor(1)
+	if err := m.Migrate(p, []chip.CoreID{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilIdle(3600)
+
+	kinds := map[EventKind]int{}
+	for _, e := range m.Events() {
+		kinds[e.Kind]++
+	}
+	for _, want := range []EventKind{EvSubmit, EvPlace, EvMigrate, EvFinish} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event recorded", want)
+		}
+	}
+	if kinds[EvEmergency] != 0 {
+		t.Error("no emergencies expected at nominal voltage")
+	}
+}
+
+func TestEventLogVoltageAndFreqChanges(t *testing.T) {
+	m := New(chip.XGene2Spec())
+	m.EnableEventLog()
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.Place(p, []chip.CoreID{0})
+	m.Chip.SetVoltage(900)
+	m.Chip.SetPMDFreq(0, 1200)
+	m.RunFor(0.05)
+	var sawV, sawF bool
+	for _, e := range m.Events() {
+		if e.Kind == EvVoltage && strings.Contains(e.Detail, "900mV") {
+			sawV = true
+		}
+		if e.Kind == EvFreq && strings.Contains(e.Detail, "PMD0") {
+			sawF = true
+		}
+	}
+	if !sawV || !sawF {
+		t.Errorf("voltage/freq changes not logged (V=%v F=%v)", sawV, sawF)
+	}
+}
+
+func TestEventLogRecordsEmergencies(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	m.EnableEventLog()
+	m.Chip.SetVoltage(700)
+	p := m.MustSubmit(workload.MustByName("CG"), 32)
+	cores, _ := ClusteredCores(m.Spec, 32)
+	m.Place(p, cores)
+	m.RunFor(0.05)
+	found := false
+	for _, e := range m.Events() {
+		if e.Kind == EvEmergency {
+			found = true
+			if !strings.Contains(e.Detail, "required") {
+				t.Errorf("emergency detail %q missing requirement", e.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("emergency not logged")
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := &eventLog{limit: 10}
+	for i := 0; i < 25; i++ {
+		l.add(Event{At: float64(i)})
+	}
+	if len(l.events) > 10 {
+		t.Errorf("log grew to %d events beyond the bound", len(l.events))
+	}
+	if l.dropped == 0 {
+		t.Error("bound never dropped anything")
+	}
+	// The newest events survive.
+	last := l.events[len(l.events)-1]
+	if last.At != 24 {
+		t.Errorf("newest event lost: %v", last)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1.5, Kind: EvPlace, Proc: 3, Detail: "CG on [0 1]"}
+	s := e.String()
+	if !strings.Contains(s, "place") || !strings.Contains(s, "proc=3") {
+		t.Errorf("event string %q", s)
+	}
+	e2 := Event{At: 2, Kind: EvVoltage, Proc: -1, Detail: "870mV -> 835mV"}
+	if strings.Contains(e2.String(), "proc=") {
+		t.Error("non-process events must omit proc=")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	names := map[EventKind]string{
+		EvSubmit: "submit", EvPlace: "place", EvMigrate: "migrate",
+		EvFinish: "finish", EvVoltage: "voltage", EvFreq: "freq",
+		EvEmergency: "emergency",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

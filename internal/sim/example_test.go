@@ -1,0 +1,58 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// A machine runs processes on cores and integrates energy; frequency is
+// per PMD, voltage chip-wide.
+func Example() {
+	m := sim.New(chip.XGene3Spec())
+	p := m.MustSubmit(workload.MustByName("EP"), 8)
+	cores, _ := sim.SpreadedCores(m.Spec, 8)
+	if err := m.Place(p, cores); err != nil {
+		panic(err)
+	}
+	if err := m.RunUntilIdle(3600); err != nil {
+		panic(err)
+	}
+	fmt.Printf("EP 8T finished in %.1fs\n", p.Runtime())
+	fmt.Printf("utilized PMDs during the run: %d\n", len(sim.UtilizedPMDs(m.Spec, cores)))
+	// Output:
+	// EP 8T finished in 8.0s
+	// utilized PMDs during the run: 8
+}
+
+// Clustered packs core pairs; spreaded gives each thread its own PMD
+// (Fig. 2 of the paper).
+func ExampleCoresFor() {
+	spec := chip.XGene2Spec()
+	cl, _ := sim.CoresFor(spec, sim.Clustered, 4)
+	sp, _ := sim.CoresFor(spec, sim.Spreaded, 4)
+	fmt.Println("clustered:", cl, "->", len(sim.UtilizedPMDs(spec, cl)), "PMDs")
+	fmt.Println("spreaded: ", sp, "->", len(sim.UtilizedPMDs(spec, sp)), "PMDs")
+	// Output:
+	// clustered: [0 1 2 3] -> 2 PMDs
+	// spreaded:  [0 2 4 6] -> 4 PMDs
+}
+
+// The simulator flags any instant where the programmed voltage is below
+// the configuration's true safe Vmin — the invariant the daemon's
+// fail-safe protocol protects.
+func ExampleMachine_Emergencies() {
+	m := sim.New(chip.XGene3Spec())
+	m.Chip.SetVoltage(700) // reckless undervolt
+	p := m.MustSubmit(workload.MustByName("CG"), 32)
+	cores, _ := sim.ClusteredCores(m.Spec, 32)
+	m.Place(p, cores)
+	m.RunFor(0.05)
+	fmt.Println("emergencies detected:", len(m.Emergencies()) > 0)
+	fmt.Println("required at least:", m.RequiredSafeVmin())
+	// Output:
+	// emergencies detected: true
+	// required at least: 830mV
+}

@@ -1,0 +1,671 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/power"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// DefaultTick is the simulation time step in seconds (10 ms). Program
+// runtimes are tens of seconds, so the quantization error is negligible.
+const DefaultTick = 0.010
+
+// l2SharePenalty scales how much two co-resident threads inflate each
+// other's beyond-L2 traffic; the per-benchmark L2ShareSensitivity
+// modulates it (calibrated against Fig. 7's −10%…+15% energy swing).
+const l2SharePenalty = 0.40
+
+// contentionOverlap is the fraction of queueing delay that memory-level
+// parallelism cannot hide (calibrated against Fig. 8's contention ratios).
+const contentionOverlap = 0.8
+
+// maxMemRho caps the modelled memory utilization to keep the M/M/1
+// queueing factor finite.
+const maxMemRho = 0.95
+
+// Emergency records an instant at which the programmed voltage was below
+// the configuration's true safe Vmin — on real hardware, a crash risk. The
+// daemon's fail-safe protocol must keep this list empty.
+type Emergency struct {
+	At       float64
+	Voltage  chip.Millivolts
+	Required chip.Millivolts
+}
+
+// CoreCounters are the monotonically increasing per-core PMU counters.
+type CoreCounters struct {
+	Cycles       uint64
+	Instructions uint64
+	L3CAccesses  uint64
+}
+
+// Machine is one simulated X-Gene server.
+type Machine struct {
+	Spec  *chip.Spec
+	Chip  *chip.Chip
+	Power *power.Model
+	Meter power.Meter
+
+	// Tick is the integration step in seconds.
+	Tick float64
+
+	now    float64
+	nextID int
+
+	procs    map[int]*Process
+	coreThr  []*Thread // occupancy: one thread per core, or nil
+	counters []CoreCounters
+
+	// memRho is the lagged memory-path utilization used to break the
+	// demand/latency fixed point across ticks.
+	memRho float64
+
+	emergencies []Emergency
+	finished    []*Process
+	lastWatts   float64
+	// energyBD accumulates joules per power-model component.
+	energyBD power.Breakdown
+
+	// log records structured events when enabled via EnableEventLog.
+	log *eventLog
+	// lastV/lastF mirror the chip's programmed V/F so Step can log
+	// changes regardless of which component programmed them.
+	lastV chip.Millivolts
+	lastF []chip.MHz
+
+	// vminDrift raises the machine's true safe-Vmin requirement,
+	// modelling transistor aging (see vmin.AgingModel). Fresh silicon
+	// has zero drift.
+	vminDrift chip.Millivolts
+
+	// migrationPenalty stalls a migrated thread for this many seconds
+	// (cold caches + kernel bookkeeping); 0 models free migration, the
+	// paper's approximation.
+	migrationPenalty float64
+
+	// onFinish callbacks run after a process completes (within Step,
+	// after state updates), in registration order.
+	onFinish []func(*Process)
+	// onTick callbacks run at the end of every step, in registration
+	// order.
+	onTick []func(*Machine)
+}
+
+// New creates an idle machine for the given chip spec.
+func New(spec *chip.Spec) *Machine {
+	return &Machine{
+		Spec:     spec,
+		Chip:     chip.New(spec),
+		Power:    power.NewModel(spec),
+		Tick:     DefaultTick,
+		procs:    map[int]*Process{},
+		coreThr:  make([]*Thread, spec.Cores),
+		counters: make([]CoreCounters, spec.Cores),
+	}
+}
+
+// Now returns the simulation time in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// OnFinish registers a callback invoked whenever a process completes.
+// Callbacks run in registration order.
+func (m *Machine) OnFinish(fn func(*Process)) { m.onFinish = append(m.onFinish, fn) }
+
+// OnTick registers a callback invoked at the end of every step.
+// Callbacks run in registration order.
+func (m *Machine) OnTick(fn func(*Machine)) { m.onTick = append(m.onTick, fn) }
+
+// Submit creates a new pending process of nThreads threads running bench.
+func (m *Machine) Submit(b *workload.Benchmark, nThreads int) (*Process, error) {
+	p, err := newProcess(m.nextID, b, nThreads, m.now)
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	m.procs[p.ID] = p
+	m.logEvent(EvSubmit, p.ID, "%s x%d threads", b.Name, nThreads)
+	return p, nil
+}
+
+// MustSubmit is Submit for known-good arguments.
+func (m *Machine) MustSubmit(b *workload.Benchmark, nThreads int) *Process {
+	p, err := m.Submit(b, nThreads)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Place pins every thread of a pending process onto the given cores (one
+// core per thread, in order) and starts it.
+func (m *Machine) Place(p *Process, cores []chip.CoreID) error {
+	if p.State != Pending {
+		return fmt.Errorf("sim: process %d is %v, not pending", p.ID, p.State)
+	}
+	if len(cores) != len(p.Threads) {
+		return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+	}
+	if err := m.checkFree(cores, nil); err != nil {
+		return err
+	}
+	for i, t := range p.Threads {
+		t.Core = cores[i]
+		m.coreThr[cores[i]] = t
+	}
+	p.State = Running
+	p.Started = m.now
+	m.logEvent(EvPlace, p.ID, "%s on %s", p.Bench.Name, coresString(cores))
+	return nil
+}
+
+// Migrate moves a running process's threads onto a new core set, modelling
+// the kernel's process migration. Cores occupied by other processes are
+// rejected; the process's own current cores may be reused.
+func (m *Machine) Migrate(p *Process, cores []chip.CoreID) error {
+	if p.State != Running {
+		return fmt.Errorf("sim: process %d is %v, not running", p.ID, p.State)
+	}
+	if len(cores) != len(p.Threads) {
+		return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+	}
+	if err := m.checkFree(cores, p); err != nil {
+		return err
+	}
+	for _, t := range p.Threads {
+		if t.Core >= 0 && m.coreThr[t.Core] == t {
+			m.coreThr[t.Core] = nil
+		}
+	}
+	for i, t := range p.Threads {
+		t.Core = cores[i]
+		m.coreThr[cores[i]] = t
+		t.stalledUntil = m.now + m.migrationPenalty
+	}
+	m.logEvent(EvMigrate, p.ID, "%s to %s", p.Bench.Name, coresString(cores))
+	return nil
+}
+
+// Reassign atomically applies a whole-machine placement: every process in
+// the map is migrated (if running) or placed (if pending) onto its target
+// cores. The combined assignment is validated first — target cores must be
+// valid, distinct across the whole map, and not occupied by any process
+// outside the map — so arbitrary permutations are expressible without
+// intermediate-state conflicts.
+func (m *Machine) Reassign(assign map[*Process][]chip.CoreID) error {
+	// Validate shapes and global distinctness.
+	seen := map[chip.CoreID]*Process{}
+	for p, cores := range assign {
+		if p.State == Finished {
+			return fmt.Errorf("sim: process %d already finished", p.ID)
+		}
+		if len(cores) != len(p.Threads) {
+			return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+		}
+		for _, c := range cores {
+			if !m.Spec.ValidCore(c) {
+				return fmt.Errorf("sim: core %d out of range", c)
+			}
+			if other, dup := seen[c]; dup {
+				return fmt.Errorf("sim: core %d assigned to both process %d and %d", c, other.ID, p.ID)
+			}
+			seen[c] = p
+		}
+	}
+	// Cores used by the assignment must not be occupied by outsiders.
+	for c := range seen {
+		if t := m.coreThr[c]; t != nil {
+			if _, inPlan := assign[t.Proc]; !inPlan {
+				return fmt.Errorf("sim: core %d occupied by process %d outside the reassignment", c, t.Proc.ID)
+			}
+		}
+	}
+	// Remember the prior placement so unchanged processes are not
+	// charged a migration.
+	oldCores := map[*Process][]chip.CoreID{}
+	for p := range assign {
+		oldCores[p] = append([]chip.CoreID(nil), p.Cores()...)
+	}
+	// Apply: vacate all planned processes, then pin to targets.
+	for p := range assign {
+		for _, t := range p.Threads {
+			if t.Core >= 0 && m.coreThr[t.Core] == t {
+				m.coreThr[t.Core] = nil
+			}
+			t.Core = -1
+		}
+	}
+	for p, cores := range assign {
+		for i, t := range p.Threads {
+			t.Core = cores[i]
+			m.coreThr[cores[i]] = t
+		}
+		if p.State == Pending {
+			p.State = Running
+			p.Started = m.now
+			m.logEvent(EvPlace, p.ID, "%s on %s", p.Bench.Name, coresString(cores))
+		} else if !coresEqual(oldCores[p], cores) {
+			for _, t := range p.Threads {
+				t.stalledUntil = m.now + m.migrationPenalty
+			}
+			m.logEvent(EvMigrate, p.ID, "%s to %s", p.Bench.Name, coresString(cores))
+		}
+	}
+	return nil
+}
+
+// coresEqual reports whether two core lists match element-wise.
+func coresEqual(a, b []chip.CoreID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFree verifies that the cores are valid, distinct and not occupied
+// by any process other than owner.
+func (m *Machine) checkFree(cores []chip.CoreID, owner *Process) error {
+	seen := map[chip.CoreID]bool{}
+	for _, c := range cores {
+		if !m.Spec.ValidCore(c) {
+			return fmt.Errorf("sim: core %d out of range", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("sim: core %d assigned twice", c)
+		}
+		seen[c] = true
+		if t := m.coreThr[c]; t != nil && t.Proc != owner {
+			return fmt.Errorf("sim: core %d already occupied by process %d", c, t.Proc.ID)
+		}
+	}
+	return nil
+}
+
+// FreeCores returns the unoccupied cores in ascending order.
+func (m *Machine) FreeCores() []chip.CoreID {
+	var out []chip.CoreID
+	for c, t := range m.coreThr {
+		if t == nil {
+			out = append(out, chip.CoreID(c))
+		}
+	}
+	return out
+}
+
+// Running returns the running processes in submission order.
+func (m *Machine) Running() []*Process {
+	var out []*Process
+	for _, p := range m.procs {
+		if p.State == Running {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Pending returns the pending (submitted, unplaced) processes.
+func (m *Machine) Pending() []*Process {
+	var out []*Process
+	for _, p := range m.procs {
+		if p.State == Pending {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Finished returns every completed process so far, in completion order.
+func (m *Machine) Finished() []*Process { return m.finished }
+
+// ActiveCores returns the cores currently hosting threads.
+func (m *Machine) ActiveCores() []chip.CoreID {
+	var out []chip.CoreID
+	for c, t := range m.coreThr {
+		if t != nil {
+			out = append(out, chip.CoreID(c))
+		}
+	}
+	return out
+}
+
+// ThreadOn returns the thread on core c, or nil.
+func (m *Machine) ThreadOn(c chip.CoreID) *Thread { return m.coreThr[c] }
+
+// UtilizedPMDCount returns the number of PMDs with at least one busy core.
+func (m *Machine) UtilizedPMDCount() int {
+	return len(UtilizedPMDs(m.Spec, m.ActiveCores()))
+}
+
+// Counters returns a copy of core c's PMU counters.
+func (m *Machine) Counters(c chip.CoreID) CoreCounters { return m.counters[c] }
+
+// Emergencies returns the recorded voltage-emergency instants.
+func (m *Machine) Emergencies() []Emergency { return m.emergencies }
+
+// MemUtilization returns the memory-path utilization of the last tick.
+func (m *Machine) MemUtilization() float64 { return m.memRho }
+
+// EnergyBreakdown returns the accumulated energy per power-model
+// component in joules (the Breakdown fields hold joules here, not watts).
+func (m *Machine) EnergyBreakdown() power.Breakdown { return m.energyBD }
+
+// LastPower returns the instantaneous power of the last tick in watts —
+// the simulator's stand-in for the external power sensor sampled by the
+// paper's measurement infrastructure.
+func (m *Machine) LastPower() float64 { return m.lastWatts }
+
+// SetMigrationPenalty makes every subsequent migration stall the moved
+// threads for d seconds — the cost the paper argues is negligible
+// ("equal impact as a process migration of the Linux kernel"); the
+// migration-cost ablation quantifies that claim.
+func (m *Machine) SetMigrationPenalty(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	m.migrationPenalty = d
+}
+
+// SetVminDrift ages the silicon: every true safe-Vmin requirement rises
+// by mv (capped so nominal voltage stays safe, as the manufacturer's
+// rated-lifetime guardband guarantees). A daemon deployed on an aged
+// machine must widen its voltage guard accordingly (vmin.GuardForAge).
+func (m *Machine) SetVminDrift(mv chip.Millivolts) {
+	if mv < 0 {
+		mv = 0
+	}
+	m.vminDrift = mv
+}
+
+// VminDrift returns the configured aging drift.
+func (m *Machine) VminDrift() chip.Millivolts { return m.vminDrift }
+
+// RequiredSafeVmin returns the model's true minimum safe voltage for the
+// machine's instantaneous configuration: for every active core, the class
+// envelope of its PMD's frequency class at the current utilized-PMD count,
+// adjusted by the hosted program's offsets. Idle machines require only the
+// regulator floor.
+func (m *Machine) RequiredSafeVmin() chip.Millivolts {
+	active := m.ActiveCores()
+	if len(active) == 0 {
+		return m.Spec.MinSafeMV
+	}
+	utilized := len(UtilizedPMDs(m.Spec, active))
+	// Group active cores by the benchmark they run so per-workload
+	// offsets apply to each program's own core set.
+	perBench := map[*workload.Benchmark][]chip.CoreID{}
+	var req chip.Millivolts
+	for _, c := range active {
+		perBench[m.coreThr[c].Proc.Bench] = append(perBench[m.coreThr[c].Proc.Bench], c)
+	}
+	for b, cores := range perBench {
+		// The binding frequency class for a program is the fastest
+		// class among the PMDs its threads occupy.
+		fc := clock.HalfSpeed
+		if m.Spec.Model == chip.XGene2 {
+			fc = clock.DividedLow
+		}
+		for _, c := range cores {
+			cfc := clock.ClassOf(m.Spec, m.Chip.CoreFreq(c))
+			if cfc < fc {
+				fc = cfc
+			}
+		}
+		cfg := &vmin.Config{Spec: m.Spec, FreqClass: fc, Cores: cores, Bench: b}
+		// The droop class is set by the whole machine's utilized PMDs,
+		// not only this program's; widen the config accordingly.
+		v := vmin.SafeVmin(cfg)
+		env := vmin.ClassEnvelope(m.Spec, fc, cfg.UtilizedPMDs())
+		envAll := vmin.ClassEnvelope(m.Spec, fc, utilized)
+		v += envAll - env
+		if v > req {
+			req = v
+		}
+	}
+	// Aging drift raises the requirement, but nominal always remains
+	// safe (the rated-lifetime guarantee behind the nominal guardband).
+	req += m.vminDrift
+	if req > m.Spec.NominalMV {
+		req = m.Spec.NominalMV
+	}
+	if req < m.Spec.MinSafeMV {
+		req = m.Spec.MinSafeMV
+	}
+	return req
+}
+
+// Step advances the simulation by one tick: recomputes contention,
+// advances thread work, integrates energy, updates counters, checks for
+// voltage emergencies, and completes processes whose work is done.
+func (m *Machine) Step() {
+	dt := m.Tick
+
+	// --- Phase 1: per-thread static factors (L2 sharing) and the
+	// memory-contention fixed point. Demand on the shared L3/DRAM path
+	// depends on per-thread throughput, which depends on the queueing
+	// latency, which depends on demand; a few damped iterations starting
+	// from the previous tick's utilization converge to the equilibrium
+	// (the map is monotone decreasing, so the fixed point is unique).
+	type upd struct {
+		t      *Thread
+		fGHz   float64
+		l2Infl float64
+		cpi    float64
+		instr  float64
+		cycles float64
+	}
+	updates := make([]upd, 0, len(m.coreThr))
+	for c, t := range m.coreThr {
+		if t == nil || t.Done() {
+			// A thread that finished its work blocks (the kernel idles
+			// the core) until its whole process completes; it stops
+			// counting cycles and stops loading the memory system.
+			continue
+		}
+		if t.stalledUntil > m.now {
+			continue // paying a migration penalty: no forward progress
+		}
+		core := chip.CoreID(c)
+		fGHz := m.Chip.CoreFreq(core).GHz()
+		l2Infl := 1.0
+		if sib := m.siblingThread(core); sib != nil {
+			b, s := t.Proc.Bench, sib.Proc.Bench
+			pressure := math.Sqrt(b.L2ShareSensitivity * s.L2ShareSensitivity)
+			l2Infl = 1.0 + l2SharePenalty*pressure
+		}
+		updates = append(updates, upd{t: t, fGHz: fGHz, l2Infl: l2Infl})
+	}
+
+	rho := m.memRho
+	demandAt := func(rho float64) float64 {
+		q := 1.0 / (1.0 - math.Min(rho, maxMemRho))
+		contInfl := 1.0 + contentionOverlap*(q-1.0)
+		var demand float64
+		for _, u := range updates {
+			cpi := u.t.Proc.Bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
+			demand += (u.fGHz * 1e9 / cpi) * u.t.Proc.Bench.MemPerInstr * u.l2Infl
+		}
+		return demand
+	}
+	for iter := 0; iter < 6; iter++ {
+		next := math.Min(demandAt(rho)/m.Spec.MemBandwidth, 1.0)
+		rho = 0.5*rho + 0.5*next
+	}
+	q := 1.0 / (1.0 - math.Min(rho, maxMemRho))
+	contInfl := 1.0 + contentionOverlap*(q-1.0)
+
+	// --- Phase 2: per-thread effective CPI and progress at equilibrium.
+	for i := range updates {
+		u := &updates[i]
+		u.cpi = u.t.Proc.Bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
+		u.cycles = u.fGHz * 1e9 * dt
+		u.instr = u.cycles / u.cpi
+		if remaining := u.t.instrTotal - u.t.instrDone; u.instr > remaining {
+			u.instr = remaining
+		}
+	}
+
+	// --- Phase 3: power integration (uses pre-update stall fractions).
+	st := m.powerState()
+	bd := m.Power.Power(st)
+	watts := bd.Total()
+	m.lastWatts = watts
+	m.Meter.Accumulate(watts, dt)
+	m.energyBD.CoreDynamic += bd.CoreDynamic * dt
+	m.energyBD.PMDUncore += bd.PMDUncore * dt
+	m.energyBD.L3Fabric += bd.L3Fabric * dt
+	m.energyBD.MemCtl += bd.MemCtl * dt
+	m.energyBD.Leakage += bd.Leakage * dt
+
+	// --- Phase 4: voltage-emergency check and V/F change logging.
+	if len(updates) > 0 {
+		req := m.RequiredSafeVmin()
+		if m.Chip.Voltage() < req {
+			m.emergencies = append(m.emergencies, Emergency{
+				At: m.now, Voltage: m.Chip.Voltage(), Required: req,
+			})
+			m.logEvent(EvEmergency, -1, "V=%v < required %v", m.Chip.Voltage(), req)
+		}
+	}
+	if m.log != nil {
+		if v := m.Chip.Voltage(); v != m.lastV {
+			m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
+			m.lastV = v
+		}
+		for p := 0; p < m.Spec.PMDs(); p++ {
+			if f := m.Chip.PMDFreq(chip.PMDID(p)); f != m.lastF[p] {
+				m.logEvent(EvFreq, -1, "PMD%d %v -> %v", p, m.lastF[p], f)
+				m.lastF[p] = f
+			}
+		}
+	}
+
+	// --- Phase 5: commit progress, counters and per-process energy
+	// attribution (core dynamic share only; uncore is chip-shared).
+	v := m.Chip.Voltage()
+	for _, u := range updates {
+		u.t.instrDone += u.instr
+		u.t.lastCPI = u.cpi
+		u.t.lastL2Infl = u.l2Infl
+		base := u.t.Proc.Bench.CPIBase
+		u.t.stallFrac = (u.cpi - base) / u.cpi
+		cc := &m.counters[u.t.Core]
+		cc.Cycles += uint64(u.cycles)
+		cc.Instructions += uint64(u.instr)
+		cc.L3CAccesses += uint64(u.instr * u.t.Proc.Bench.MemPerInstr * u.l2Infl)
+		coreW := m.Power.CoreDynamicPower(v, m.Chip.CoreFreq(u.t.Core), power.CoreState{
+			Busy:      true,
+			Activity:  u.t.Proc.Bench.Activity,
+			StallFrac: u.t.stallFrac,
+		})
+		u.t.Proc.coreEnergyJ += coreW * dt
+	}
+	m.memRho = rho
+	m.now += dt
+
+	// --- Phase 6: completions.
+	for _, p := range m.Running() {
+		if p.done() {
+			for _, t := range p.Threads {
+				if t.Core >= 0 && m.coreThr[t.Core] == t {
+					m.coreThr[t.Core] = nil
+				}
+				t.Core = -1
+			}
+			p.State = Finished
+			p.Completed = m.now
+			m.finished = append(m.finished, p)
+			m.logEvent(EvFinish, p.ID, "%s after %.1fs", p.Bench.Name, p.Runtime())
+			for _, fn := range m.onFinish {
+				fn(p)
+			}
+		}
+	}
+	for _, fn := range m.onTick {
+		fn(m)
+	}
+}
+
+// siblingThread returns the thread on the other core of c's PMD, or nil.
+func (m *Machine) siblingThread(c chip.CoreID) *Thread {
+	sib := c ^ 1
+	return m.coreThr[sib]
+}
+
+// powerState assembles the power-model input for this instant.
+func (m *Machine) powerState() power.State {
+	st := power.State{
+		Voltage: m.Chip.Voltage(),
+		PMDFreq: make([]chip.MHz, m.Spec.PMDs()),
+		Cores:   make([]power.CoreState, m.Spec.Cores),
+		MemUtil: m.memRho,
+	}
+	for p := 0; p < m.Spec.PMDs(); p++ {
+		st.PMDFreq[p] = m.Chip.PMDFreq(chip.PMDID(p))
+	}
+	for c, t := range m.coreThr {
+		if t == nil || t.Done() {
+			continue // blocked threads leave their core in WFI
+		}
+		st.Cores[c] = power.CoreState{
+			Busy:      true,
+			Activity:  t.Proc.Bench.Activity,
+			StallFrac: t.stallFrac,
+		}
+	}
+	return st
+}
+
+// RunFor advances the simulation by d seconds.
+func (m *Machine) RunFor(d float64) {
+	end := m.now + d
+	for m.now < end-1e-12 {
+		m.Step()
+	}
+}
+
+// RunUntilIdle steps until no process is running or pending, or until
+// maxSeconds of additional simulated time elapse. It returns an error on
+// timeout (which usually means a pending process was never placed).
+func (m *Machine) RunUntilIdle(maxSeconds float64) error {
+	deadline := m.now + maxSeconds
+	for m.now < deadline {
+		if len(m.Running()) == 0 && len(m.Pending()) == 0 {
+			return nil
+		}
+		m.Step()
+	}
+	if len(m.Running()) != 0 || len(m.Pending()) != 0 {
+		return fmt.Errorf("sim: machine not idle after %.0fs (running=%d pending=%d)",
+			maxSeconds, len(m.Running()), len(m.Pending()))
+	}
+	return nil
+}
+
+// RunProcess is a convenience for characterization-style experiments: it
+// submits bench with nThreads, places it on the given cores, runs to
+// completion and returns the process. The machine must be otherwise idle.
+func (m *Machine) RunProcess(b *workload.Benchmark, cores []chip.CoreID) (*Process, error) {
+	p, err := m.Submit(b, len(cores))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Place(p, cores); err != nil {
+		return nil, err
+	}
+	if err := m.RunUntilIdle(24 * 3600); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

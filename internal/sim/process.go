@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/workload"
+)
+
+// ProcState is the lifecycle state of a simulated process.
+type ProcState int
+
+const (
+	// Pending means submitted but not yet placed on cores.
+	Pending ProcState = iota
+	// Running means all threads are placed and executing.
+	Running
+	// Finished means every thread completed its work.
+	Finished
+)
+
+// String names the state.
+func (s ProcState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Thread is one schedulable unit of a process, pinned to at most one core.
+type Thread struct {
+	Proc *Process
+	// Index is the thread's rank within its process.
+	Index int
+	// Core is the hosting core, or -1 while unplaced.
+	Core chip.CoreID
+
+	// instrTotal is the work of this thread in instructions; instrDone
+	// is the progress so far.
+	instrTotal float64
+	instrDone  float64
+
+	// Per-tick observables refreshed by the machine.
+	lastCPI    float64
+	lastL2Infl float64
+	stallFrac  float64
+
+	// stalledUntil pauses the thread's execution until the given
+	// simulation time — the cost of a migration (cold caches, kernel
+	// bookkeeping) when the machine models one.
+	stalledUntil float64
+}
+
+// Done reports whether the thread finished its work.
+func (t *Thread) Done() bool { return t.instrDone >= t.instrTotal }
+
+// Progress returns completed work in [0,1].
+func (t *Thread) Progress() float64 {
+	if t.instrTotal == 0 {
+		return 1
+	}
+	p := t.instrDone / t.instrTotal
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// StallFraction returns the fraction of recent cycles spent stalled on the
+// memory system (refreshed each tick; used by the power model).
+func (t *Thread) StallFraction() float64 { return t.stallFrac }
+
+// Process is one running program instance: a parallel program with N
+// threads sharing one body of work, or a single-threaded program (one
+// thread). The paper's multi-copy runs are modelled as N independent
+// single-threaded processes.
+type Process struct {
+	ID    int
+	Bench *workload.Benchmark
+	// Threads has length 1 for single-threaded programs.
+	Threads []*Thread
+
+	State ProcState
+	// Submitted/Started/Completed are simulation timestamps in seconds;
+	// Started and Completed are -1 until they happen.
+	Submitted float64
+	Started   float64
+	Completed float64
+
+	// coreEnergyJ accumulates the core dynamic energy attributed to this
+	// process's threads (shared uncore/leakage energy is not divided).
+	coreEnergyJ float64
+}
+
+// CoreEnergy returns the core dynamic energy in joules attributed to the
+// process so far. It excludes the chip's shared components (PMD uncore,
+// L3, memory controllers, leakage), so the sum over processes is below
+// the machine meter's total.
+func (p *Process) CoreEnergy() float64 { return p.coreEnergyJ }
+
+// newProcess builds a process with the Amdahl work split of the paper's
+// parallel programs: thread 0 carries the serial fraction plus its share
+// of the parallel work; every other thread carries a parallel share.
+func newProcess(id int, b *workload.Benchmark, nThreads int, now float64) (*Process, error) {
+	if nThreads < 1 {
+		return nil, fmt.Errorf("sim: process needs at least one thread")
+	}
+	if !b.Parallel && nThreads != 1 {
+		return nil, fmt.Errorf("sim: %s is single-threaded; submit multiple copies instead of %d threads", b.Name, nThreads)
+	}
+	p := &Process{
+		ID:        id,
+		Bench:     b,
+		State:     Pending,
+		Submitted: now,
+		Started:   -1,
+		Completed: -1,
+	}
+	serial := b.SerialFrac
+	if nThreads == 1 {
+		serial = 0
+	}
+	parallelShare := b.Instructions * (1 - serial) / float64(nThreads)
+	for i := 0; i < nThreads; i++ {
+		work := parallelShare
+		if i == 0 {
+			work += b.Instructions * serial
+		}
+		p.Threads = append(p.Threads, &Thread{
+			Proc:       p,
+			Index:      i,
+			Core:       -1,
+			instrTotal: work,
+			lastCPI:    b.CPIBase,
+			lastL2Infl: 1,
+		})
+	}
+	return p, nil
+}
+
+// Cores returns the cores currently hosting the process's threads
+// (unplaced threads are skipped).
+func (p *Process) Cores() []chip.CoreID {
+	var out []chip.CoreID
+	for _, t := range p.Threads {
+		if t.Core >= 0 {
+			out = append(out, t.Core)
+		}
+	}
+	return out
+}
+
+// Runtime returns the wall-clock execution time, or -1 if not finished.
+func (p *Process) Runtime() float64 {
+	if p.Completed < 0 || p.Started < 0 {
+		return -1
+	}
+	return p.Completed - p.Started
+}
+
+// done reports whether all threads completed.
+func (p *Process) done() bool {
+	for _, t := range p.Threads {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}

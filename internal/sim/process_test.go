@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+	"avfs/internal/workload"
+)
+
+func TestAmdahlWorkSplit(t *testing.T) {
+	b := workload.MustByName("LU") // serial fraction 0.05
+	p, err := newProcess(0, b, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Threads) != 8 {
+		t.Fatalf("%d threads", len(p.Threads))
+	}
+	share := b.Instructions * (1 - b.SerialFrac) / 8
+	if got := p.Threads[1].instrTotal; math.Abs(got-share)/share > 1e-12 {
+		t.Errorf("worker thread work = %g, want %g", got, share)
+	}
+	want0 := share + b.Instructions*b.SerialFrac
+	if got := p.Threads[0].instrTotal; math.Abs(got-want0)/want0 > 1e-12 {
+		t.Errorf("thread 0 work = %g, want %g (serial + share)", got, want0)
+	}
+	// Total work is conserved.
+	var total float64
+	for _, th := range p.Threads {
+		total += th.instrTotal
+	}
+	if math.Abs(total-b.Instructions)/b.Instructions > 1e-12 {
+		t.Errorf("total work %g != %g", total, b.Instructions)
+	}
+}
+
+func TestSingleThreadNoSerialPenalty(t *testing.T) {
+	b := workload.MustByName("CG")
+	p, err := newProcess(0, b, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Threads[0].instrTotal; got != b.Instructions {
+		t.Errorf("single-thread work = %g, want full %g", got, b.Instructions)
+	}
+}
+
+func TestWorkSplitConservedProperty(t *testing.T) {
+	b := workload.MustByName("FT")
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw)%32
+		p, err := newProcess(0, b, n, 0)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, th := range p.Threads {
+			total += th.instrTotal
+		}
+		return math.Abs(total-b.Instructions)/b.Instructions < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreadProgress(t *testing.T) {
+	th := &Thread{instrTotal: 100}
+	if th.Progress() != 0 || th.Done() {
+		t.Error("fresh thread")
+	}
+	th.instrDone = 50
+	if th.Progress() != 0.5 {
+		t.Errorf("Progress = %v", th.Progress())
+	}
+	th.instrDone = 100
+	if !th.Done() || th.Progress() != 1 {
+		t.Error("complete thread")
+	}
+	empty := &Thread{}
+	if empty.Progress() != 1 {
+		t.Error("zero-work thread is trivially complete")
+	}
+}
+
+func TestProcessRuntimeUnfinished(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	if p.Runtime() != -1 {
+		t.Error("unstarted process runtime must be -1")
+	}
+	m.Place(p, []chip.CoreID{0})
+	m.RunFor(1)
+	if p.Runtime() != -1 {
+		t.Error("running process runtime must be -1")
+	}
+}
+
+func TestCoreEnergyAttribution(t *testing.T) {
+	// A CPU-intensive process burns more core energy than a memory-
+	// intensive one over the same interval (higher effective activity).
+	m := New(chip.XGene3Spec())
+	namd := m.MustSubmit(workload.MustByName("namd"), 1)
+	lbm := m.MustSubmit(workload.MustByName("lbm"), 1)
+	m.Place(namd, []chip.CoreID{0})
+	m.Place(lbm, []chip.CoreID{2})
+	m.RunFor(5)
+	if namd.CoreEnergy() <= 0 || lbm.CoreEnergy() <= 0 {
+		t.Fatal("attributed energies must be positive")
+	}
+	if namd.CoreEnergy() <= lbm.CoreEnergy() {
+		t.Errorf("namd core energy %.2fJ should exceed lbm's %.2fJ (stall activity floor)",
+			namd.CoreEnergy(), lbm.CoreEnergy())
+	}
+	// Attribution is a share of, never more than, the metered total.
+	if sum := namd.CoreEnergy() + lbm.CoreEnergy(); sum >= m.Meter.Energy() {
+		t.Errorf("attributed %.2fJ exceeds metered %.2fJ", sum, m.Meter.Energy())
+	}
+}
+
+func TestCoreEnergyScalesWithVoltage(t *testing.T) {
+	run := func(v chip.Millivolts) float64 {
+		m := New(chip.XGene3Spec())
+		m.Chip.SetVoltage(v)
+		p := m.MustSubmit(workload.MustByName("namd"), 1)
+		m.Place(p, []chip.CoreID{0})
+		m.RunFor(5)
+		return p.CoreEnergy()
+	}
+	hi, lo := run(870), run(780)
+	want := (780.0 / 870.0) * (780.0 / 870.0)
+	if got := lo / hi; math.Abs(got-want) > 0.01 {
+		t.Errorf("voltage scaling of attributed energy = %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestNewProcessRejectsBadShapes(t *testing.T) {
+	if _, err := newProcess(0, workload.MustByName("namd"), 2, 0); err == nil {
+		t.Error("multi-thread single-threaded program must error")
+	}
+	if _, err := newProcess(0, workload.MustByName("CG"), 0, 0); err == nil {
+		t.Error("zero threads must error")
+	}
+}

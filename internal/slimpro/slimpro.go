@@ -1,0 +1,158 @@
+// Package slimpro emulates the Scalable Lightweight Intelligent
+// Management processor (SLIMpro) that both X-Gene chips carry (Sec. II-A
+// of the paper): a dedicated controller that monitors system sensors,
+// configures system attributes (supply voltage among them), and is
+// reached from the running kernel through a mailbox-style command
+// interface.
+//
+// The paper's software stack changes the PCP voltage exclusively through
+// SLIMpro; this package provides that interface over a simulated machine,
+// including a simple first-order thermal model for the temperature
+// sensor (the one sensor class the simulator does not otherwise track).
+package slimpro
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+)
+
+// Sensor identifies one telemetry channel.
+type Sensor int
+
+const (
+	// SensorPCPPower is the PCP-domain power in watts.
+	SensorPCPPower Sensor = iota
+	// SensorPCPVoltage is the programmed supply voltage in millivolts.
+	SensorPCPVoltage
+	// SensorTemperature is the die temperature in degrees Celsius.
+	SensorTemperature
+	// SensorMemUtil is the L3/DRAM path utilization in percent.
+	SensorMemUtil
+)
+
+// String names the sensor.
+func (s Sensor) String() string {
+	switch s {
+	case SensorPCPPower:
+		return "pcp-power"
+	case SensorPCPVoltage:
+		return "pcp-voltage"
+	case SensorTemperature:
+		return "temperature"
+	case SensorMemUtil:
+		return "mem-util"
+	default:
+		return fmt.Sprintf("Sensor(%d)", int(s))
+	}
+}
+
+// Command is a mailbox opcode.
+type Command int
+
+const (
+	// CmdGetSensor reads a telemetry channel (arg: Sensor).
+	CmdGetSensor Command = iota
+	// CmdSetVoltage programs the PCP regulator (arg: millivolts).
+	CmdSetVoltage
+	// CmdGetVoltage reads the programmed voltage.
+	CmdGetVoltage
+	// CmdSetPMDFreq programs one PMD's clock (args: PMD, MHz).
+	CmdSetPMDFreq
+	// CmdGetPMDFreq reads one PMD's clock (arg: PMD).
+	CmdGetPMDFreq
+)
+
+// Thermal parameters of the first-order die model dT/dt = (P·R + Tamb - T)/tau.
+const (
+	ambientC       = 30.0
+	thermalResCpW  = 0.55 // °C per watt at steady state
+	thermalTauSec  = 12.0 // time constant
+	throttleAlertC = 95.0
+)
+
+// Controller is the management processor bound to one machine. Create it
+// with Attach so its thermal model integrates with simulation time.
+type Controller struct {
+	m     *sim.Machine
+	tempC float64
+}
+
+// Attach creates the controller and hooks its thermal integration into
+// the machine's tick loop.
+func Attach(m *sim.Machine) *Controller {
+	c := &Controller{m: m, tempC: ambientC}
+	m.OnTick(func(mm *sim.Machine) {
+		// Euler step of the first-order thermal model.
+		target := ambientC + mm.LastPower()*thermalResCpW
+		c.tempC += (target - c.tempC) * mm.Tick / thermalTauSec
+	})
+	return c
+}
+
+// ReadSensor returns the current value of a telemetry channel.
+func (c *Controller) ReadSensor(s Sensor) (float64, error) {
+	switch s {
+	case SensorPCPPower:
+		return c.m.LastPower(), nil
+	case SensorPCPVoltage:
+		return float64(c.m.Chip.Voltage()), nil
+	case SensorTemperature:
+		return c.tempC, nil
+	case SensorMemUtil:
+		return 100 * c.m.MemUtilization(), nil
+	}
+	return 0, fmt.Errorf("slimpro: unknown sensor %d", int(s))
+}
+
+// TemperatureC returns the die temperature of the thermal model.
+func (c *Controller) TemperatureC() float64 { return c.tempC }
+
+// OverTemperature reports whether the die exceeds the throttle alert
+// threshold (the simulator's workloads stay far below it; the sensor
+// exists for observability and sanity tests).
+func (c *Controller) OverTemperature() bool { return c.tempC > throttleAlertC }
+
+// Message is one mailbox request.
+type Message struct {
+	Cmd  Command
+	Arg0 int64
+	Arg1 int64
+}
+
+// Reply is the mailbox response.
+type Reply struct {
+	Value int64
+}
+
+// Mailbox executes one command message, the way the kernel driver talks
+// to the real controller.
+func (c *Controller) Mailbox(msg Message) (Reply, error) {
+	switch msg.Cmd {
+	case CmdGetSensor:
+		v, err := c.ReadSensor(Sensor(msg.Arg0))
+		if err != nil {
+			return Reply{}, err
+		}
+		// Telemetry is fixed-point: milliunits.
+		return Reply{Value: int64(v * 1000)}, nil
+	case CmdSetVoltage:
+		applied := c.m.Chip.SetVoltage(chip.Millivolts(msg.Arg0))
+		return Reply{Value: int64(applied)}, nil
+	case CmdGetVoltage:
+		return Reply{Value: int64(c.m.Chip.Voltage())}, nil
+	case CmdSetPMDFreq:
+		if !c.m.Spec.ValidPMD(chip.PMDID(msg.Arg0)) {
+			return Reply{}, fmt.Errorf("slimpro: invalid PMD %d", msg.Arg0)
+		}
+		applied := c.m.Chip.SetPMDFreq(chip.PMDID(msg.Arg0), chip.MHz(msg.Arg1))
+		return Reply{Value: int64(applied)}, nil
+	case CmdGetPMDFreq:
+		if !c.m.Spec.ValidPMD(chip.PMDID(msg.Arg0)) {
+			return Reply{}, fmt.Errorf("slimpro: invalid PMD %d", msg.Arg0)
+		}
+		return Reply{Value: int64(c.m.Chip.PMDFreq(chip.PMDID(msg.Arg0)))}, nil
+	}
+	return Reply{}, fmt.Errorf("slimpro: unknown command %d", int(msg.Cmd))
+}

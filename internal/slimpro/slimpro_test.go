@@ -1,0 +1,145 @@
+package slimpro
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+func busyMachine(t *testing.T) (*sim.Machine, *Controller) {
+	t.Helper()
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	for i := 0; i < 16; i++ {
+		p := m.MustSubmit(workload.MustByName("namd"), 1)
+		if err := m.Place(p, []chip.CoreID{chip.CoreID(2 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, c
+}
+
+func TestSensors(t *testing.T) {
+	m, c := busyMachine(t)
+	m.RunFor(1)
+	p, err := c.ReadSensor(SensorPCPPower)
+	if err != nil || p <= 0 {
+		t.Fatalf("power sensor: %v, %v", p, err)
+	}
+	if p != m.LastPower() {
+		t.Errorf("power sensor %v != machine %v", p, m.LastPower())
+	}
+	v, _ := c.ReadSensor(SensorPCPVoltage)
+	if v != 870 {
+		t.Errorf("voltage sensor %v, want nominal 870", v)
+	}
+	u, _ := c.ReadSensor(SensorMemUtil)
+	if u < 0 || u > 100 {
+		t.Errorf("mem-util sensor %v out of percent range", u)
+	}
+	if _, err := c.ReadSensor(Sensor(99)); err == nil {
+		t.Error("unknown sensor must error")
+	}
+}
+
+func TestThermalModelWarmsAndSettles(t *testing.T) {
+	m, c := busyMachine(t)
+	cold := c.TemperatureC()
+	if cold != ambientC {
+		t.Fatalf("initial temperature %v, want ambient", cold)
+	}
+	m.RunFor(5)
+	warm := c.TemperatureC()
+	if warm <= cold+1 {
+		t.Errorf("die did not warm under load: %.1f°C", warm)
+	}
+	m.RunFor(60) // several time constants: settle
+	settled := c.TemperatureC()
+	target := ambientC + m.LastPower()*thermalResCpW
+	if settled < target-2 || settled > target+2 {
+		t.Errorf("settled at %.1f°C, steady-state target %.1f°C", settled, target)
+	}
+	if c.OverTemperature() {
+		t.Errorf("%.1f°C flagged over-temperature; workloads must stay in envelope", settled)
+	}
+}
+
+func TestThermalCoolsWhenIdle(t *testing.T) {
+	m, c := busyMachine(t)
+	m.RunFor(30)
+	hot := c.TemperatureC()
+	if err := m.RunUntilIdle(3600); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(60)
+	cool := c.TemperatureC()
+	if cool >= hot {
+		t.Errorf("die did not cool after load: %.1f -> %.1f", hot, cool)
+	}
+}
+
+func TestMailboxVoltage(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	rep, err := c.Mailbox(Message{Cmd: CmdSetVoltage, Arg0: 815})
+	if err != nil || rep.Value != 815 {
+		t.Fatalf("SetVoltage: %v, %v", rep, err)
+	}
+	if m.Chip.Voltage() != 815 {
+		t.Error("mailbox write did not reach the regulator")
+	}
+	rep, _ = c.Mailbox(Message{Cmd: CmdGetVoltage})
+	if rep.Value != 815 {
+		t.Errorf("GetVoltage = %d", rep.Value)
+	}
+	// Out-of-envelope requests clamp like the real regulator.
+	rep, _ = c.Mailbox(Message{Cmd: CmdSetVoltage, Arg0: 5000})
+	if rep.Value != int64(m.Spec.NominalMV) {
+		t.Errorf("over-voltage applied %d, want clamp to nominal", rep.Value)
+	}
+}
+
+func TestMailboxFrequency(t *testing.T) {
+	m := sim.New(chip.XGene2Spec())
+	c := Attach(m)
+	rep, err := c.Mailbox(Message{Cmd: CmdSetPMDFreq, Arg0: 2, Arg1: 900})
+	if err != nil || rep.Value != 900 {
+		t.Fatalf("SetPMDFreq: %v, %v", rep, err)
+	}
+	rep, _ = c.Mailbox(Message{Cmd: CmdGetPMDFreq, Arg0: 2})
+	if rep.Value != 900 {
+		t.Errorf("GetPMDFreq = %d", rep.Value)
+	}
+	if _, err := c.Mailbox(Message{Cmd: CmdSetPMDFreq, Arg0: 99, Arg1: 900}); err == nil {
+		t.Error("invalid PMD must error")
+	}
+	if _, err := c.Mailbox(Message{Cmd: Command(99)}); err == nil {
+		t.Error("unknown command must error")
+	}
+}
+
+func TestMailboxSensorFixedPoint(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	m.RunFor(0.5)
+	rep, err := c.Mailbox(Message{Cmd: CmdGetSensor, Arg0: int64(SensorPCPVoltage)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value != 870_000 {
+		t.Errorf("voltage telemetry = %d milli-mV, want 870000", rep.Value)
+	}
+}
+
+func TestSensorStrings(t *testing.T) {
+	for s, want := range map[Sensor]string{
+		SensorPCPPower: "pcp-power", SensorPCPVoltage: "pcp-voltage",
+		SensorTemperature: "temperature", SensorMemUtil: "mem-util",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

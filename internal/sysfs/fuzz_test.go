@@ -1,0 +1,49 @@
+package sysfs
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+)
+
+// FuzzReadWrite feeds arbitrary paths and values through the virtual
+// sysfs: any outcome is acceptable except a panic, and a successful write
+// must leave the machine in a valid electrical state.
+func FuzzReadWrite(f *testing.F) {
+	seeds := []struct {
+		path, value string
+	}{
+		{"slimpro/pcp_voltage_mv", "815"},
+		{"cpu/cpufreq/policy0/scaling_setspeed", "1500000"},
+		{"cpu/cpufreq/policy15/scaling_cur_freq", ""},
+		{"cpu/cpufreq/scaling_governor", "userspace"},
+		{"pmu/cpu31/l3c_accesses", ""},
+		{"cpu/cpufreq/policy-1/scaling_setspeed", "x"},
+		{"cpu/cpufreq/policy99999999999999999999/scaling_setspeed", "1"},
+		{"pmu/cpu/cycles", ""},
+		{"", ""},
+		{"slimpro/pcp_voltage_mv", "-100000"},
+		{"slimpro/pcp_voltage_mv", "99999999999999999999"},
+	}
+	for _, s := range seeds {
+		f.Add(s.path, s.value)
+	}
+	m := sim.New(chip.XGene3Spec())
+	fs := New(m)
+	f.Fuzz(func(t *testing.T, path, value string) {
+		fs.Read(path)
+		fs.Write(path, value)
+		// Whatever happened, the machine must remain electrically valid.
+		v := m.Chip.Voltage()
+		if v < m.Spec.MinSafeMV || v > m.Spec.NominalMV {
+			t.Fatalf("voltage %v escaped the regulator envelope", v)
+		}
+		for p := 0; p < m.Spec.PMDs(); p++ {
+			fr := m.Chip.PMDFreq(chip.PMDID(p))
+			if fr < m.Spec.MinFreq || fr > m.Spec.MaxFreq {
+				t.Fatalf("PMD%d frequency %v escaped the envelope", p, fr)
+			}
+		}
+	})
+}

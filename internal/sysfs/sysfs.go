@@ -1,0 +1,206 @@
+// Package sysfs emulates the Linux sysfs interface the paper's software
+// stack uses on the real servers: cpufreq policy nodes (one per PMD, since
+// frequency is per core pair), the SLIMpro voltage node, and read-only PMU
+// counter nodes exported by the custom kernel module.
+//
+// The emulation is a string-keyed virtual file tree over a sim.Machine, so
+// tools written against it (cmd/avfsd exposes it on its CLI) would port to
+// the real sysfs with only a mount-prefix change.
+package sysfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"avfs/internal/chip"
+	"avfs/internal/perfmon"
+	"avfs/internal/sim"
+)
+
+// FS is the virtual sysfs tree bound to one machine.
+type FS struct {
+	m   *sim.Machine
+	pmu *perfmon.PMU
+	// governor is a free-form label knob (the kernel stores it; the
+	// governor logic itself lives in internal/sched).
+	governor string
+}
+
+// New mounts a virtual sysfs over a machine.
+func New(m *sim.Machine) *FS {
+	return &FS{m: m, pmu: &perfmon.PMU{M: m}, governor: "ondemand"}
+}
+
+// Paths of the tree:
+//
+//	cpu/cpufreq/policy<P>/scaling_cur_freq      (kHz, read)
+//	cpu/cpufreq/policy<P>/scaling_setspeed      (kHz, write)
+//	cpu/cpufreq/policy<P>/scaling_max_freq      (kHz, read)
+//	cpu/cpufreq/policy<P>/scaling_min_freq      (kHz, read)
+//	cpu/cpufreq/scaling_governor                (read/write)
+//	slimpro/pcp_voltage_mv                      (mV, read/write)
+//	slimpro/pcp_nominal_mv                      (mV, read)
+//	pmu/cpu<C>/cycles                           (read)
+//	pmu/cpu<C>/instructions                     (read)
+//	pmu/cpu<C>/l3c_accesses                     (read)
+const docOnly = 0
+
+// ErrNotFound reports a missing node.
+type ErrNotFound struct{ Path string }
+
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("sysfs: no such node %q", e.Path) }
+
+// ErrReadOnly reports a write to a read-only node.
+type ErrReadOnly struct{ Path string }
+
+func (e *ErrReadOnly) Error() string { return fmt.Sprintf("sysfs: node %q is read-only", e.Path) }
+
+// Read returns the contents of a node.
+func (fs *FS) Read(path string) (string, error) {
+	if p, rest, ok := cutPrefix(path, "cpu/cpufreq/policy"); ok {
+		_ = p
+		pmd, attr, err := fs.parsePolicy(rest)
+		if err != nil {
+			return "", err
+		}
+		switch attr {
+		case "scaling_cur_freq":
+			return strconv.Itoa(int(fs.m.Chip.PMDFreq(pmd)) * 1000), nil
+		case "scaling_max_freq":
+			return strconv.Itoa(int(fs.m.Spec.MaxFreq) * 1000), nil
+		case "scaling_min_freq":
+			return strconv.Itoa(int(fs.m.Spec.MinFreq) * 1000), nil
+		case "scaling_setspeed":
+			return strconv.Itoa(int(fs.m.Chip.PMDFreq(pmd)) * 1000), nil
+		}
+		return "", &ErrNotFound{path}
+	}
+	switch path {
+	case "cpu/cpufreq/scaling_governor":
+		return fs.governor, nil
+	case "slimpro/pcp_voltage_mv":
+		return strconv.Itoa(int(fs.m.Chip.Voltage())), nil
+	case "slimpro/pcp_nominal_mv":
+		return strconv.Itoa(int(fs.m.Spec.NominalMV)), nil
+	}
+	if _, rest, ok := cutPrefix(path, "pmu/cpu"); ok {
+		core, attr, err := fs.parseCPU(rest)
+		if err != nil {
+			return "", err
+		}
+		var ev perfmon.Event
+		switch attr {
+		case "cycles":
+			ev = perfmon.Cycles
+		case "instructions":
+			ev = perfmon.Instructions
+		case "l3c_accesses":
+			ev = perfmon.L3CAccesses
+		default:
+			return "", &ErrNotFound{path}
+		}
+		return strconv.FormatUint(fs.pmu.Read(core, ev), 10), nil
+	}
+	return "", &ErrNotFound{path}
+}
+
+// Write stores a value into a writable node.
+func (fs *FS) Write(path, value string) error {
+	value = strings.TrimSpace(value)
+	if _, rest, ok := cutPrefix(path, "cpu/cpufreq/policy"); ok {
+		pmd, attr, err := fs.parsePolicy(rest)
+		if err != nil {
+			return err
+		}
+		switch attr {
+		case "scaling_setspeed":
+			khz, err := strconv.Atoi(value)
+			if err != nil {
+				return fmt.Errorf("sysfs: %q: bad frequency %q: %v", path, value, err)
+			}
+			fs.m.Chip.SetPMDFreq(pmd, chip.MHz(khz/1000))
+			return nil
+		case "scaling_cur_freq", "scaling_max_freq", "scaling_min_freq":
+			return &ErrReadOnly{path}
+		}
+		return &ErrNotFound{path}
+	}
+	switch path {
+	case "cpu/cpufreq/scaling_governor":
+		fs.governor = value
+		return nil
+	case "slimpro/pcp_voltage_mv":
+		mv, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("sysfs: %q: bad voltage %q: %v", path, value, err)
+		}
+		fs.m.Chip.SetVoltage(chip.Millivolts(mv))
+		return nil
+	case "slimpro/pcp_nominal_mv":
+		return &ErrReadOnly{path}
+	}
+	if _, _, ok := cutPrefix(path, "pmu/cpu"); ok {
+		return &ErrReadOnly{path}
+	}
+	return &ErrNotFound{path}
+}
+
+// List returns every node path in the tree, sorted.
+func (fs *FS) List() []string {
+	var out []string
+	for p := 0; p < fs.m.Spec.PMDs(); p++ {
+		base := fmt.Sprintf("cpu/cpufreq/policy%d/", p)
+		out = append(out,
+			base+"scaling_cur_freq",
+			base+"scaling_setspeed",
+			base+"scaling_max_freq",
+			base+"scaling_min_freq",
+		)
+	}
+	out = append(out,
+		"cpu/cpufreq/scaling_governor",
+		"slimpro/pcp_voltage_mv",
+		"slimpro/pcp_nominal_mv",
+	)
+	for c := 0; c < fs.m.Spec.Cores; c++ {
+		base := fmt.Sprintf("pmu/cpu%d/", c)
+		out = append(out, base+"cycles", base+"instructions", base+"l3c_accesses")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (fs *FS) parsePolicy(rest string) (chip.PMDID, string, error) {
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return 0, "", &ErrNotFound{"cpu/cpufreq/policy" + rest}
+	}
+	n, err := strconv.Atoi(rest[:slash])
+	if err != nil || !fs.m.Spec.ValidPMD(chip.PMDID(n)) {
+		return 0, "", &ErrNotFound{"cpu/cpufreq/policy" + rest}
+	}
+	return chip.PMDID(n), rest[slash+1:], nil
+}
+
+func (fs *FS) parseCPU(rest string) (chip.CoreID, string, error) {
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return 0, "", &ErrNotFound{"pmu/cpu" + rest}
+	}
+	n, err := strconv.Atoi(rest[:slash])
+	if err != nil || !fs.m.Spec.ValidCore(chip.CoreID(n)) {
+		return 0, "", &ErrNotFound{"pmu/cpu" + rest}
+	}
+	return chip.CoreID(n), rest[slash+1:], nil
+}
+
+// cutPrefix is strings.CutPrefix with an extra bool-style shape kept local
+// to avoid a Go version dependency.
+func cutPrefix(s, prefix string) (string, string, bool) {
+	if strings.HasPrefix(s, prefix) {
+		return prefix, s[len(prefix):], true
+	}
+	return "", s, false
+}

@@ -1,0 +1,152 @@
+package sysfs
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+func newFS(t *testing.T) (*FS, *sim.Machine) {
+	t.Helper()
+	m := sim.New(chip.XGene3Spec())
+	return New(m), m
+}
+
+func TestReadFrequencyNodes(t *testing.T) {
+	fs, m := newFS(t)
+	m.Chip.SetPMDFreq(2, 1500)
+	got, err := fs.Read("cpu/cpufreq/policy2/scaling_cur_freq")
+	if err != nil || got != "1500000" {
+		t.Errorf("cur_freq = %q, %v; want 1500000 kHz", got, err)
+	}
+	max, _ := fs.Read("cpu/cpufreq/policy0/scaling_max_freq")
+	if max != "3000000" {
+		t.Errorf("max_freq = %q", max)
+	}
+	min, _ := fs.Read("cpu/cpufreq/policy0/scaling_min_freq")
+	if min != "375000" {
+		t.Errorf("min_freq = %q", min)
+	}
+}
+
+func TestWriteSetspeed(t *testing.T) {
+	fs, m := newFS(t)
+	if err := fs.Write("cpu/cpufreq/policy5/scaling_setspeed", "1500000"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chip.PMDFreq(5) != 1500 {
+		t.Errorf("PMD5 freq = %v after sysfs write", m.Chip.PMDFreq(5))
+	}
+	if err := fs.Write("cpu/cpufreq/policy5/scaling_setspeed", "garbage"); err == nil {
+		t.Error("bad frequency value must error")
+	}
+	if err := fs.Write("cpu/cpufreq/policy5/scaling_cur_freq", "1"); err == nil {
+		t.Error("cur_freq is read-only")
+	}
+}
+
+func TestVoltageNode(t *testing.T) {
+	fs, m := newFS(t)
+	if err := fs.Write("slimpro/pcp_voltage_mv", "815"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chip.Voltage() != 815 {
+		t.Errorf("voltage = %v after sysfs write", m.Chip.Voltage())
+	}
+	got, _ := fs.Read("slimpro/pcp_voltage_mv")
+	if got != "815" {
+		t.Errorf("read-back voltage = %q", got)
+	}
+	nom, _ := fs.Read("slimpro/pcp_nominal_mv")
+	if nom != "870" {
+		t.Errorf("nominal = %q", nom)
+	}
+	if err := fs.Write("slimpro/pcp_nominal_mv", "900"); err == nil {
+		t.Error("nominal is read-only")
+	}
+}
+
+func TestGovernorNode(t *testing.T) {
+	fs, _ := newFS(t)
+	got, _ := fs.Read("cpu/cpufreq/scaling_governor")
+	if got != "ondemand" {
+		t.Errorf("default governor = %q", got)
+	}
+	if err := fs.Write("cpu/cpufreq/scaling_governor", "userspace\n"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("cpu/cpufreq/scaling_governor")
+	if got != "userspace" {
+		t.Errorf("governor after write = %q (whitespace must be trimmed)", got)
+	}
+}
+
+func TestPMUNodes(t *testing.T) {
+	fs, m := newFS(t)
+	p := m.MustSubmit(workload.MustByName("CG"), 1)
+	m.Place(p, []chip.CoreID{7})
+	m.RunFor(0.1)
+	for _, node := range []string{"cycles", "instructions", "l3c_accesses"} {
+		v, err := fs.Read("pmu/cpu7/" + node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			t.Errorf("pmu/cpu7/%s = %q, want positive integer", node, v)
+		}
+	}
+	if err := fs.Write("pmu/cpu7/cycles", "0"); err == nil {
+		t.Error("PMU counters are read-only")
+	}
+}
+
+func TestNotFoundErrors(t *testing.T) {
+	fs, _ := newFS(t)
+	for _, path := range []string{
+		"nope",
+		"cpu/cpufreq/policy99/scaling_cur_freq",
+		"cpu/cpufreq/policy0/nope",
+		"cpu/cpufreq/policyX/scaling_cur_freq",
+		"pmu/cpu99/cycles",
+		"pmu/cpu0/nope",
+		"pmu/cpu0",
+	} {
+		if _, err := fs.Read(path); err == nil {
+			t.Errorf("Read(%q) should fail", path)
+		} else {
+			var nf *ErrNotFound
+			if !errors.As(err, &nf) {
+				t.Errorf("Read(%q) error type = %T", path, err)
+			}
+		}
+	}
+	if err := fs.Write("nope", "1"); err == nil {
+		t.Error("Write to unknown node should fail")
+	}
+}
+
+func TestListCoversEveryNode(t *testing.T) {
+	fs, _ := newFS(t)
+	paths := fs.List()
+	// 16 policies × 4 nodes + governor + 2 slimpro + 32 cores × 3.
+	want := 16*4 + 3 + 32*3
+	if len(paths) != want {
+		t.Fatalf("List returned %d nodes, want %d", len(paths), want)
+	}
+	for _, p := range paths {
+		if _, err := fs.Read(p); err != nil {
+			t.Errorf("listed node %q unreadable: %v", p, err)
+		}
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if (&ErrNotFound{"x"}).Error() == "" || (&ErrReadOnly{"y"}).Error() == "" {
+		t.Error("error strings must be non-empty")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	s.Add(1, 3)
+	s.Add(2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 5 {
+		t.Errorf("Max = %v", s.Max())
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(1, 10)
+	s.Add(3, 30)
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 10}, {2, 10}, {3, 30}, {99, 30},
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.t); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestNonMonotonicPanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("decreasing timestamp should panic")
+		}
+	}()
+	s.Add(4, 1)
+}
+
+func TestMovingAvg(t *testing.T) {
+	s := NewSeries("load")
+	for i := 0; i < 10; i++ {
+		v := 0.0
+		if i >= 5 {
+			v = 10
+		}
+		s.Add(float64(i), v)
+	}
+	avg := s.MovingAvg(3)
+	if avg.Len() != 10 {
+		t.Fatalf("moving average must keep the sample count, got %d", avg.Len())
+	}
+	pts := avg.Points()
+	// At t=5: window {3,4,5} → values {0,0,10} → 10/3.
+	if got := pts[5].V; math.Abs(got-10.0/3.0) > 1e-12 {
+		t.Errorf("avg at t=5 = %v, want 3.33", got)
+	}
+	// At t=9: window {7,8,9} → all 10.
+	if got := pts[9].V; got != 10 {
+		t.Errorf("avg at t=9 = %v, want 10", got)
+	}
+	// The moving average must smooth the step, never overshoot.
+	for i, p := range pts {
+		if p.V < 0 || p.V > 10 {
+			t.Errorf("avg[%d] = %v overshoots", i, p.V)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	s.Add(2.5, 2)
+	r := s.Resample(0, 4, 1)
+	if r.Len() != 5 {
+		t.Fatalf("resample length %d, want 5", r.Len())
+	}
+	want := []float64{1, 1, 1, 2, 2}
+	for i, p := range r.Points() {
+		if p.V != want[i] {
+			t.Errorf("resample[%d] = %v, want %v", i, p.V, want[i])
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(1.0)
+	v := 0.0
+	s := r.Track("gauge", func() float64 { return v })
+	for i := 0; i < 50; i++ {
+		now := float64(i) / 10 // exact tenths: no accumulation drift
+		v = now
+		r.Tick(now)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("recorder took %d samples over 5s at 1Hz, want 5", s.Len())
+	}
+	pts := s.Points()
+	if pts[0].T != 0 {
+		t.Errorf("first sample at %v, want 0", pts[0].T)
+	}
+	for i := 1; i < len(pts); i++ {
+		if dt := pts[i].T - pts[i-1].T; dt < 0.9 || dt > 1.2 {
+			t.Errorf("sample spacing %v", dt)
+		}
+	}
+}
+
+func TestRecorderMultipleGauges(t *testing.T) {
+	r := NewRecorder(0.5)
+	a := r.Track("a", func() float64 { return 1 })
+	b := r.Track("b", func() float64 { return 2 })
+	r.Tick(0)
+	r.Tick(0.5)
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Errorf("gauge sample counts %d/%d, want 2/2", a.Len(), b.Len())
+	}
+	if a.Points()[0].V != 1 || b.Points()[0].V != 2 {
+		t.Error("gauge values wrong")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Max() != 0 || s.At(1) != 0 {
+		t.Error("empty series must be all zeros")
+	}
+	if s.MovingAvg(10).Len() != 0 {
+		t.Error("moving average of empty series must be empty")
+	}
+}

@@ -1,0 +1,66 @@
+package vmin
+
+import (
+	"math"
+
+	"avfs/internal/chip"
+)
+
+// Device degradation (BTI/HCI transistor aging) is one of the dynamic
+// variation sources the paper's introduction lists behind the pessimistic
+// nominal guardband: the safe Vmin of a chip drifts upwards over its
+// lifetime, and a deployment that undervolts to a freshly characterized
+// envelope must re-characterize or budget an aging margin. This file
+// models that drift so deployments of the daemon can be studied over a
+// chip's life — an extension beyond the paper's (fresh-silicon)
+// measurements, following the standard power-law aging form
+//
+//	ΔVmin(t) = A · (t/t0)^n,  n ≈ 0.2
+//
+// used across the reliability literature the paper cites.
+
+// AgingModel parameterizes the Vmin drift of one chip over time.
+type AgingModel struct {
+	// DriftAtYearMV is the safe-Vmin increase after one year of stress
+	// at nominal conditions.
+	DriftAtYearMV float64
+	// Exponent is the power-law time exponent (BTI-like, ~0.2).
+	Exponent float64
+}
+
+// DefaultAging returns the calibrated drift model for a chip's technology:
+// planar 28 nm bulk ages faster than 16 nm FinFET at these voltages.
+func DefaultAging(spec *chip.Spec) AgingModel {
+	switch spec.Model {
+	case chip.XGene2:
+		return AgingModel{DriftAtYearMV: 12, Exponent: 0.2}
+	default:
+		return AgingModel{DriftAtYearMV: 8, Exponent: 0.2}
+	}
+}
+
+// DriftMV returns the safe-Vmin increase after `years` of operation,
+// rounded up to whole millivolts (the conservative direction).
+func (a AgingModel) DriftMV(years float64) chip.Millivolts {
+	if years <= 0 {
+		return 0
+	}
+	return chip.Millivolts(math.Ceil(a.DriftAtYearMV * math.Pow(years, a.Exponent)))
+}
+
+// GuardForAge returns the voltage guard a daemon deployment should add
+// above the (fresh-silicon) Table II envelope to stay safe after `years`
+// of operation: the drift plus one regulator step.
+func (a AgingModel) GuardForAge(spec *chip.Spec, years float64) chip.Millivolts {
+	return a.DriftMV(years) + spec.VoltageStep
+}
+
+// AgedSafeVmin returns the configuration's safe Vmin after `years` of
+// operation under the aging model.
+func AgedSafeVmin(c *Config, a AgingModel, years float64) chip.Millivolts {
+	v := SafeVmin(c) + a.DriftMV(years)
+	if v > c.Spec.NominalMV {
+		v = c.Spec.NominalMV
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package vmin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/workload"
+)
+
+func TestAgingDriftShape(t *testing.T) {
+	a := DefaultAging(chip.XGene2Spec())
+	if a.DriftMV(0) != 0 {
+		t.Error("fresh silicon has no drift")
+	}
+	if got := a.DriftMV(1); got != 12 {
+		t.Errorf("1-year drift = %v, want the calibrated 12mV", got)
+	}
+	// Power-law: sublinear growth.
+	if a.DriftMV(4) >= 4*a.DriftMV(1) {
+		t.Error("drift must be sublinear in time")
+	}
+	if a.DriftMV(4) <= a.DriftMV(1) {
+		t.Error("drift must still grow with time")
+	}
+}
+
+func TestAgingMonotoneProperty(t *testing.T) {
+	a := DefaultAging(chip.XGene3Spec())
+	f := func(y1, y2 uint8) bool {
+		t1, t2 := float64(y1%20), float64(y2%20)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return a.DriftMV(t1) <= a.DriftMV(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechnologyOrdering(t *testing.T) {
+	x2 := DefaultAging(chip.XGene2Spec())
+	x3 := DefaultAging(chip.XGene3Spec())
+	if x2.DriftMV(5) <= x3.DriftMV(5) {
+		t.Error("28nm bulk must age faster than 16nm FinFET in this model")
+	}
+}
+
+func TestGuardForAgeCoversDrift(t *testing.T) {
+	spec := chip.XGene3Spec()
+	a := DefaultAging(spec)
+	for _, years := range []float64{0, 1, 3, 7} {
+		guard := a.GuardForAge(spec, years)
+		if guard < a.DriftMV(years)+spec.VoltageStep {
+			t.Errorf("guard %v does not cover drift %v + step at %.0f years",
+				guard, a.DriftMV(years), years)
+		}
+	}
+}
+
+func TestAgedSafeVmin(t *testing.T) {
+	spec := chip.XGene3Spec()
+	cfg := &Config{
+		Spec:      spec,
+		FreqClass: clock.FullSpeed,
+		Cores:     cores(32),
+		Bench:     workload.MustByName("CG"),
+	}
+	fresh := SafeVmin(cfg)
+	a := DefaultAging(spec)
+	aged := AgedSafeVmin(cfg, a, 5)
+	if aged <= fresh {
+		t.Error("aged chip must need more voltage")
+	}
+	if aged > spec.NominalMV {
+		t.Error("aged Vmin must clamp at nominal")
+	}
+	// The envelope + GuardForAge must still cover the aged requirement
+	// (the invariant an aged deployment of the daemon relies on).
+	deployed := ClassEnvelope(spec, clock.FullSpeed, 16) + a.GuardForAge(spec, 5)
+	if deployed < aged {
+		t.Errorf("deployment voltage %v below aged requirement %v", deployed, aged)
+	}
+}
+
+func TestAgedDeploymentEatsSavings(t *testing.T) {
+	// The aging guard erodes but does not eliminate the undervolting
+	// headroom within a server's typical life.
+	spec := chip.XGene2Spec()
+	a := DefaultAging(spec)
+	env := ClassEnvelope(spec, clock.FullSpeed, spec.PMDs())
+	for _, years := range []float64{1, 3, 5, 10} {
+		deployed := env + a.GuardForAge(spec, years)
+		if deployed >= spec.NominalMV {
+			t.Errorf("at %.0f years the guardband is fully consumed (%v >= nominal)", years, deployed)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package vmin
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"avfs/internal/chip"
+)
+
+// Characterization parameters from Sec. III-A of the paper.
+const (
+	// SafeRuns is the number of consecutive successful executions
+	// required before a voltage level is declared safe.
+	SafeRuns = 1000
+	// SweepRuns is the number of executions per level used to estimate
+	// pfail in the unsafe region.
+	SweepRuns = 60
+	// StepMV is the characterization voltage step.
+	StepMV chip.Millivolts = 10
+)
+
+// LevelResult summarizes the runs performed at one voltage level.
+type LevelResult struct {
+	Voltage chip.Millivolts
+	Runs    int
+	Fails   int
+	// ByKind counts failures per fault type (SDC/timeout/hang/crash).
+	ByKind map[FaultKind]int
+}
+
+// PFail returns the observed failure fraction at the level.
+func (l LevelResult) PFail() float64 {
+	if l.Runs == 0 {
+		return 0
+	}
+	return float64(l.Fails) / float64(l.Runs)
+}
+
+// Characterization is the outcome of a full voltage sweep for one
+// configuration: the discovered safe Vmin plus the per-level statistics of
+// the unsafe region down to the complete-failure point.
+type Characterization struct {
+	Config   *Config
+	SafeVmin chip.Millivolts
+	// Levels are ordered from the first level below the safe point
+	// downwards; the last level has pfail == 1 (or hit the regulator
+	// floor).
+	Levels []LevelResult
+	// TotalRuns is the number of simulated executions spent.
+	TotalRuns int
+}
+
+// seedFor derives a stable RNG seed from the configuration identity so
+// characterizations are reproducible run to run.
+func seedFor(c *Config, salt int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Spec.Name))
+	h.Write([]byte{byte(c.FreqClass)})
+	for _, id := range c.Cores {
+		h.Write([]byte{byte(id), byte(id >> 8)})
+	}
+	if c.Bench != nil {
+		h.Write([]byte(c.Bench.Name))
+	}
+	return int64(h.Sum64()) ^ salt
+}
+
+// Characterizer runs voltage sweeps against the Vmin model, reproducing
+// the paper's methodology: walk down from nominal in StepMV steps, declare
+// the safe Vmin as the lowest level that passes SafeRuns consecutive runs,
+// then continue below it with SweepRuns runs per level until every run
+// fails.
+type Characterizer struct {
+	// Salt perturbs the derived seeds; zero is the canonical dataset.
+	Salt int64
+	// SafeTrials and UnsafeTrials override SafeRuns/SweepRuns when >0
+	// (used by tests and benchmarks to trade fidelity for speed).
+	SafeTrials   int
+	UnsafeTrials int
+}
+
+func (ch *Characterizer) safeTrials() int {
+	if ch.SafeTrials > 0 {
+		return ch.SafeTrials
+	}
+	return SafeRuns
+}
+
+func (ch *Characterizer) unsafeTrials() int {
+	if ch.UnsafeTrials > 0 {
+		return ch.UnsafeTrials
+	}
+	return SweepRuns
+}
+
+// runLevel executes n runs at voltage v and tallies the outcomes.
+// earlyStop aborts as soon as one failure is observed (the safe-point
+// search only needs to know whether the level is clean).
+func runLevel(c *Config, v chip.Millivolts, n int, rng *rand.Rand, earlyStop bool) LevelResult {
+	res := LevelResult{Voltage: v, ByKind: map[FaultKind]int{}}
+	for i := 0; i < n; i++ {
+		res.Runs++
+		out := RunOnce(c, v, rng)
+		if out.Fault != None {
+			res.Fails++
+			res.ByKind[out.Fault]++
+			if earlyStop {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// Characterize performs the full sweep for one configuration.
+func (ch *Characterizer) Characterize(c *Config) Characterization {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(c, ch.Salt)))
+	out := Characterization{Config: c}
+
+	// Phase 1: find the safe Vmin. Walk down from nominal; the safe
+	// point is the lowest level whose SafeRuns runs are all clean.
+	safe := c.Spec.NominalMV
+	for v := c.Spec.NominalMV; v >= c.Spec.MinSafeMV; v -= StepMV {
+		lvl := runLevel(c, v, ch.safeTrials(), rng, true)
+		out.TotalRuns += lvl.Runs
+		if lvl.Fails > 0 {
+			out.Levels = append(out.Levels, lvl)
+			break
+		}
+		safe = v
+	}
+	out.SafeVmin = safe
+
+	// Phase 2: sweep the unsafe region at SweepRuns per level until the
+	// system reaches complete failure (pfail == 1) or the regulator
+	// floor. The first unsafe level is re-measured at full resolution.
+	for v := safe - StepMV; v >= c.Spec.MinSafeMV; v -= StepMV {
+		lvl := runLevel(c, v, ch.unsafeTrials(), rng, false)
+		out.TotalRuns += lvl.Runs
+		// Replace the early-stopped probe of phase 1 if it covered
+		// the same level.
+		if len(out.Levels) > 0 && out.Levels[len(out.Levels)-1].Voltage == v {
+			out.Levels[len(out.Levels)-1] = lvl
+		} else {
+			out.Levels = append(out.Levels, lvl)
+		}
+		if lvl.Fails == lvl.Runs {
+			break
+		}
+	}
+	return out
+}
+
+// CumulativePFail returns the (voltage, pfail) points of the unsafe sweep
+// ordered from the safe point downwards, prepending the safe point itself
+// with pfail 0 — the data behind each line of Fig. 5.
+func (cz Characterization) CumulativePFail() []struct {
+	Voltage chip.Millivolts
+	PFail   float64
+} {
+	pts := make([]struct {
+		Voltage chip.Millivolts
+		PFail   float64
+	}, 0, len(cz.Levels)+1)
+	pts = append(pts, struct {
+		Voltage chip.Millivolts
+		PFail   float64
+	}{cz.SafeVmin, 0})
+	for _, l := range cz.Levels {
+		pts = append(pts, struct {
+			Voltage chip.Millivolts
+			PFail   float64
+		}{l.Voltage, l.PFail()})
+	}
+	return pts
+}
+
+// GuardbandMV returns the exposed voltage guardband of the configuration:
+// nominal voltage minus the discovered safe Vmin.
+func (cz Characterization) GuardbandMV() chip.Millivolts {
+	return cz.Config.Spec.NominalMV - cz.SafeVmin
+}

@@ -1,0 +1,140 @@
+package vmin
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/workload"
+)
+
+// fastCh trades the paper's 1000-run criterion for speed; with the
+// quadratic pfail window and 10 mV steps the discovered safe point is
+// identical in practice.
+var fastCh = &Characterizer{SafeTrials: 200, UnsafeTrials: 60}
+
+func TestCharacterizeFindsModelSafeVmin(t *testing.T) {
+	s := chip.XGene3Spec()
+	for _, b := range []string{"CG", "namd", "milc"} {
+		cfg := &Config{
+			Spec:      s,
+			FreqClass: clock.FullSpeed,
+			Cores:     cores(32),
+			Bench:     workload.MustByName(b),
+		}
+		cz := fastCh.Characterize(cfg)
+		truth := SafeVmin(cfg)
+		// The search walks a 10 mV grid from nominal, so it can only
+		// overshoot the true value by less than one step.
+		diff := cz.SafeVmin - truth
+		if diff < 0 || diff >= StepMV {
+			t.Errorf("%s: characterized %v vs model %v", b, cz.SafeVmin, truth)
+		}
+	}
+}
+
+func TestCharacterizationGuardband(t *testing.T) {
+	s := chip.XGene2Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.DividedLow, Cores: cores(8), Bench: workload.MustByName("EP")}
+	cz := fastCh.Characterize(cfg)
+	if cz.GuardbandMV() <= 0 {
+		t.Error("exposed guardband must be positive")
+	}
+	// 0.9 GHz exposes the deep-division guardband: well over 100 mV.
+	if cz.GuardbandMV() < 150 {
+		t.Errorf("divided-low guardband = %v, expected the paper's deep reduction", cz.GuardbandMV())
+	}
+}
+
+func TestUnsafeSweepMonotonePFail(t *testing.T) {
+	s := chip.XGene3Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.FullSpeed, Cores: cores(32), Bench: workload.MustByName("lbm")}
+	cz := fastCh.Characterize(cfg)
+	if len(cz.Levels) < 2 {
+		t.Fatalf("expected several unsafe levels, got %d", len(cz.Levels))
+	}
+	prev := -1.0
+	for _, l := range cz.Levels {
+		p := l.PFail()
+		// Sampling noise allows small inversions; demand the trend.
+		if p+0.25 < prev {
+			t.Errorf("pfail dropped sharply at %v: %.2f after %.2f", l.Voltage, p, prev)
+		}
+		if p > prev {
+			prev = p
+		}
+	}
+	last := cz.Levels[len(cz.Levels)-1]
+	if last.PFail() != 1 {
+		t.Errorf("sweep must end at complete failure, got %.2f", last.PFail())
+	}
+}
+
+func TestSweepRecordsFaultKinds(t *testing.T) {
+	s := chip.XGene3Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.FullSpeed, Cores: cores(32), Bench: workload.MustByName("mcf")}
+	cz := fastCh.Characterize(cfg)
+	kinds := map[FaultKind]int{}
+	for _, l := range cz.Levels {
+		for k, n := range l.ByKind {
+			kinds[k] += n
+		}
+	}
+	if len(kinds) < 3 {
+		t.Errorf("expected a diverse fault mix across the sweep, got %v", kinds)
+	}
+	if kinds[None] != 0 {
+		t.Error("ByKind must not contain clean runs")
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	s := chip.XGene2Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.HalfSpeed, Cores: cores(4), Bench: workload.MustByName("gcc")}
+	a := fastCh.Characterize(cfg)
+	b := fastCh.Characterize(cfg)
+	if a.SafeVmin != b.SafeVmin || a.TotalRuns != b.TotalRuns {
+		t.Error("characterization must be reproducible for the same config and salt")
+	}
+	// Across salts the result may differ by one grid step: a level a few
+	// millivolts below the true safe point has a sub-percent pfail and
+	// may pass one finite trial set but not another.
+	salted := &Characterizer{Salt: 99, SafeTrials: 200, UnsafeTrials: 60}
+	c := salted.Characterize(cfg)
+	if d := c.SafeVmin - a.SafeVmin; d < -StepMV || d > StepMV {
+		t.Errorf("safe Vmin across salts differs by more than a step: %v vs %v", c.SafeVmin, a.SafeVmin)
+	}
+}
+
+func TestCumulativePFailStartsAtSafePoint(t *testing.T) {
+	s := chip.XGene3Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.HalfSpeed, Cores: cores(8), Bench: workload.MustByName("FT")}
+	cz := fastCh.Characterize(cfg)
+	pts := cz.CumulativePFail()
+	if len(pts) == 0 || pts[0].Voltage != cz.SafeVmin || pts[0].PFail != 0 {
+		t.Fatalf("curve must start at (safeVmin, 0): %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Voltage >= pts[i-1].Voltage {
+			t.Error("curve voltages must strictly descend")
+		}
+	}
+}
+
+func TestLevelResultPFail(t *testing.T) {
+	l := LevelResult{Runs: 60, Fails: 15}
+	if l.PFail() != 0.25 {
+		t.Errorf("PFail = %v, want 0.25", l.PFail())
+	}
+	var empty LevelResult
+	if empty.PFail() != 0 {
+		t.Error("empty level PFail must be 0")
+	}
+}
+
+func TestDefaultTrialCounts(t *testing.T) {
+	var ch Characterizer
+	if ch.safeTrials() != SafeRuns || ch.unsafeTrials() != SweepRuns {
+		t.Errorf("defaults = %d/%d, want %d/%d", ch.safeTrials(), ch.unsafeTrials(), SafeRuns, SweepRuns)
+	}
+}

@@ -1,0 +1,93 @@
+package vmin_test
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+func cores(n int) []chip.CoreID {
+	out := make([]chip.CoreID, n)
+	for i := range out {
+		out[i] = chip.CoreID(i)
+	}
+	return out
+}
+
+// Table II's class envelopes: the voltage the daemon programs for each
+// (frequency class, utilized PMDs) configuration.
+func ExampleClassEnvelope() {
+	spec := chip.XGene3Spec()
+	fmt.Println("32T @ 3GHz:", vmin.ClassEnvelope(spec, clock.FullSpeed, 16))
+	fmt.Println("16T clustered @ 3GHz:", vmin.ClassEnvelope(spec, clock.FullSpeed, 8))
+	fmt.Println("32T @ 1.5GHz:", vmin.ClassEnvelope(spec, clock.HalfSpeed, 16))
+	// Output:
+	// 32T @ 3GHz: 830mV
+	// 16T clustered @ 3GHz: 810mV
+	// 32T @ 1.5GHz: 820mV
+}
+
+// A full characterization finds the safe Vmin and sweeps the unsafe
+// region, reproducing the paper's Sec. III methodology.
+func ExampleCharacterizer_Characterize() {
+	ch := &vmin.Characterizer{SafeTrials: 300, UnsafeTrials: 60}
+	cz := ch.Characterize(&vmin.Config{
+		Spec:      chip.XGene2Spec(),
+		FreqClass: clock.DividedLow, // the 0.9 GHz deep-division point
+		Cores:     cores(8),
+		Bench:     workload.MustByName("lbm"),
+	})
+	fmt.Println("safe Vmin:", cz.SafeVmin)
+	fmt.Println("guardband vs 980mV nominal:", cz.GuardbandMV())
+	// The model's exact safe point is 795 mV; the paper's 10 mV
+	// characterization grid lands on the level just above it.
+	// Output:
+	// safe Vmin: 800mV
+	// guardband vs 980mV nominal: 180mV
+}
+
+// Workload variation fades as thread count grows — the paper's key
+// characterization finding (Fig. 3 vs Fig. 4).
+func ExampleSafeVmin() {
+	spec := chip.XGene2Spec()
+	spread := func(n int) chip.Millivolts {
+		var lo, hi chip.Millivolts
+		for i, b := range workload.CharacterizationSet() {
+			v := vmin.SafeVmin(&vmin.Config{
+				Spec: spec, FreqClass: clock.FullSpeed, Cores: cores(n), Bench: b,
+			})
+			if i == 0 {
+				lo, hi = v, v
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi - lo
+	}
+	fmt.Printf("workload spread at 1 thread: %dmV\n", spread(1))
+	fmt.Printf("workload spread at 8 threads: %dmV\n", spread(8))
+	// Output:
+	// workload spread at 1 thread: 40mV
+	// workload spread at 8 threads: 5mV
+}
+
+// Aging raises the requirement over a chip's life; an age-aware guard
+// keeps an undervolted deployment safe.
+func ExampleAgingModel() {
+	spec := chip.XGene3Spec()
+	aging := vmin.DefaultAging(spec)
+	for _, years := range []float64{1, 5} {
+		fmt.Printf("after %g years: drift %v, deployment guard %v\n",
+			years, aging.DriftMV(years), aging.GuardForAge(spec, years))
+	}
+	// Output:
+	// after 1 years: drift 8mV, deployment guard 13mV
+	// after 5 years: drift 12mV, deployment guard 17mV
+}

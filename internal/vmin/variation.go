@@ -1,0 +1,64 @@
+package vmin
+
+import (
+	"math/rand"
+
+	"avfs/internal/chip"
+)
+
+// Chip-to-chip variation: every manufactured die has its own per-PMD
+// static offsets below the class envelope (the envelope itself is defined
+// across the population — a Table II deployment is safe on any die). The
+// paper characterizes one die of each design; this file samples additional
+// die instances so fleet-level studies (distribution of exploitable
+// guardband across a rack) can run — an extension in the direction of the
+// chip-to-chip variation results the paper cites ([3], [5]).
+
+// maxChipOffsetMV bounds how far below the envelope any PMD of any die
+// can sit (the most robust silicon observed).
+const maxChipOffsetMV chip.Millivolts = 30
+
+// SampleChipOffsets draws the per-PMD static offsets of one die, keyed by
+// seed (the same seed always yields the same die). Offsets follow a
+// truncated one-sided distribution: most PMDs sit a few millivolts below
+// the envelope, a few are much more robust, and at least one PMD per die
+// sits at (or within 2 mV of) the envelope — the weakest PMD is what the
+// envelope is calibrated against.
+func SampleChipOffsets(spec *chip.Spec, seed int64) []chip.Millivolts {
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.PMDs()
+	offs := make([]chip.Millivolts, n)
+	scale := 10.0
+	if spec.Model == chip.XGene2 {
+		scale = 14.0 // planar 28 nm varies more
+	}
+	for i := range offs {
+		// |N(0, scale)| truncated to the modelled range.
+		v := rng.NormFloat64() * scale
+		if v < 0 {
+			v = -v
+		}
+		if v > float64(maxChipOffsetMV) {
+			v = float64(maxChipOffsetMV)
+		}
+		offs[i] = -chip.Millivolts(v)
+	}
+	// Pin the weakest PMD near the envelope: the population envelope is
+	// set by dies like this one.
+	weak := rng.Intn(n)
+	offs[weak] = -chip.Millivolts(rng.Intn(3))
+	return offs
+}
+
+// FleetGuardbands characterizes the same configuration across `dies`
+// sampled chips and returns the per-die safe Vmin (model query, no
+// simulated runs). The spread is the fleet's chip-to-chip variation.
+func FleetGuardbands(base *Config, dies int, seed int64) []chip.Millivolts {
+	out := make([]chip.Millivolts, dies)
+	for i := 0; i < dies; i++ {
+		cfg := *base
+		cfg.PMDOffsets = SampleChipOffsets(base.Spec, seed+int64(i))
+		out[i] = SafeVmin(&cfg)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package vmin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/workload"
+)
+
+func TestSampleChipOffsetsShape(t *testing.T) {
+	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		offs := SampleChipOffsets(spec, 1)
+		if len(offs) != spec.PMDs() {
+			t.Fatalf("%s: %d offsets for %d PMDs", spec.Name, len(offs), spec.PMDs())
+		}
+		hasWeak := false
+		for i, o := range offs {
+			if o > 0 || o < -maxChipOffsetMV {
+				t.Errorf("%s PMD%d offset %v out of range", spec.Name, i, o)
+			}
+			if o >= -2 {
+				hasWeak = true
+			}
+		}
+		if !hasWeak {
+			t.Errorf("%s: no PMD near the envelope; the population envelope would be slack", spec.Name)
+		}
+	}
+}
+
+func TestSampleChipDeterministicBySeed(t *testing.T) {
+	spec := chip.XGene3Spec()
+	a := SampleChipOffsets(spec, 7)
+	b := SampleChipOffsets(spec, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must yield the same die")
+		}
+	}
+	c := SampleChipOffsets(spec, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should yield different dies")
+	}
+}
+
+func TestSampledDiesRespectEnvelope(t *testing.T) {
+	// Any sampled die's safe Vmin stays at or below the class envelope
+	// for every benchmark — the Table II deployment is fleet-safe.
+	spec := chip.XGene3Spec()
+	f := func(seedRaw uint8, benchRaw uint8) bool {
+		bs := workload.CharacterizationSet()
+		cfg := &Config{
+			Spec:       spec,
+			FreqClass:  clock.FullSpeed,
+			Cores:      cores(32),
+			Bench:      bs[int(benchRaw)%len(bs)],
+			PMDOffsets: SampleChipOffsets(spec, int64(seedRaw)),
+		}
+		return SafeVmin(cfg) <= ClassEnvelope(spec, clock.FullSpeed, 16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFleetGuardbands(t *testing.T) {
+	spec := chip.XGene2Spec()
+	base := &Config{
+		Spec:      spec,
+		FreqClass: clock.FullSpeed,
+		Cores:     []chip.CoreID{0}, // single-core: variation fully exposed
+		Bench:     workload.MustByName("milc"),
+	}
+	fleet := FleetGuardbands(base, 50, 1)
+	if len(fleet) != 50 {
+		t.Fatalf("%d dies", len(fleet))
+	}
+	min, max := fleet[0], fleet[0]
+	for _, v := range fleet {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Chip-to-chip spread must be visible (the paper's cited studies
+	// report tens of millivolts) but bounded by the model's range.
+	if max-min < 10 {
+		t.Errorf("fleet spread %dmV too small", max-min)
+	}
+	if max-min > maxChipOffsetMV+5 {
+		t.Errorf("fleet spread %dmV beyond the modelled range", max-min)
+	}
+	// No die exceeds the single-PMD envelope.
+	env := ClassEnvelope(spec, clock.FullSpeed, 1)
+	for _, v := range fleet {
+		if v > env {
+			t.Errorf("die Vmin %v above envelope %v", v, env)
+		}
+	}
+}
+
+func TestConfigValidatesSampledOffsets(t *testing.T) {
+	spec := chip.XGene3Spec()
+	bad := &Config{
+		Spec:       spec,
+		FreqClass:  clock.FullSpeed,
+		Cores:      cores(4),
+		PMDOffsets: []chip.Millivolts{0, 0}, // wrong length
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong offset count must be rejected")
+	}
+	bad2 := &Config{
+		Spec:       spec,
+		FreqClass:  clock.FullSpeed,
+		Cores:      cores(4),
+		PMDOffsets: make([]chip.Millivolts, spec.PMDs()),
+	}
+	bad2.PMDOffsets[3] = 5 // positive offset: above the envelope
+	if err := bad2.Validate(); err == nil {
+		t.Error("positive offsets must be rejected")
+	}
+}

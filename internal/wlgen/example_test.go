@@ -1,0 +1,24 @@
+package wlgen_test
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/wlgen"
+)
+
+// A generated workload is a reproducible arrival schedule drawn from the
+// paper's 35-program pool, respecting the core-count concurrency cap.
+func ExampleGenerate() {
+	wl := wlgen.Generate(chip.XGene3Spec(), wlgen.Config{Duration: 1800}, 42)
+	fmt.Println("duration:", wl.Duration, "seconds")
+	fmt.Println("cap:", wl.MaxCores, "cores")
+	fmt.Println("deterministic:", wlgen.Generate(chip.XGene3Spec(), wlgen.Config{Duration: 1800}, 42).TotalProcesses() == wl.TotalProcesses())
+	first := wl.Arrivals[0]
+	fmt.Printf("first arrival: %s (%d thread) at t=%.1fs\n", first.Bench.Name, first.Threads, first.At)
+	// Output:
+	// duration: 1800 seconds
+	// cap: 32 cores
+	// deterministic: true
+	// first arrival: lbm (1 thread) at t=0.8s
+}

@@ -1,0 +1,232 @@
+// Package wlgen implements the paper's "workload generator" (Sec. VI-B):
+// it builds a typical server workload of configurable duration by randomly
+// drawing programs from the 35-program pool (29 SPEC CPU2006 + 6 NPB) and
+// randomly scheduling their invocation times, producing heavy, average and
+// light load phases plus a few idle periods, while guaranteeing that the
+// number of active processes never exceeds the machine's core count.
+//
+// A generated workload is a plain arrival schedule, so the same sequence
+// can be replayed under different system configurations (Baseline, Safe
+// Vmin, Placement, Optimal) for a fair comparison.
+package wlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"avfs/internal/chip"
+	"avfs/internal/workload"
+)
+
+// Arrival is one scheduled program invocation.
+type Arrival struct {
+	// At is the invocation time in seconds from the workload start.
+	At float64
+	// Bench is the program to run.
+	Bench *workload.Benchmark
+	// Threads is the process's thread count (1 for SPEC programs).
+	Threads int
+}
+
+// Workload is a reproducible arrival schedule.
+type Workload struct {
+	// Seed regenerates the schedule.
+	Seed int64
+	// Duration is the span over which arrivals were generated; the
+	// tail processes may finish after it.
+	Duration float64
+	// MaxCores is the concurrency cap the schedule respects.
+	MaxCores int
+	// Arrivals are sorted by At.
+	Arrivals []Arrival
+}
+
+// PhaseKind labels the load phases of the generated timeline.
+type PhaseKind int
+
+const (
+	// Heavy pushes the machine toward full occupancy.
+	Heavy PhaseKind = iota
+	// Average targets about half occupancy.
+	Average
+	// Light targets low occupancy.
+	Light
+	// Idle submits nothing.
+	Idle
+)
+
+// String names the phase.
+func (k PhaseKind) String() string {
+	switch k {
+	case Heavy:
+		return "heavy"
+	case Average:
+		return "average"
+	case Light:
+		return "light"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// targetOccupancy returns the fraction of cores a phase aims to keep busy.
+func (k PhaseKind) targetOccupancy() float64 {
+	switch k {
+	case Heavy:
+		return 0.88
+	case Average:
+		return 0.50
+	case Light:
+		return 0.20
+	default:
+		return 0
+	}
+}
+
+// Config tunes the generator; the zero value is completed with defaults.
+type Config struct {
+	// Duration of the workload in seconds (default 3600 — the paper's
+	// 1-hour runs).
+	Duration float64
+	// MeanPhaseSeconds is the average load-phase length (default 300).
+	MeanPhaseSeconds float64
+	// MeanGapSeconds is the average inter-arrival gap inside a phase
+	// before occupancy control (default 6).
+	MeanGapSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 3600
+	}
+	if c.MeanPhaseSeconds <= 0 {
+		c.MeanPhaseSeconds = 300
+	}
+	if c.MeanGapSeconds <= 0 {
+		c.MeanGapSeconds = 6
+	}
+	return c
+}
+
+// phaseCycle is the repeating phase pattern; the RNG perturbs durations,
+// so different seeds produce different timelines while every seed still
+// contains heavy, average, light and idle periods (Fig. 15's shape).
+var phaseCycle = []PhaseKind{Average, Heavy, Light, Average, Heavy, Idle, Light, Average}
+
+// Generate builds the workload for a chip with the given seed.
+func Generate(spec *chip.Spec, cfg Config, seed int64) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	pool := workload.GeneratorPool()
+	w := &Workload{Seed: seed, Duration: cfg.Duration, MaxCores: spec.Cores}
+
+	// Expected occupancy bookkeeping: (endTime, threads) of every
+	// arrival already emitted, using nominal solo runtimes as the
+	// estimate. This is what lets the generator guarantee the
+	// ≤ MaxCores invariant by construction.
+	type lease struct {
+		end     float64
+		threads int
+	}
+	var leases []lease
+	busyAt := func(t float64) int {
+		n := 0
+		for _, l := range leases {
+			if l.end > t {
+				n += l.threads
+			}
+		}
+		return n
+	}
+
+	maxGHz := spec.MaxFreq.GHz()
+	phase := 0
+	phaseEnd := 0.0
+	var kind PhaseKind
+	for t := 0.0; t < cfg.Duration; {
+		if t >= phaseEnd {
+			kind = phaseCycle[phase%len(phaseCycle)]
+			phase++
+			// Durations vary ±50% around the mean; idle phases are
+			// shorter.
+			mean := cfg.MeanPhaseSeconds
+			if kind == Idle {
+				mean /= 3
+			}
+			phaseEnd = t + mean*(0.5+rng.Float64())
+		}
+		// Advance by an exponential inter-arrival gap.
+		gap := rng.ExpFloat64() * cfg.MeanGapSeconds
+		if gap < 0.5 {
+			gap = 0.5
+		}
+		t += gap
+		if t >= cfg.Duration {
+			break
+		}
+		if kind == Idle {
+			continue
+		}
+		target := int(kind.targetOccupancy() * float64(spec.Cores))
+		b := pool[rng.Intn(len(pool))]
+		threads := 1
+		if b.Parallel {
+			threads = parallelThreads(spec, rng)
+		}
+		busy := busyAt(t)
+		if busy+threads > target || busy+threads > spec.Cores {
+			continue // occupancy control: skip this draw
+		}
+		runtime := b.SoloRuntime(maxGHz)
+		if b.Parallel {
+			// Parallel work divides across threads (rough estimate
+			// is fine — it only steers expected occupancy).
+			runtime = runtime*b.SerialFrac + runtime*(1-b.SerialFrac)/float64(threads)
+		}
+		// Real runs are slower than the solo estimate (contention,
+		// reduced frequency); leave 25% headroom so the cap holds.
+		leases = append(leases, lease{end: t + runtime*1.25, threads: threads})
+		w.Arrivals = append(w.Arrivals, Arrival{At: t, Bench: b, Threads: threads})
+	}
+	sort.Slice(w.Arrivals, func(i, j int) bool { return w.Arrivals[i].At < w.Arrivals[j].At })
+	return w
+}
+
+// parallelThreads draws a thread count for a parallel program: 2 or 4 on
+// the 8-core X-Gene 2; 2, 4 or 8 on the 32-core X-Gene 3.
+func parallelThreads(spec *chip.Spec, rng *rand.Rand) int {
+	if spec.Cores >= 32 {
+		return []int{2, 4, 8}[rng.Intn(3)]
+	}
+	return []int{2, 4}[rng.Intn(2)]
+}
+
+// TotalProcesses returns the number of arrivals.
+func (w *Workload) TotalProcesses() int { return len(w.Arrivals) }
+
+// TotalThreads returns the summed thread demand.
+func (w *Workload) TotalThreads() int {
+	n := 0
+	for _, a := range w.Arrivals {
+		n += a.Threads
+	}
+	return n
+}
+
+// MemoryIntensiveShare returns the fraction of arrivals whose program is
+// memory-intensive per the catalog ground truth.
+func (w *Workload) MemoryIntensiveShare() float64 {
+	if len(w.Arrivals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range w.Arrivals {
+		if a.Bench.MemoryIntensive() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(w.Arrivals))
+}

@@ -1,0 +1,177 @@
+package wlgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avfs/internal/chip"
+	"avfs/internal/workload"
+)
+
+func TestDeterministicBySeed(t *testing.T) {
+	s := chip.XGene3Spec()
+	a := Generate(s, Config{Duration: 1200}, 7)
+	b := Generate(s, Config{Duration: 1200}, 7)
+	if len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a.Arrivals), len(b.Arrivals))
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+	c := Generate(s, Config{Duration: 1200}, 8)
+	if len(c.Arrivals) == len(a.Arrivals) {
+		same := true
+		for i := range c.Arrivals {
+			if c.Arrivals[i] != a.Arrivals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestArrivalsSortedAndInRange(t *testing.T) {
+	s := chip.XGene2Spec()
+	w := Generate(s, Config{Duration: 1800}, 3)
+	if len(w.Arrivals) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	prev := -1.0
+	for _, a := range w.Arrivals {
+		if a.At < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = a.At
+		if a.At < 0 || a.At >= w.Duration {
+			t.Errorf("arrival at %.1f outside [0,%g)", a.At, w.Duration)
+		}
+		if a.Threads < 1 || a.Threads > s.Cores {
+			t.Errorf("arrival thread count %d", a.Threads)
+		}
+		if !a.Bench.Parallel && a.Threads != 1 {
+			t.Errorf("%s: single-threaded program with %d threads", a.Bench.Name, a.Threads)
+		}
+	}
+}
+
+func TestPoolMembership(t *testing.T) {
+	// Only SPEC CPU2006 and NPB programs (Sec. VI-B's 35-program pool).
+	w := Generate(chip.XGene3Spec(), Config{Duration: 3600}, 1)
+	for _, a := range w.Arrivals {
+		if a.Bench.Suite == workload.PARSEC {
+			t.Fatalf("PARSEC program %s in the generator pool", a.Bench.Name)
+		}
+	}
+}
+
+// TestConcurrencyCapByConstruction replays the expected-occupancy
+// bookkeeping: at no instant may the scheduled thread demand (using the
+// generator's own runtime estimates) exceed the core count.
+func TestConcurrencyCapByConstruction(t *testing.T) {
+	for _, s := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
+		w := Generate(s, Config{Duration: 3600}, 42)
+		type lease struct {
+			start, end float64
+			threads    int
+		}
+		var leases []lease
+		maxGHz := s.MaxFreq.GHz()
+		for _, a := range w.Arrivals {
+			rt := a.Bench.SoloRuntime(maxGHz)
+			if a.Bench.Parallel {
+				rt = rt*a.Bench.SerialFrac + rt*(1-a.Bench.SerialFrac)/float64(a.Threads)
+			}
+			leases = append(leases, lease{a.At, a.At + rt*1.25, a.Threads})
+		}
+		for _, probe := range leases {
+			busy := 0
+			for _, l := range leases {
+				if l.start <= probe.start && l.end > probe.start {
+					busy += l.threads
+				}
+			}
+			if busy > s.Cores {
+				t.Fatalf("%s: %d threads scheduled at t=%.1f (cap %d)", s.Name, busy, probe.start, s.Cores)
+			}
+		}
+	}
+}
+
+func TestPhasesProduceIdleGaps(t *testing.T) {
+	w := Generate(chip.XGene3Spec(), Config{Duration: 3600}, 42)
+	// The phase cycle contains an idle phase: there must be at least one
+	// inter-arrival gap of 60+ seconds.
+	widest := 0.0
+	for i := 1; i < len(w.Arrivals); i++ {
+		if gap := w.Arrivals[i].At - w.Arrivals[i-1].At; gap > widest {
+			widest = gap
+		}
+	}
+	if widest < 60 {
+		t.Errorf("widest arrival gap %.1fs; expected an idle period", widest)
+	}
+}
+
+func TestWorkloadSummaries(t *testing.T) {
+	w := Generate(chip.XGene3Spec(), Config{Duration: 3600}, 5)
+	if w.TotalProcesses() != len(w.Arrivals) {
+		t.Error("TotalProcesses mismatch")
+	}
+	if w.TotalThreads() < w.TotalProcesses() {
+		t.Error("TotalThreads must be >= TotalProcesses")
+	}
+	share := w.MemoryIntensiveShare()
+	if share <= 0.2 || share >= 0.9 {
+		t.Errorf("memory-intensive share %.2f implausible for the mixed pool", share)
+	}
+	var empty Workload
+	if empty.MemoryIntensiveShare() != 0 {
+		t.Error("empty workload share must be 0")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	w := Generate(chip.XGene3Spec(), Config{}, 9)
+	if w.Duration != 3600 {
+		t.Errorf("default duration %.0f, want 3600 (the paper's 1-hour runs)", w.Duration)
+	}
+	if w.MaxCores != 32 {
+		t.Errorf("MaxCores = %d", w.MaxCores)
+	}
+}
+
+func TestCapPropertyAcrossSeeds(t *testing.T) {
+	s := chip.XGene2Spec()
+	f := func(seed int64) bool {
+		w := Generate(s, Config{Duration: 900}, seed)
+		for _, a := range w.Arrivals {
+			if a.Threads > s.Cores || a.Threads < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseKindStrings(t *testing.T) {
+	for k, want := range map[PhaseKind]string{
+		Heavy: "heavy", Average: "average", Light: "light", Idle: "idle",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Heavy.targetOccupancy() <= Average.targetOccupancy() ||
+		Average.targetOccupancy() <= Light.targetOccupancy() ||
+		Idle.targetOccupancy() != 0 {
+		t.Error("phase occupancy ordering")
+	}
+}

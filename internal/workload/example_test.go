@@ -1,0 +1,44 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"avfs/internal/workload"
+)
+
+// The catalog models each program by the observables the paper's analysis
+// depends on: L3C access rate and memory-stall share.
+func ExampleByName() {
+	cg, _ := workload.ByName("CG")
+	fmt.Printf("%s (%v): %.0f L3C/1Mcyc, memory-intensive: %v\n",
+		cg.Name, cg.Suite, cg.L3Per1MTarget, cg.MemoryIntensive())
+	ep, _ := workload.ByName("EP")
+	fmt.Printf("%s (%v): %.0f L3C/1Mcyc, memory-intensive: %v\n",
+		ep.Name, ep.Suite, ep.L3Per1MTarget, ep.MemoryIntensive())
+	// Output:
+	// CG (NPB): 12000 L3C/1Mcyc, memory-intensive: true
+	// EP (NPB): 150 L3C/1Mcyc, memory-intensive: false
+}
+
+// Memory stalls are wall-clock time, so memory-intensive runtimes barely
+// depend on the core clock — the mechanism behind the paper's Figs. 11/12.
+func ExampleBenchmark_SoloRuntime() {
+	for _, name := range []string{"EP", "CG"} {
+		b := workload.MustByName(name)
+		slowdown := b.SoloRuntime(1.5) / b.SoloRuntime(3.0)
+		fmt.Printf("%s at half clock: %.2fx slower\n", name, slowdown)
+	}
+	// Output:
+	// EP at half clock: 1.98x slower
+	// CG at half clock: 1.12x slower
+}
+
+// The study sets match the paper: 25 characterization programs and the
+// 35-program generator pool.
+func ExampleCharacterizationSet() {
+	fmt.Println("characterization set:", len(workload.CharacterizationSet()))
+	fmt.Println("generator pool:", len(workload.GeneratorPool()))
+	// Output:
+	// characterization set: 25
+	// generator pool: 35
+}

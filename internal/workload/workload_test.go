@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharacterizationSetShape(t *testing.T) {
+	set := CharacterizationSet()
+	if len(set) != 25 {
+		t.Fatalf("characterization set has %d programs, want 25", len(set))
+	}
+	counts := map[Suite]int{}
+	for _, b := range set {
+		counts[b.Suite]++
+	}
+	if counts[NPB] != 6 {
+		t.Errorf("%d NPB programs, want 6", counts[NPB])
+	}
+	if counts[PARSEC] != 6 {
+		t.Errorf("%d PARSEC programs, want 6", counts[PARSEC])
+	}
+	if counts[SPECInt]+counts[SPECFP] != 13 {
+		t.Errorf("%d SPEC programs, want 13", counts[SPECInt]+counts[SPECFP])
+	}
+}
+
+func TestGeneratorPoolShape(t *testing.T) {
+	pool := GeneratorPool()
+	if len(pool) != 35 {
+		t.Fatalf("generator pool has %d programs, want 35 (29 SPEC + 6 NPB)", len(pool))
+	}
+	spec, npb := 0, 0
+	for _, b := range pool {
+		switch b.Suite {
+		case SPECInt, SPECFP:
+			spec++
+			if b.Parallel {
+				t.Errorf("%s: SPEC programs are single-threaded", b.Name)
+			}
+		case NPB:
+			npb++
+			if !b.Parallel {
+				t.Errorf("%s: NPB programs are parallel", b.Name)
+			}
+		default:
+			t.Errorf("%s: PARSEC must not be in the generator pool", b.Name)
+		}
+	}
+	if spec != 29 || npb != 6 {
+		t.Errorf("pool split %d SPEC / %d NPB, want 29/6", spec, npb)
+	}
+}
+
+func TestSPECComponentCounts(t *testing.T) {
+	ints, fps := 0, 0
+	for _, b := range All() {
+		switch b.Suite {
+		case SPECInt:
+			ints++
+		case SPECFP:
+			fps++
+		}
+	}
+	if ints != 12 || fps != 17 {
+		t.Errorf("SPEC CPU2006 split %d INT / %d FP, want 12/17", ints, fps)
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("CG")
+	if err != nil || b.Name != "CG" {
+		t.Fatalf("ByName(CG) = %v, %v", b, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName on unknown name should panic")
+		}
+	}()
+	MustByName("nosuch")
+}
+
+func TestL3RateTargetReproduced(t *testing.T) {
+	// The derivation must reproduce the specified L3C rate exactly in an
+	// uncontended run at the reference clock.
+	for _, b := range All() {
+		got := b.L3RatePer1M(refGHz, 1, 1)
+		if math.Abs(got-b.L3Per1MTarget)/b.L3Per1MTarget > 1e-9 {
+			t.Errorf("%s: model L3 rate %.1f, target %.1f", b.Name, got, b.L3Per1MTarget)
+		}
+	}
+}
+
+func TestClassGroundTruth(t *testing.T) {
+	memory := map[string]bool{
+		"CG": true, "FT": true, "IS": true, "MG": true, "LU": true,
+		"canneal": true, "dedup": true,
+		"mcf": true, "milc": true, "libquantum": true, "lbm": true,
+	}
+	cpu := map[string]bool{
+		"EP": true, "namd": true, "swaptions": true, "blackscholes": true,
+		"povray": true, "hmmer": true, "sjeng": true, "gobmk": true,
+		"h264ref": true, "perlbench": true, "bzip2": true, "gcc": true,
+		"fluidanimate": true, "bodytrack": true,
+	}
+	for _, b := range CharacterizationSet() {
+		if memory[b.Name] && !b.MemoryIntensive() {
+			t.Errorf("%s must be memory-intensive (rate %.0f)", b.Name, b.L3Per1MTarget)
+		}
+		if cpu[b.Name] && b.MemoryIntensive() {
+			t.Errorf("%s must be CPU-intensive (rate %.0f)", b.Name, b.L3Per1MTarget)
+		}
+	}
+}
+
+func TestPaperExtremes(t *testing.T) {
+	// Fig. 8: namd and EP the most CPU-intensive; CG and FT the most
+	// memory-intensive.
+	all := SortByMemoryIntensity(CharacterizationSet())
+	first2 := map[string]bool{all[0].Name: true, all[1].Name: true}
+	if !first2["namd"] && !first2["EP"] {
+		t.Errorf("most CPU-intensive are %s/%s, expected namd/EP leading", all[0].Name, all[1].Name)
+	}
+	last3 := map[string]bool{
+		all[len(all)-1].Name: true, all[len(all)-2].Name: true, all[len(all)-3].Name: true,
+	}
+	if !last3["CG"] || !last3["lbm"] {
+		t.Errorf("most memory-intensive tail misses CG/lbm: %v", last3)
+	}
+}
+
+func TestCPIAtFrequencyScaling(t *testing.T) {
+	// Memory stalls cost fewer cycles at lower frequency: effective CPI
+	// must shrink as the clock slows.
+	b := MustByName("milc")
+	if !(b.CPIAt(1.5, 1, 1) < b.CPIAt(3.0, 1, 1)) {
+		t.Error("milc CPI must shrink at lower clock (stalls are wall-time)")
+	}
+	// ...while a pure-CPU code's CPI barely moves.
+	ep := MustByName("EP")
+	rel := (ep.CPIAt(3.0, 1, 1) - ep.CPIAt(1.5, 1, 1)) / ep.CPIAt(3.0, 1, 1)
+	if rel > 0.05 {
+		t.Errorf("EP CPI varies %.1f%% with clock, want ~0", 100*rel)
+	}
+}
+
+func TestMemFracRealized(t *testing.T) {
+	// The stall share of CPI at the reference clock must equal the
+	// specified memory fraction.
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{{"CG", 0.88}, {"milc", 0.84}, {"EP", 0.02}, {"namd", 0.03}, {"LU", 0.45}} {
+		b := MustByName(tc.name)
+		cpi := b.CPIAt(refGHz, 1, 1)
+		stall := (cpi - b.CPIBase) / cpi
+		if math.Abs(stall-tc.frac) > 1e-9 {
+			t.Errorf("%s: stall share %.3f, want %.3f", tc.name, stall, tc.frac)
+		}
+	}
+}
+
+func TestSoloRuntimeFrequencySensitivity(t *testing.T) {
+	// Fig. 11/12 mechanism: halving the clock roughly doubles a
+	// CPU-intensive runtime but barely moves a memory-intensive one.
+	ep := MustByName("EP")
+	ratioEP := ep.SoloRuntime(1.5) / ep.SoloRuntime(3.0)
+	if ratioEP < 1.9 {
+		t.Errorf("EP slowdown at half clock = %.2fx, want ~2x", ratioEP)
+	}
+	cg := MustByName("CG")
+	ratioCG := cg.SoloRuntime(1.5) / cg.SoloRuntime(3.0)
+	if ratioCG > 1.25 {
+		t.Errorf("CG slowdown at half clock = %.2fx, want <1.25x", ratioCG)
+	}
+}
+
+func TestVminOffsetsNonPositive(t *testing.T) {
+	// Offsets are margins below the class envelope.
+	for _, b := range All() {
+		if b.VminOffsetMV > 0 {
+			t.Errorf("%s: VminOffsetMV %d > 0", b.Name, b.VminOffsetMV)
+		}
+		if b.VminOffsetMV < -10 {
+			t.Errorf("%s: VminOffsetMV %d below the modelled -10mV floor", b.Name, b.VminOffsetMV)
+		}
+	}
+}
+
+func TestEnvelopeSetters(t *testing.T) {
+	// The droop-heavy memory-intensive programs define the envelope
+	// (offset 0).
+	for _, name := range []string{"CG", "milc", "lbm", "libquantum", "mcf"} {
+		if MustByName(name).VminOffsetMV != 0 {
+			t.Errorf("%s must sit at the class envelope", name)
+		}
+	}
+	if MustByName("namd").VminOffsetMV != -10 {
+		t.Error("namd must carry the largest margin (-10mV)")
+	}
+}
+
+func TestInstructionsPositiveAndRuntimesSane(t *testing.T) {
+	for _, b := range All() {
+		if b.Instructions <= 1e9 {
+			t.Errorf("%s: implausibly small instruction count %g", b.Name, b.Instructions)
+		}
+		rt := b.SoloRuntime(3.0)
+		if rt < 10 || rt > 200 {
+			t.Errorf("%s: solo runtime %.1fs out of the catalog's range", b.Name, rt)
+		}
+	}
+}
+
+func TestSortByMemoryIntensityDoesNotMutate(t *testing.T) {
+	set := CharacterizationSet()
+	first := set[0].Name
+	_ = SortByMemoryIntensity(set)
+	if set[0].Name != first {
+		t.Error("sorting must copy, not mutate")
+	}
+}
+
+func TestCPIAtInflationProperty(t *testing.T) {
+	bs := All()
+	f := func(bi uint8, l2Raw, contRaw uint8) bool {
+		b := bs[int(bi)%len(bs)]
+		l2 := 1 + float64(l2Raw%100)/100
+		cont := 1 + float64(contRaw%100)/10
+		base := b.CPIAt(3.0, 1, 1)
+		return b.CPIAt(3.0, l2, cont) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDroopRatesTrackMemoryIntensity(t *testing.T) {
+	// Droop event rates (used by Fig. 6) grow with memory intensity in
+	// the catalog.
+	if MustByName("lbm").DroopPer1M <= MustByName("namd").DroopPer1M {
+		t.Error("lbm must emit more droop events than namd")
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if NPB.String() != "NPB" || PARSEC.String() != "PARSEC" {
+		t.Error("suite names")
+	}
+	if SPECInt.String() == SPECFP.String() {
+		t.Error("SPEC components must render differently")
+	}
+}
