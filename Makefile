@@ -1,0 +1,31 @@
+# Convenience targets; `make check` is the full gate (vet + build +
+# race-enabled tests + the telemetry-overhead benchmark, which records
+# its JSON summary in BENCH_telemetry.json).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	AVFS_BENCH_OUT=$(CURDIR)/BENCH_telemetry.json \
+		$(GO) test ./internal/telemetry -run TestTelemetryOverheadBudget -count=1 -v
+
+clean:
+	$(GO) clean ./...

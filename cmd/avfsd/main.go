@@ -5,6 +5,9 @@
 //	submit <benchmark> <threads>   queue a program (e.g. "submit CG 8")
 //	run <seconds>                  advance simulated time
 //	status                         machine, daemon and energy state
+//	stats                          every telemetry metric, including histograms
+//	trace on|off                   toggle the decision trace stream
+//	dump <file>                    write a Prometheus text-format snapshot
 //	log [n]                        last n machine events (default 20)
 //	sysfs [path]                   read one sysfs node, or list all
 //	bench                          list available benchmark names
@@ -13,10 +16,15 @@
 // Usage:
 //
 //	avfsd [-chip xgene2|xgene3] [-mode optimal|placement|monitor]
+//	      [-telemetry <file>]
+//
+// With -telemetry, every daemon decision (classification, placement, and
+// each phase of the fail-safe voltage protocol) streams to the file as
+// JSONL — see docs/OBSERVABILITY.md for the schema.
 //
 // Example session:
 //
-//	$ avfsd -chip xgene3
+//	$ avfsd -chip xgene3 -telemetry trace.jsonl
 //	> submit CG 8
 //	> submit namd 1
 //	> run 30
@@ -28,20 +36,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"avfs/internal/chip"
 	"avfs/internal/daemon"
-	"avfs/internal/sim"
-	"avfs/internal/slimpro"
-	"avfs/internal/sysfs"
-	"avfs/internal/workload"
 )
 
 func main() {
 	chipFlag := flag.String("chip", "xgene3", "chip: xgene2 or xgene3")
 	mode := flag.String("mode", "optimal", "daemon mode: optimal, placement or monitor")
+	telPath := flag.String("telemetry", "", "stream the JSONL decision trace to this file")
 	flag.Parse()
 
 	var spec *chip.Spec
@@ -70,12 +73,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := sim.New(spec)
-	m.EnableEventLog()
-	mgmt := slimpro.Attach(m)
-	d := daemon.New(m, cfg)
-	d.Attach()
-	fs := sysfs.New(m)
+	s := newSession(spec, cfg, os.Stdout)
+	if *telPath != "" {
+		f, err := os.Create(*telPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		s.streamJSONL(f)
+	}
+	defer s.close()
 
 	fmt.Printf("avfsd: %s, %d cores (%d PMDs), nominal %v, daemon mode %s\n",
 		spec.Name, spec.Cores, spec.PMDs(), spec.NominalMV, *mode)
@@ -84,113 +92,10 @@ func main() {
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
-			break
-		}
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		switch fields[0] {
-		case "quit", "exit":
 			return
-		case "bench":
-			for _, b := range workload.All() {
-				cls := "cpu"
-				if b.MemoryIntensive() {
-					cls = "memory"
-				}
-				fmt.Printf("  %-14s %-18s %s-intensive\n", b.Name, b.Suite, cls)
-			}
-		case "submit":
-			if len(fields) != 3 {
-				fmt.Println("usage: submit <benchmark> <threads>")
-				continue
-			}
-			b, err := workload.ByName(fields[1])
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			n, err := strconv.Atoi(fields[2])
-			if err != nil {
-				fmt.Println("bad thread count:", fields[2])
-				continue
-			}
-			p, err := m.Submit(b, n)
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			fmt.Printf("submitted process %d (%s, %d threads)\n", p.ID, b.Name, n)
-		case "run":
-			if len(fields) != 2 {
-				fmt.Println("usage: run <seconds>")
-				continue
-			}
-			s, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil || s <= 0 {
-				fmt.Println("bad duration:", fields[1])
-				continue
-			}
-			m.RunFor(s)
-			fmt.Printf("t=%.1fs\n", m.Now())
-		case "status":
-			printStatus(m, d, mgmt)
-		case "log":
-			n := 20
-			if len(fields) == 2 {
-				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
-					n = v
-				}
-			}
-			events := m.Events()
-			if len(events) > n {
-				events = events[len(events)-n:]
-			}
-			for _, e := range events {
-				fmt.Println(" ", e)
-			}
-		case "sysfs":
-			if len(fields) == 2 {
-				v, err := fs.Read(fields[1])
-				if err != nil {
-					fmt.Println(err)
-					continue
-				}
-				fmt.Println(v)
-				continue
-			}
-			for _, p := range fs.List() {
-				v, _ := fs.Read(p)
-				fmt.Printf("  %-42s %s\n", p, v)
-			}
-		default:
-			fmt.Println("commands: submit, run, status, log, sysfs, bench, quit")
+		}
+		if s.exec(sc.Text()) {
+			return
 		}
 	}
-}
-
-func printStatus(m *sim.Machine, d *daemon.Daemon, mgmt *slimpro.Controller) {
-	fmt.Printf("t=%.1fs  V=%v  droop class %d  busy cores %d/%d (%d PMDs)  die %.1fC\n",
-		m.Now(), m.Chip.Voltage(), d.DroopClass(),
-		len(m.ActiveCores()), m.Spec.Cores, m.UtilizedPMDCount(), mgmt.TemperatureC())
-	for p := 0; p < m.Spec.PMDs(); p++ {
-		fmt.Printf("  PMD%-2d %v", p, m.Chip.PMDFreq(chip.PMDID(p)))
-		c0, c1 := m.Spec.CoresOf(chip.PMDID(p))
-		for _, c := range []chip.CoreID{c0, c1} {
-			if t := m.ThreadOn(c); t != nil {
-				fmt.Printf("  core%d:%s#%d(%.0f%%)", c, t.Proc.Bench.Name, t.Proc.ID, 100*t.Progress())
-			}
-		}
-		fmt.Println()
-	}
-	for _, p := range m.Running() {
-		fmt.Printf("  proc %d %-12s %v  cores %v\n", p.ID, p.Bench.Name, d.ClassOf(p), p.Cores())
-	}
-	for _, p := range m.Pending() {
-		fmt.Printf("  proc %d %-12s pending\n", p.ID, p.Bench.Name)
-	}
-	st := d.Stats()
-	fmt.Printf("  energy %.1fJ  avg %.2fW  polls %d  migrations %d  vchanges %d  emergencies %d\n",
-		m.Meter.Energy(), m.Meter.AveragePower(), st.Polls, st.Migrations, st.VoltageChanges, len(m.Emergencies()))
 }

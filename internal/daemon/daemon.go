@@ -31,12 +31,14 @@ package daemon
 
 import (
 	"fmt"
+	"strconv"
 
 	"avfs/internal/chip"
 	"avfs/internal/clock"
 	"avfs/internal/droop"
 	"avfs/internal/perfmon"
 	"avfs/internal/sim"
+	"avfs/internal/telemetry"
 	"avfs/internal/vmin"
 	"avfs/internal/workload"
 )
@@ -175,7 +177,82 @@ type Daemon struct {
 	cooldown int
 
 	stats Stats
+
+	// Telemetry (all nil/zero when uninstrumented — the hot path then
+	// pays only nil checks; the overhead benchmark in internal/telemetry
+	// keeps that claim honest).
+	tracer    *telemetry.Tracer
+	hLatency  *telemetry.Histogram
+	hMargin   *telemetry.Histogram
+	residency [][]*telemetry.FloatCounter // [pmd][clock.FreqClass]
+	reconfigs int64
 }
+
+// Metric names the daemon registers, shared with status/sysfs/tests.
+const (
+	MetricPolls           = "avfsd_polls_total"
+	MetricClassifications = "avfsd_classifications_total"
+	MetricClassFlips      = "avfsd_class_flips_total"
+	MetricPlacements      = "avfsd_placements_total"
+	MetricMigrations      = "avfsd_migrations_total"
+	MetricVoltageChanges  = "avfsd_voltage_changes_total"
+	MetricFreqChanges     = "avfsd_freq_changes_total"
+	MetricReconfigs       = "avfsd_reconfigurations_total"
+	MetricReconfigLatency = "avfsd_reconfig_latency_seconds"
+	MetricGuardMargin     = "avfsd_guard_margin_millivolts"
+	MetricResidency       = "avfsd_pmd_residency_seconds"
+)
+
+// Instrument wires the daemon into a telemetry registry and decision
+// tracer (either may be nil). The action counters are registered as
+// CounterFuncs over the same Stats the interactive status command prints,
+// so exported metrics and status can never disagree. Call before Attach.
+func (d *Daemon) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.tracer = tr
+	if reg == nil {
+		return
+	}
+	counters := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{MetricPolls, "Monitoring polls executed.", func() float64 { return float64(d.stats.Polls) }},
+		{MetricClassifications, "Measurement windows classified.", func() float64 { return float64(d.stats.Classifications) }},
+		{MetricClassFlips, "Classification changes (churn bounded by hysteresis).", func() float64 { return float64(d.stats.ClassFlips) }},
+		{MetricPlacements, "Pending processes admitted and placed.", func() float64 { return float64(d.stats.Placements) }},
+		{MetricMigrations, "Running processes migrated.", func() float64 { return float64(d.stats.Migrations) }},
+		{MetricVoltageChanges, "Regulator programmings.", func() float64 { return float64(d.stats.VoltageChanges) }},
+		{MetricFreqChanges, "PMD clock programmings.", func() float64 { return float64(d.stats.FreqChanges) }},
+		{MetricReconfigs, "Fail-safe transition sequences started.", func() float64 { return float64(d.reconfigs) }},
+	}
+	for _, c := range counters {
+		reg.CounterFunc(c.name, c.help, c.fn)
+	}
+	d.hLatency = reg.Histogram(MetricReconfigLatency,
+		"Simulated seconds from reconfiguration decision to voltage settle.",
+		[]float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2})
+	d.hMargin = reg.Histogram(MetricGuardMargin,
+		"Programmed voltage minus true safe Vmin, sampled at each poll.",
+		[]float64{0, 5, 10, 20, 40, 80, 160})
+	spec := d.M.Spec
+	d.residency = make([][]*telemetry.FloatCounter, spec.PMDs())
+	for p := range d.residency {
+		d.residency[p] = make([]*telemetry.FloatCounter, int(clock.DividedLow)+1)
+		for fc := range d.residency[p] {
+			d.residency[p][fc] = reg.FloatCounter(MetricResidency,
+				"Seconds each PMD spent programmed in each frequency class.",
+				telemetry.Label{Key: "pmd", Value: strconv.Itoa(p)},
+				telemetry.Label{Key: "class", Value: clock.FreqClass(fc).String()})
+		}
+	}
+}
+
+// Reconfigurations returns how many fail-safe transition sequences the
+// daemon has started.
+func (d *Daemon) Reconfigurations() int64 { return d.reconfigs }
+
+// traceActive reports whether decision tracing should emit.
+func (d *Daemon) traceActive() bool { return d.tracer != nil && d.tracer.Active() }
 
 // New creates a daemon for a machine. Call Attach to start it.
 func New(m *sim.Machine, cfg Config) *Daemon {
@@ -231,6 +308,14 @@ func (d *Daemon) Attach() {
 
 // tick is the daemon's per-simulation-step entry point.
 func (d *Daemon) tick() {
+	// Residency accounting runs every tick, before the early returns of
+	// the transition machinery.
+	if d.residency != nil {
+		for p := range d.residency {
+			fc := clock.ClassOf(d.M.Spec, d.M.Chip.PMDFreq(chip.PMDID(p)))
+			d.residency[p][fc].Add(d.M.Tick)
+		}
+	}
 	// An in-flight staged transition runs to completion before any new
 	// decision is taken (the controller is busy actuating).
 	if len(d.queue) > 0 {
@@ -269,6 +354,9 @@ func (d *Daemon) TransitionInFlight() bool { return len(d.queue) > 0 }
 // they are — the paper only migrates on arrival/completion).
 func (d *Daemon) poll() {
 	d.stats.Polls++
+	if d.hMargin != nil {
+		d.hMargin.Observe(float64(d.M.Chip.Voltage() - d.M.RequiredSafeVmin()))
+	}
 	flipped := false
 	for _, p := range d.M.Running() {
 		st := d.state(p)
@@ -284,10 +372,24 @@ func (d *Daemon) poll() {
 		meas := st.sample.Close()
 		rate := meas.L3CPer1M(len(cores))
 		d.stats.Classifications++
-		newClass := d.classify(st.class, rate)
+		newClass, rule := d.classify(st.class, rate)
+		if d.traceActive() {
+			d.tracer.Emit(telemetry.Decision{
+				At: d.M.Now(), Kind: telemetry.DecClassify, Rule: rule,
+				Proc: p.ID, Class: newClass.String(), L3CRate: rate,
+				UtilizedPMDs: d.M.UtilizedPMDCount(), DroopClass: int(d.DroopClass()),
+			})
+		}
 		if newClass != st.class {
 			if st.class != Unknown {
 				d.stats.ClassFlips++
+				if d.traceActive() {
+					d.tracer.Emit(telemetry.Decision{
+						At: d.M.Now(), Kind: telemetry.DecClassFlip, Rule: rule,
+						Proc: p.ID, Class: newClass.String(), L3CRate: rate,
+						Detail: fmt.Sprintf("%v -> %v", st.class, newClass),
+					})
+				}
 			}
 			st.class = newClass
 			flipped = true
@@ -300,21 +402,22 @@ func (d *Daemon) poll() {
 	}
 }
 
-// classify applies the threshold with hysteresis.
-func (d *Daemon) classify(cur Class, rate float64) Class {
+// classify applies the threshold with hysteresis, returning the new class
+// and the rule that fired (for the decision trace).
+func (d *Daemon) classify(cur Class, rate float64) (Class, string) {
 	hi := d.Cfg.L3CThreshold * (1 + d.Cfg.Hysteresis)
 	lo := d.Cfg.L3CThreshold * (1 - d.Cfg.Hysteresis)
 	switch cur {
 	case MemoryIntensive:
 		if rate < lo {
-			return CPUIntensive
+			return CPUIntensive, "l3c<threshold-hyst"
 		}
-		return MemoryIntensive
+		return MemoryIntensive, "hysteresis-hold"
 	default:
 		if rate >= hi {
-			return MemoryIntensive
+			return MemoryIntensive, "l3c>=threshold+hyst"
 		}
-		return CPUIntensive
+		return CPUIntensive, "l3c<threshold+hyst"
 	}
 }
 
@@ -448,6 +551,21 @@ func (d *Daemon) replace() {
 		return
 	}
 	pl := d.buildPlan()
+	if d.traceActive() {
+		utilized := 0
+		for _, u := range pl.utilized {
+			if u {
+				utilized++
+			}
+		}
+		d.tracer.Emit(telemetry.Decision{
+			At: d.M.Now(), Kind: telemetry.DecPlacement,
+			Rule: "cluster-cpu/spread-mem", Proc: -1,
+			UtilizedPMDs: utilized,
+			DroopClass:   int(droop.ClassOfPMDs(d.M.Spec, utilized)),
+			Detail:       fmt.Sprintf("%d processes planned", len(pl.assign)),
+		})
+	}
 	d.transition(pl)
 }
 
@@ -602,10 +720,38 @@ func (d *Daemon) buildPlan() *plan {
 // it for the protocol ablation.
 func (d *Daemon) transition(pl *plan) {
 	nominal := d.M.Spec.NominalMV
+	d.reconfigs++
+	var rid int64
+	if d.tracer != nil {
+		rid = d.tracer.NextReconfig()
+	}
+	started := d.M.Now()
 
 	if pl == nil {
 		if d.Cfg.AdaptVoltage {
-			d.setVoltage(d.currentRequired())
+			// Degenerate fail-safe sequence: the configuration does not
+			// change, so the current voltage is already the guard level.
+			req := d.currentRequired()
+			cur := d.M.Chip.Voltage()
+			safe := maxMV(cur, req)
+			if d.traceActive() {
+				d.tracer.Emit(telemetry.Decision{
+					At: d.M.Now(), Kind: telemetry.DecGuardRaise, Reconfig: rid,
+					Rule: "monitor-resettle", Proc: -1,
+					FromMV: int(cur), ToMV: int(safe), RequiredMV: int(req),
+				})
+			}
+			d.setVoltage(req)
+			if d.traceActive() {
+				d.tracer.Emit(telemetry.Decision{
+					At: d.M.Now(), Kind: telemetry.DecSettle, Reconfig: rid,
+					Rule: "monitor-resettle", Proc: -1,
+					FromMV: int(safe), ToMV: int(d.M.Chip.Voltage()), RequiredMV: int(req),
+				})
+			}
+			if d.hLatency != nil {
+				d.hLatency.Observe(d.M.Now() - started)
+			}
 		}
 		return
 	}
@@ -613,31 +759,53 @@ func (d *Daemon) transition(pl *plan) {
 	// Phase A: raise the voltage to a level safe for both the current
 	// and the target configuration before touching anything.
 	target := d.requiredMV(pl.pmdFreq, pl.utilized)
+	utilized := 0
+	for _, u := range pl.utilized {
+		if u {
+			utilized++
+		}
+	}
+	traceRaise := func(rule string, safe chip.Millivolts, from chip.Millivolts) {
+		if d.traceActive() {
+			d.tracer.Emit(telemetry.Decision{
+				At: d.M.Now(), Kind: telemetry.DecGuardRaise, Reconfig: rid,
+				Rule: rule, Proc: -1,
+				FromMV: int(from), ToMV: int(d.M.Chip.Voltage()),
+				RequiredMV: int(target), UtilizedPMDs: utilized,
+				DroopClass: int(droop.ClassOfPMDs(d.M.Spec, utilized)),
+				Detail:     fmt.Sprintf("guard level %v", safe),
+			})
+		}
+	}
 	var raise func()
 	if d.Cfg.AdaptVoltage {
 		safe := maxMV(d.currentRequired(), target)
 		raise = func() {
-			if safe > d.M.Chip.Voltage() {
+			from := d.M.Chip.Voltage()
+			if safe > from {
 				d.setVoltage(safe)
 			}
+			traceRaise("fail-safe-raise", safe, from)
 		}
 	} else {
 		target = nominal
 		raise = func() {
-			if d.M.Chip.Voltage() < nominal {
+			from := d.M.Chip.Voltage()
+			if from < nominal {
 				d.setVoltage(nominal)
 			}
+			traceRaise("nominal-hold", nominal, from)
 		}
 	}
 
 	// Phase B: migrations, placements (atomically via Reassign) and the
 	// per-PMD frequency program.
 	reconfigure := func() {
+		migrations := 0
 		if pl.assign != nil {
 			// Processes may have finished while the transition was
 			// staged; their planned cores are simply free by now.
 			assign := make(map[*sim.Process][]chip.CoreID, len(pl.assign))
-			migrations := 0
 			for p, cores := range pl.assign {
 				if p.State == sim.Finished {
 					continue
@@ -655,12 +823,34 @@ func (d *Daemon) transition(pl *plan) {
 		for p := range pl.pmdFreq {
 			d.setFreq(chip.PMDID(p), pl.pmdFreq[p])
 		}
+		if d.traceActive() {
+			d.tracer.Emit(telemetry.Decision{
+				At: d.M.Now(), Kind: telemetry.DecReconfigure, Reconfig: rid,
+				Rule: "apply-plan", Proc: -1,
+				UtilizedPMDs: utilized,
+				DroopClass:   int(droop.ClassOfPMDs(d.M.Spec, utilized)),
+				Detail:       fmt.Sprintf("migrations=%d", migrations),
+			})
+		}
 	}
 
 	// Phase C: settle the voltage down to the target's safe level.
 	settle := func() {
 		if d.Cfg.AdaptVoltage {
+			from := d.M.Chip.Voltage()
 			d.setVoltage(target)
+			if d.traceActive() {
+				d.tracer.Emit(telemetry.Decision{
+					At: d.M.Now(), Kind: telemetry.DecSettle, Reconfig: rid,
+					Rule: "settle-to-safe-vmin", Proc: -1,
+					FromMV: int(from), ToMV: int(d.M.Chip.Voltage()),
+					RequiredMV: int(target), UtilizedPMDs: utilized,
+					DroopClass: int(droop.ClassOfPMDs(d.M.Spec, utilized)),
+				})
+			}
+		}
+		if d.hLatency != nil {
+			d.hLatency.Observe(d.M.Now() - started)
 		}
 	}
 

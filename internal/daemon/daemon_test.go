@@ -223,19 +223,19 @@ func TestHysteresisPreventsThrash(t *testing.T) {
 	d := &Daemon{Cfg: DefaultConfig()}
 	// Start CPU-intensive; a rate just above the threshold but inside
 	// the hysteresis band must not flip.
-	if got := d.classify(CPUIntensive, 3100); got != CPUIntensive {
+	if got, _ := d.classify(CPUIntensive, 3100); got != CPUIntensive {
 		t.Errorf("rate 3100 flipped to %v inside the band", got)
 	}
-	if got := d.classify(CPUIntensive, 3400); got != MemoryIntensive {
+	if got, _ := d.classify(CPUIntensive, 3400); got != MemoryIntensive {
 		t.Errorf("rate 3400 stayed %v, want memory-intensive", got)
 	}
-	if got := d.classify(MemoryIntensive, 2900); got != MemoryIntensive {
+	if got, _ := d.classify(MemoryIntensive, 2900); got != MemoryIntensive {
 		t.Errorf("rate 2900 flipped to %v inside the band", got)
 	}
-	if got := d.classify(MemoryIntensive, 2500); got != CPUIntensive {
+	if got, _ := d.classify(MemoryIntensive, 2500); got != CPUIntensive {
 		t.Errorf("rate 2500 stayed %v, want cpu-intensive", got)
 	}
-	if got := d.classify(Unknown, 100); got != CPUIntensive {
+	if got, _ := d.classify(Unknown, 100); got != CPUIntensive {
 		t.Errorf("unknown at low rate = %v", got)
 	}
 }

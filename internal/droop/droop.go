@@ -23,6 +23,7 @@
 package droop
 
 import (
+	"fmt"
 	"math/rand"
 
 	"avfs/internal/chip"
@@ -33,6 +34,15 @@ import (
 // MagnitudeClass indexes the droop magnitude bins of Table II, from the
 // shallowest (0, 1–2 PMDs) to the deepest (3, 9–16 PMDs).
 type MagnitudeClass int
+
+// String renders the class with its Table II bin, e.g. "2 [45mV, 55mV)" —
+// the form the daemon's status line and decision traces print.
+func (c MagnitudeClass) String() string {
+	if c < 0 || c >= NumClasses {
+		return fmt.Sprintf("MagnitudeClass(%d)", int(c))
+	}
+	return fmt.Sprintf("%d %s", int(c), bins[c])
+}
 
 // NumClasses is the number of magnitude classes.
 const NumClasses = 4

@@ -208,3 +208,12 @@ func TestClassMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMagnitudeClassString(t *testing.T) {
+	if got := MagnitudeClass(2).String(); got != "2 [45mV, 55mV)" {
+		t.Errorf("MagnitudeClass(2).String() = %q", got)
+	}
+	if got := MagnitudeClass(9).String(); got != "MagnitudeClass(9)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package export
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avfs/internal/experiments"
+	"avfs/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden CSV files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Golden inputs are hand-built structs (not simulation
+// output) so the files pin the CSV format, not the model.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/export -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenSeries(t *testing.T) {
+	s := trace.NewSeries("power_w")
+	s.Add(0, 41.25)
+	s.Add(1, 38)
+	s.Add(2.5, 44.125)
+	var b bytes.Buffer
+	if err := Series(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series", b.Bytes())
+}
+
+func TestGoldenGrid(t *testing.T) {
+	g := experiments.GridResult{Cells: []experiments.GridCell{
+		{Bench: "CG", Threads: 8, Freq: 2400, AppliedMV: 880, EnergyJ: 1234.5, Runtime: 60.25, ED2P: 4.4805e6},
+		{Bench: "CG", Threads: 8, Freq: 300, AppliedMV: 795, EnergyJ: 980.125, Runtime: 155.5, ED2P: 2.3701e7},
+		{Bench: "EP", Threads: 1, Freq: 2400, AppliedMV: 850, EnergyJ: 400, Runtime: 30, ED2P: 360000},
+	}}
+	var b bytes.Buffer
+	if err := Grid(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid", b.Bytes())
+}
+
+func TestGoldenFig7(t *testing.T) {
+	r := experiments.Fig7Result{Entries: []experiments.Fig7Entry{
+		{Bench: "namd", ClusteredJ: 500.5, SpreadedJ: 520.25, DiffFrac: -0.03796, MemoryIntensive: false},
+		{Bench: "CG", ClusteredJ: 910, SpreadedJ: 870.375, DiffFrac: 0.04553, MemoryIntensive: true},
+	}}
+	var b bytes.Buffer
+	if err := Fig7(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7", b.Bytes())
+}
+
+func FuzzSanitize(f *testing.F) {
+	f.Add("Safe Vmin")
+	f.Add("Optimal")
+	f.Add("a-B c1!")
+	f.Add("ünïcode 🚀 label")
+	f.Fuzz(func(t *testing.T, in string) {
+		out := sanitize(in)
+		for _, r := range out {
+			ok := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_'
+			if !ok {
+				t.Errorf("sanitize(%q) = %q contains illegal rune %q", in, out, r)
+			}
+		}
+		if strings.ToLower(out) != out {
+			t.Errorf("sanitize(%q) = %q is not lowercase", in, out)
+		}
+	})
+}

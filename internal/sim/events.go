@@ -97,7 +97,27 @@ func (m *Machine) EnableEventLog() {
 		return
 	}
 	m.log = &eventLog{}
-	// Seed the V/F mirrors so only future changes are logged.
+	m.seedVFMirrors()
+}
+
+// Subscribe registers a callback invoked synchronously for every event
+// from now on, whether or not the bounded log is enabled — telemetry tails
+// the stream without copying (or being limited by) the log. Subscribing
+// turns event generation on.
+func (m *Machine) Subscribe(fn func(Event)) {
+	m.subs = append(m.subs, fn)
+	m.seedVFMirrors()
+}
+
+// eventsOn reports whether events are generated at all.
+func (m *Machine) eventsOn() bool { return m.log != nil || len(m.subs) > 0 }
+
+// seedVFMirrors initializes the V/F change mirrors (once) so only future
+// changes produce events.
+func (m *Machine) seedVFMirrors() {
+	if m.lastF != nil {
+		return
+	}
 	m.lastV = m.Chip.Voltage()
 	m.lastF = make([]chip.MHz, m.Spec.PMDs())
 	for p := range m.lastF {
@@ -121,12 +141,18 @@ func (m *Machine) EventsDropped() int {
 	return m.log.dropped
 }
 
-// logEvent appends to the log when enabled.
+// logEvent records an event when the log or any subscriber is active.
 func (m *Machine) logEvent(kind EventKind, proc int, format string, args ...any) {
-	if m.log == nil {
+	if !m.eventsOn() {
 		return
 	}
-	m.log.add(Event{At: m.now, Kind: kind, Proc: proc, Detail: fmt.Sprintf(format, args...)})
+	e := Event{At: m.now, Kind: kind, Proc: proc, Detail: fmt.Sprintf(format, args...)}
+	if m.log != nil {
+		m.log.add(e)
+	}
+	for _, fn := range m.subs {
+		fn(e)
+	}
 }
 
 // coresString renders a core list compactly.

@@ -105,6 +105,83 @@ func TestEventLogBounded(t *testing.T) {
 	}
 }
 
+func TestEventLogEvictionPreservesOrdering(t *testing.T) {
+	// The oldest-half eviction must keep the surviving events in their
+	// original append order with no gaps: after any number of additions the
+	// log is a contiguous, ordered suffix of everything ever added.
+	l := &eventLog{limit: 16}
+	for i := 0; i < 100; i++ {
+		l.add(Event{At: float64(i), Proc: i})
+		if len(l.events) == 0 {
+			t.Fatal("log empty after add")
+		}
+		for j := 1; j < len(l.events); j++ {
+			if l.events[j].Proc != l.events[j-1].Proc+1 {
+				t.Fatalf("after add %d: events not contiguous at %d: %v -> %v",
+					i, j, l.events[j-1].Proc, l.events[j].Proc)
+			}
+		}
+		if newest := l.events[len(l.events)-1].Proc; newest != i {
+			t.Fatalf("after add %d: newest event is %d", i, newest)
+		}
+		if oldest := l.events[0].Proc; oldest != i+1-len(l.events) {
+			t.Fatalf("after add %d: log of %d events starts at %d, want %d",
+				i, len(l.events), oldest, i+1-len(l.events))
+		}
+		if l.dropped+len(l.events) != i+1 {
+			t.Fatalf("after add %d: dropped %d + kept %d != added %d",
+				i, l.dropped, len(l.events), i+1)
+		}
+	}
+}
+
+func TestSubscribeReceivesEventsWithoutLog(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	var got []Event
+	m.Subscribe(func(e Event) { got = append(got, e) })
+	if m.Events() != nil {
+		t.Fatal("Subscribe must not enable the bounded log")
+	}
+	p := m.MustSubmit(workload.MustByName("IS"), 2)
+	m.Place(p, []chip.CoreID{0, 1})
+	m.Chip.SetVoltage(m.Chip.Voltage() - 10)
+	m.RunUntilIdle(3600)
+
+	kinds := map[EventKind]int{}
+	for _, e := range got {
+		kinds[e.Kind]++
+	}
+	for _, want := range []EventKind{EvSubmit, EvPlace, EvVoltage, EvFinish} {
+		if kinds[want] == 0 {
+			t.Errorf("subscriber saw no %v event", want)
+		}
+	}
+	if m.Events() != nil {
+		t.Error("bounded log silently enabled by event generation")
+	}
+}
+
+func TestSubscribeAlongsideLogSeesUnboundedStream(t *testing.T) {
+	m := New(chip.XGene3Spec())
+	m.EnableEventLog()
+	m.log.limit = 8 // tiny bound so the log evicts while the subscriber tails
+	n := 0
+	m.Subscribe(func(Event) { n++ })
+	p := m.MustSubmit(workload.MustByName("namd"), 1)
+	m.Place(p, []chip.CoreID{0})
+	for i := 0; i < 15; i++ { // V/F churn overflows the tiny log
+		m.Chip.SetVoltage(m.Spec.NominalMV - chip.Millivolts(i%2)*10)
+		m.RunFor(0.02)
+	}
+	total := m.EventsDropped() + len(m.Events())
+	if n != total {
+		t.Errorf("subscriber saw %d events, log accounts for %d", n, total)
+	}
+	if m.EventsDropped() == 0 {
+		t.Error("test did not exercise eviction; lower the limit")
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{At: 1.5, Kind: EvPlace, Proc: 3, Detail: "CG on [0 1]"}
 	s := e.String()

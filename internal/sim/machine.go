@@ -74,10 +74,16 @@ type Machine struct {
 
 	// log records structured events when enabled via EnableEventLog.
 	log *eventLog
+	// subs receive every event as it happens (see Subscribe).
+	subs []func(Event)
 	// lastV/lastF mirror the chip's programmed V/F so Step can log
 	// changes regardless of which component programmed them.
 	lastV chip.Millivolts
 	lastF []chip.MHz
+	// emChecks counts voltage-emergency evaluations (one per tick with
+	// any thread making progress) — the denominator behind the paper's
+	// "zero emergencies" claim.
+	emChecks int
 
 	// vminDrift raises the machine's true safe-Vmin requirement,
 	// modelling transistor aging (see vmin.AgingModel). Fresh silicon
@@ -354,6 +360,9 @@ func (m *Machine) Counters(c chip.CoreID) CoreCounters { return m.counters[c] }
 // Emergencies returns the recorded voltage-emergency instants.
 func (m *Machine) Emergencies() []Emergency { return m.emergencies }
 
+// EmergencyChecks returns how many times the voltage-emergency check ran.
+func (m *Machine) EmergencyChecks() int { return m.emChecks }
+
 // MemUtilization returns the memory-path utilization of the last tick.
 func (m *Machine) MemUtilization() float64 { return m.memRho }
 
@@ -530,6 +539,7 @@ func (m *Machine) Step() {
 
 	// --- Phase 4: voltage-emergency check and V/F change logging.
 	if len(updates) > 0 {
+		m.emChecks++
 		req := m.RequiredSafeVmin()
 		if m.Chip.Voltage() < req {
 			m.emergencies = append(m.emergencies, Emergency{
@@ -538,7 +548,7 @@ func (m *Machine) Step() {
 			m.logEvent(EvEmergency, -1, "V=%v < required %v", m.Chip.Voltage(), req)
 		}
 	}
-	if m.log != nil {
+	if m.eventsOn() {
 		if v := m.Chip.Voltage(); v != m.lastV {
 			m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
 			m.lastV = v

@@ -1,0 +1,55 @@
+package slimpro
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/telemetry"
+)
+
+func TestInstrumentRegistersSensors(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+
+	if v, ok := reg.Value(telemetry.MetricTemperatureC); !ok || v <= 0 {
+		t.Errorf("temperature gauge = %v (ok=%v), want ambient-or-above", v, ok)
+	}
+	if v, ok := reg.Value(MetricOverTemperature); !ok || v != 0 {
+		t.Errorf("over-temperature gauge = %v (ok=%v), want 0 at ambient", v, ok)
+	}
+	if v, ok := reg.Value(MetricMailboxCommands); !ok || v != 0 {
+		t.Errorf("mailbox counter = %v (ok=%v), want 0 before any command", v, ok)
+	}
+}
+
+func TestMailboxCounterTracksCommands(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+
+	if _, err := c.Mailbox(Message{Cmd: CmdGetVoltage}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mailbox(Message{Cmd: CmdGetSensor, Arg0: int64(SensorTemperature)}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors count too: the command was still executed.
+	if _, err := c.Mailbox(Message{Cmd: Command(99)}); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+	if v, _ := reg.Value(MetricMailboxCommands); v != 3 {
+		t.Errorf("mailbox counter = %v, want 3", v)
+	}
+}
+
+func TestMailboxWithoutInstrumentation(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	c := Attach(m)
+	if _, err := c.Mailbox(Message{Cmd: CmdGetVoltage}); err != nil {
+		t.Errorf("uninstrumented mailbox must still work: %v", err)
+	}
+}

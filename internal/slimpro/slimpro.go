@@ -16,6 +16,7 @@ import (
 
 	"avfs/internal/chip"
 	"avfs/internal/sim"
+	"avfs/internal/telemetry"
 )
 
 // Sensor identifies one telemetry channel.
@@ -75,8 +76,35 @@ const (
 // Controller is the management processor bound to one machine. Create it
 // with Attach so its thermal model integrates with simulation time.
 type Controller struct {
-	m     *sim.Machine
-	tempC float64
+	m        *sim.Machine
+	tempC    float64
+	mailboxN *telemetry.Counter
+}
+
+// Metric names the controller registers.
+const (
+	MetricMailboxCommands = "slimpro_mailbox_commands_total"
+	MetricOverTemperature = "slimpro_over_temperature"
+)
+
+// Instrument registers the controller's sensors with a telemetry
+// registry: the die temperature (the one channel the simulator does not
+// otherwise expose), the over-temperature alert, and a mailbox command
+// counter.
+func (c *Controller) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(telemetry.MetricTemperatureC, "Die temperature of the SLIMpro thermal model.",
+		c.TemperatureC)
+	reg.Gauge(MetricOverTemperature, "1 when the die exceeds the throttle alert threshold.",
+		func() float64 {
+			if c.OverTemperature() {
+				return 1
+			}
+			return 0
+		})
+	c.mailboxN = reg.Counter(MetricMailboxCommands, "Mailbox commands executed.")
 }
 
 // Attach creates the controller and hooks its thermal integration into
@@ -129,6 +157,9 @@ type Reply struct {
 // Mailbox executes one command message, the way the kernel driver talks
 // to the real controller.
 func (c *Controller) Mailbox(msg Message) (Reply, error) {
+	if c.mailboxN != nil {
+		c.mailboxN.Inc()
+	}
 	switch msg.Cmd {
 	case CmdGetSensor:
 		v, err := c.ReadSensor(Sensor(msg.Arg0))

@@ -17,6 +17,7 @@ import (
 	"avfs/internal/chip"
 	"avfs/internal/perfmon"
 	"avfs/internal/sim"
+	"avfs/internal/telemetry"
 )
 
 // FS is the virtual sysfs tree bound to one machine.
@@ -26,6 +27,9 @@ type FS struct {
 	// governor is a free-form label knob (the kernel stores it; the
 	// governor logic itself lives in internal/sched).
 	governor string
+	// tel, when attached, exposes registry metrics as read-only nodes
+	// under telemetry/.
+	tel *telemetry.Registry
 }
 
 // New mounts a virtual sysfs over a machine.
@@ -45,7 +49,43 @@ func New(m *sim.Machine) *FS {
 //	pmu/cpu<C>/cycles                           (read)
 //	pmu/cpu<C>/instructions                     (read)
 //	pmu/cpu<C>/l3c_accesses                     (read)
+//	telemetry/<metric>[/<label>=<value>...]     (read, when attached)
 const docOnly = 0
+
+// AttachTelemetry exposes every scalar metric (counters and gauges) of a
+// registry as read-only nodes under telemetry/. Label dimensions become
+// path segments, e.g. telemetry/avfs_pmd_frequency_mhz/pmd=3.
+func (fs *FS) AttachTelemetry(reg *telemetry.Registry) { fs.tel = reg }
+
+// metricNode renders the node path of one registry sample.
+func metricNode(s telemetry.Sample) string {
+	var b strings.Builder
+	b.WriteString("telemetry/")
+	b.WriteString(s.Name)
+	for _, l := range s.Labels {
+		b.WriteByte('/')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// readTelemetry resolves a telemetry/ path against the attached registry.
+func (fs *FS) readTelemetry(path string) (string, error) {
+	if fs.tel == nil {
+		return "", &ErrNotFound{path}
+	}
+	for _, s := range fs.tel.Gather() {
+		if s.Kind == telemetry.KindHistogram {
+			continue // distributions have no single scalar node
+		}
+		if metricNode(s) == path {
+			return strconv.FormatFloat(s.Value, 'g', -1, 64), nil
+		}
+	}
+	return "", &ErrNotFound{path}
+}
 
 // ErrNotFound reports a missing node.
 type ErrNotFound struct{ Path string }
@@ -103,6 +143,9 @@ func (fs *FS) Read(path string) (string, error) {
 		}
 		return strconv.FormatUint(fs.pmu.Read(core, ev), 10), nil
 	}
+	if strings.HasPrefix(path, "telemetry/") {
+		return fs.readTelemetry(path)
+	}
 	return "", &ErrNotFound{path}
 }
 
@@ -144,6 +187,15 @@ func (fs *FS) Write(path, value string) error {
 	if _, _, ok := cutPrefix(path, "pmu/cpu"); ok {
 		return &ErrReadOnly{path}
 	}
+	if strings.HasPrefix(path, "telemetry/") {
+		if fs.tel == nil {
+			return &ErrNotFound{path}
+		}
+		if _, err := fs.readTelemetry(path); err != nil {
+			return err
+		}
+		return &ErrReadOnly{path}
+	}
 	return &ErrNotFound{path}
 }
 
@@ -167,6 +219,14 @@ func (fs *FS) List() []string {
 	for c := 0; c < fs.m.Spec.Cores; c++ {
 		base := fmt.Sprintf("pmu/cpu%d/", c)
 		out = append(out, base+"cycles", base+"instructions", base+"l3c_accesses")
+	}
+	if fs.tel != nil {
+		for _, s := range fs.tel.Gather() {
+			if s.Kind == telemetry.KindHistogram {
+				continue
+			}
+			out = append(out, metricNode(s))
+		}
 	}
 	sort.Strings(out)
 	return out

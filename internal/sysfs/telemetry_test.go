@@ -1,0 +1,84 @@
+package sysfs
+
+import (
+	"strings"
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/telemetry"
+)
+
+func telemetryFS(t *testing.T) (*FS, *telemetry.Registry) {
+	t.Helper()
+	m := sim.New(chip.XGene3Spec())
+	fs := New(m)
+	reg := telemetry.NewRegistry()
+	telemetry.WireMachine(m, reg, nil)
+	fs.AttachTelemetry(reg)
+	return fs, reg
+}
+
+func TestTelemetryNodesReadable(t *testing.T) {
+	fs, reg := telemetryFS(t)
+	path := "telemetry/" + telemetry.MetricVoltageMV
+	got, err := fs.Read(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	want, _ := reg.Value(telemetry.MetricVoltageMV)
+	if got != "880" && got != "980" { // nominal of either chip generation
+		t.Logf("voltage node %q (registry %v)", got, want)
+	}
+	if got == "" {
+		t.Error("empty telemetry node")
+	}
+	// Labelled metrics become path segments.
+	labelled := "telemetry/" + telemetry.MetricPMDFreqMHz + "/pmd=0"
+	if v, err := fs.Read(labelled); err != nil || v == "" {
+		t.Errorf("read %s = %q, %v", labelled, v, err)
+	}
+}
+
+func TestTelemetryNodesReadOnly(t *testing.T) {
+	fs, _ := telemetryFS(t)
+	path := "telemetry/" + telemetry.MetricVoltageMV
+	err := fs.Write(path, "0")
+	if _, ok := err.(*ErrReadOnly); !ok {
+		t.Errorf("write to %s returned %v, want ErrReadOnly", path, err)
+	}
+	// A bogus telemetry path is not-found, not read-only.
+	if err := fs.Write("telemetry/no_such_metric", "0"); err == nil {
+		t.Error("write to nonexistent telemetry node must fail")
+	}
+}
+
+func TestTelemetryNodesListed(t *testing.T) {
+	fs, _ := telemetryFS(t)
+	var n int
+	for _, p := range fs.List() {
+		if !strings.HasPrefix(p, "telemetry/") {
+			continue
+		}
+		n++
+		if v, err := fs.Read(p); err != nil || v == "" {
+			t.Errorf("listed node %s unreadable: %q, %v", p, v, err)
+		}
+	}
+	if n == 0 {
+		t.Fatal("List exposes no telemetry nodes")
+	}
+}
+
+func TestTelemetryDetachedIsNotFound(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	fs := New(m)
+	if _, err := fs.Read("telemetry/" + telemetry.MetricVoltageMV); err == nil {
+		t.Error("telemetry read without an attached registry must fail")
+	}
+	for _, p := range fs.List() {
+		if strings.HasPrefix(p, "telemetry/") {
+			t.Errorf("detached FS lists telemetry node %s", p)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"avfs/internal/telemetry"
+)
+
+func testRegistry() *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	c := r.Counter("avfs_test_events_total", "number of test events", telemetry.Label{Key: "kind", Value: "submit"})
+	c.Add(3)
+	c2 := r.Counter("avfs_test_events_total", "number of test events", telemetry.Label{Key: "kind", Value: "finish"})
+	c2.Add(1)
+	r.Gauge("avfs_test_voltage_millivolts", "current rail voltage", func() float64 { return 915.5 })
+	h := r.Histogram("avfs_test_latency_seconds", "reconfiguration latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	fc := r.FloatCounter("avfs_test_residency_seconds", "time in class", telemetry.Label{Key: "class", Value: "max"})
+	fc.Add(12.5)
+	return r
+}
+
+func TestPrometheusExportParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Prometheus(&buf, testRegistry()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	ms, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("export does not parse:\n%s\nerror: %v", buf.String(), err)
+	}
+	if m, ok := Find(ms, "avfs_test_events_total", map[string]string{"kind": "submit"}); !ok || m.Value != 3 {
+		t.Errorf("events{kind=submit} = %+v (ok=%v), want 3", m, ok)
+	}
+	if m, ok := Find(ms, "avfs_test_voltage_millivolts", nil); !ok || m.Value != 915.5 {
+		t.Errorf("voltage = %+v (ok=%v), want 915.5", m, ok)
+	}
+	// Histogram expands to cumulative buckets plus _sum and _count.
+	if m, ok := Find(ms, "avfs_test_latency_seconds_bucket", map[string]string{"le": "0.1"}); !ok || m.Value != 2 {
+		t.Errorf("bucket le=0.1 = %+v (ok=%v), want cumulative 2", m, ok)
+	}
+	if m, ok := Find(ms, "avfs_test_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || m.Value != 3 {
+		t.Errorf("bucket le=+Inf = %+v (ok=%v), want 3", m, ok)
+	}
+	if m, ok := Find(ms, "avfs_test_latency_seconds_count", nil); !ok || m.Value != 3 {
+		t.Errorf("count = %+v (ok=%v), want 3", m, ok)
+	}
+	if m, ok := Find(ms, "avfs_test_latency_seconds_sum", nil); !ok || math.Abs(m.Value-5.055) > 1e-9 {
+		t.Errorf("sum = %+v (ok=%v), want 5.055", m, ok)
+	}
+}
+
+func TestPrometheusSingleTypeHeaderPerFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Prometheus(&buf, testRegistry()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE avfs_test_events_total "); n != 1 {
+		t.Errorf("TYPE header for labelled family appears %d times, want 1", n)
+	}
+	if !strings.Contains(buf.String(), "# HELP avfs_test_voltage_millivolts current rail voltage") {
+		t.Error("missing HELP line for gauge")
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_value_metric\n",
+		"bad-name 1\n",
+		`m{l="unterminated} 1` + "\n",
+		"# TYPE m counter\n# TYPE m gauge\nm 1\n",
+		"m not_a_number\n",
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", in)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := telemetry.NewTracer()
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Attach(tr)
+
+	want := []telemetry.Decision{
+		{At: 1.5, Kind: telemetry.DecClassify, Rule: "l3c>=threshold+hyst", Proc: 2,
+			Class: "memory", L3CRate: 4150, UtilizedPMDs: 3, DroopClass: 2},
+		{At: 1.5, Kind: telemetry.DecGuardRaise, Rule: "fail-safe-raise", Reconfig: 7,
+			Proc: -1, FromMV: 880, ToMV: 940, RequiredMV: 940},
+		{At: 1.6, Kind: telemetry.DecSettle, Rule: "settle-to-safe-vmin", Reconfig: 7,
+			Proc: -1, FromMV: 940, ToMV: 895, RequiredMV: 895, UtilizedPMDs: 3, DroopClass: 1},
+	}
+	for _, d := range want {
+		tr.Emit(d)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decision %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLLatchesWriteError(t *testing.T) {
+	sink := NewJSONL(failWriter{})
+	sink.Write(telemetry.Decision{Kind: telemetry.DecClassify})
+	sink.Flush()
+	if sink.Err() == nil {
+		t.Error("sink must latch the underlying write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errShort }
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func FuzzParsePrometheus(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Prometheus(&buf, testRegistry())
+	f.Add(buf.String())
+	f.Add("# HELP m h\n# TYPE m counter\nm 1\n")
+	f.Add(`m{a="b",c="d"} 2.5` + "\n")
+	f.Add("m{} NaN\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ms, err := ParsePrometheus(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-expose sane names.
+		for _, m := range ms {
+			if m.Name == "" {
+				t.Errorf("parsed metric with empty name from %q", in)
+			}
+		}
+	})
+}

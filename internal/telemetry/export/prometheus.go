@@ -1,0 +1,292 @@
+// Package export renders the telemetry registry and decision trace in
+// interchange formats: Prometheus text exposition for metrics, JSONL for
+// the decision trace. Both are io.Writer-based so tests and the CLI use
+// the same code paths a scrape endpoint would.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"avfs/internal/telemetry"
+)
+
+// Prometheus writes every registry metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per metric
+// family, histograms expanded into cumulative _bucket/_sum/_count series.
+func Prometheus(w io.Writer, reg *telemetry.Registry) error {
+	bw := bufio.NewWriter(w)
+	samples := reg.Gather()
+	// Group into families (same name), keeping the gathered name order.
+	headerDone := map[string]bool{}
+	for _, s := range samples {
+		if !headerDone[s.Name] {
+			headerDone[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		if s.Kind == telemetry.KindHistogram {
+			writeHistogram(bw, s)
+			continue
+		}
+		fmt.Fprintf(bw, "%s %s\n", s.Full, formatValue(s.Value))
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram sample into its series.
+func writeHistogram(w io.Writer, s telemetry.Sample) {
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		fmt.Fprintf(w, "%s %d\n",
+			telemetryName(s.Name+"_bucket", append(append([]telemetry.Label(nil), s.Labels...), telemetry.Label{Key: "le", Value: le})), cum)
+	}
+	fmt.Fprintf(w, "%s %s\n", telemetryName(s.Name+"_sum", s.Labels), formatValue(s.Sum))
+	fmt.Fprintf(w, "%s %d\n", telemetryName(s.Name+"_count", s.Labels), cum)
+}
+
+// telemetryName renders name{labels} for derived series.
+func telemetryName(name string, labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ParsedMetric is one sample line of a Prometheus text exposition.
+type ParsedMetric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParsePrometheus reads a text exposition back, validating the format:
+// metric and label names must be legal, values must parse, every sample's
+// family must have a preceding TYPE line, and TYPE lines must not repeat.
+// It is the format check the exporter tests run against, and a useful
+// assertion helper for anything scraping the output.
+func ParsePrometheus(r io.Reader) ([]ParsedMetric, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	typed := map[string]string{}
+	var out []ParsedMetric
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("line %d: malformed %s comment", line, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					name := fields[2]
+					if _, dup := typed[name]; dup {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+					}
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("line %d: TYPE %s missing kind", line, name)
+					}
+					typed[name] = fields[3]
+				}
+			}
+			continue
+		}
+		m, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if familyOf(m.Name, typed) == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", line, m.Name)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// familyOf resolves a sample name to its declared family, accounting for
+// the _bucket/_sum/_count suffixes of histograms.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if typed[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseSampleLine parses `name{k="v",...} value`.
+func parseSampleLine(text string) (ParsedMetric, error) {
+	m := ParsedMetric{Labels: map[string]string{}}
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		m.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return m, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parseLabels(rest[i+1:end], m.Labels); err != nil {
+			return m, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return m, fmt.Errorf("malformed sample %q", text)
+		}
+		m.Name, rest = fields[0], fields[1]
+	}
+	if !metricNameRe.MatchString(m.Name) {
+		return m, fmt.Errorf("illegal metric name %q", m.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return m, fmt.Errorf("bad value in %q: %v", text, err)
+	}
+	m.Value = v
+	return m, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(key) {
+			return fmt.Errorf("illegal label name %q", key)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", key)
+		}
+		val, rest, err := unquoteLabel(s)
+		if err != nil {
+			return err
+		}
+		dst[key] = val
+		s = strings.TrimSpace(rest)
+		if s != "" {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' in label set at %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return nil
+}
+
+// unquoteLabel consumes a leading quoted string, returning its value and
+// the remainder.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}
+
+// Find returns the first parsed metric matching name and (a subset of)
+// labels, for test assertions.
+func Find(ms []ParsedMetric, name string, labels map[string]string) (ParsedMetric, bool) {
+	for _, m := range ms {
+		if m.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m, true
+		}
+	}
+	return ParsedMetric{}, false
+}
+
+// Names returns the sorted distinct metric names of a parse result.
+func Names(ms []ParsedMetric) []string {
+	seen := map[string]bool{}
+	for _, m := range ms {
+		seen[m.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,129 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/sim"
+	"avfs/internal/telemetry"
+	"avfs/internal/workload"
+)
+
+func submit(t *testing.T, m *sim.Machine, bench string, threads int) *sim.Process {
+	t.Helper()
+	b, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatalf("workload %s: %v", bench, err)
+	}
+	p, err := m.Submit(b, threads)
+	if err != nil {
+		t.Fatalf("submit %s: %v", bench, err)
+	}
+	return p
+}
+
+func TestWireMachineGauges(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	reg := telemetry.NewRegistry()
+	telemetry.WireMachine(m, reg, nil)
+
+	p := submit(t, m, "CG", 8)
+	cores := make([]chip.CoreID, 8)
+	for i := range cores {
+		cores[i] = chip.CoreID(i)
+	}
+	if err := m.Place(p, cores); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	m.RunFor(5)
+
+	if v, ok := reg.Value(telemetry.MetricSimSeconds); !ok || v < 4.9 {
+		t.Errorf("sim seconds = %v (ok=%v), want ~5", v, ok)
+	}
+	if v, ok := reg.Value(telemetry.MetricBusyCores); !ok || v != 8 {
+		t.Errorf("busy cores = %v (ok=%v), want 8", v, ok)
+	}
+	if v, ok := reg.Value(telemetry.MetricUtilizedPMDs); !ok || v != 4 {
+		t.Errorf("utilized PMDs = %v (ok=%v), want 4", v, ok)
+	}
+	if v, ok := reg.Value(telemetry.MetricVoltageMV); !ok || v <= 0 {
+		t.Errorf("voltage = %v (ok=%v), want positive", v, ok)
+	}
+	if v, ok := reg.Value(telemetry.MetricEnergyJoules); !ok || v <= 0 {
+		t.Errorf("energy = %v (ok=%v), want positive", v, ok)
+	}
+	if v, ok := reg.Value(telemetry.MetricEmergChecks); !ok || v <= 0 {
+		t.Errorf("emergency checks = %v (ok=%v), want positive", v, ok)
+	}
+	// Per-PMD frequency gauges exist for the whole chip.
+	spec := chip.XGene3Spec()
+	for p := 0; p < spec.PMDs(); p++ {
+		full := telemetry.MetricPMDFreqMHz + `{pmd="` + itoa(p) + `"}`
+		if v, ok := reg.Value(full); !ok || v <= 0 {
+			t.Errorf("%s = %v (ok=%v), want positive", full, v, ok)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestWireMachineEventCountersAndTrace(t *testing.T) {
+	m := sim.New(chip.XGene3Spec())
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	var traced []telemetry.Decision
+	tr.Subscribe(func(d telemetry.Decision) { traced = append(traced, d) })
+	telemetry.WireMachine(m, reg, tr)
+
+	submit(t, m, "namd", 1)
+	m.RunFor(2)
+
+	full := telemetry.MetricMachineEvents + `{kind="` + sim.EvSubmit.String() + `"}`
+	if v, ok := reg.Value(full); !ok || v != 1 {
+		t.Errorf("submit event counter = %v (ok=%v), want 1", v, ok)
+	}
+	if len(traced) == 0 {
+		t.Fatal("tracer received no machine events")
+	}
+	for _, d := range traced {
+		if d.Kind != telemetry.DecMachineEvent {
+			t.Errorf("machine-bus decision kind %v, want machine-event", d.Kind)
+		}
+		if d.Rule == "" {
+			t.Error("machine event with empty rule (event kind)")
+		}
+	}
+}
+
+func TestWireMachineEnvelopeGauges(t *testing.T) {
+	m := sim.New(chip.XGene2Spec())
+	reg := telemetry.NewRegistry()
+	telemetry.WireMachine(m, reg, nil)
+	// XGene2 publishes the DividedLow rows of Table II too; every envelope
+	// gauge must be a plausible rail voltage.
+	n := 0
+	for _, s := range reg.Gather() {
+		if s.Name != telemetry.MetricVminEnvelope {
+			continue
+		}
+		n++
+		if s.Value < 700 || s.Value > 1100 {
+			t.Errorf("envelope %s = %v mV out of range", s.Full, s.Value)
+		}
+	}
+	if n != 12 { // 3 frequency classes x 4 droop classes
+		t.Errorf("XGene2 publishes %d envelope gauges, want 12", n)
+	}
+}

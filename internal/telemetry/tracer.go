@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DecisionKind classifies one entry of the decision trace.
+type DecisionKind int
+
+const (
+	// DecClassify: a measurement window closed and the process was
+	// (re)classified against the L3C threshold.
+	DecClassify DecisionKind = iota
+	// DecClassFlip: the classification changed (a subset of DecClassify
+	// outcomes, emitted as its own event so churn is directly countable).
+	DecClassFlip
+	// DecPlacement: the placement policy computed a new target plan.
+	DecPlacement
+	// DecGuardRaise: fail-safe phase A — the voltage was raised to a
+	// level safe for both the old and the new configuration.
+	DecGuardRaise
+	// DecReconfigure: fail-safe phase B — migrations and the per-PMD
+	// frequency program.
+	DecReconfigure
+	// DecSettle: fail-safe phase C — the voltage settled to the new
+	// configuration's safe level.
+	DecSettle
+	// DecMachineEvent: a simulator event (submit/place/migrate/finish/
+	// voltage/freq/emergency) forwarded onto the trace bus.
+	DecMachineEvent
+)
+
+// kindNames maps kinds to their wire names (JSONL "kind" field).
+var kindNames = [...]string{
+	DecClassify:     "classify",
+	DecClassFlip:    "class-flip",
+	DecPlacement:    "placement",
+	DecGuardRaise:   "guard-raise",
+	DecReconfigure:  "reconfigure",
+	DecSettle:       "settle",
+	DecMachineEvent: "machine-event",
+}
+
+// String names the kind.
+func (k DecisionKind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("DecisionKind(%d)", int(k))
+}
+
+// MarshalText renders the kind as its wire name.
+func (k DecisionKind) MarshalText() ([]byte, error) {
+	if k < 0 || int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("telemetry: unknown decision kind %d", int(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText parses a wire name back into a kind.
+func (k *DecisionKind) UnmarshalText(b []byte) error {
+	for i, n := range kindNames {
+		if n == string(b) {
+			*k = DecisionKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown decision kind %q", b)
+}
+
+// Decision is one typed entry of the decision trace: what the daemon (or
+// the machine) did, the inputs it saw, and the rule that fired. Zero-value
+// fields are omitted from the JSONL encoding except Proc, which uses -1
+// for "no process" because 0 is a valid process ID.
+type Decision struct {
+	// At is the simulation time in seconds.
+	At float64 `json:"t"`
+	// Kind is the event type.
+	Kind DecisionKind `json:"kind"`
+	// Rule names the policy rule that fired (e.g. "l3c>=threshold+hyst",
+	// "fail-safe-raise", "cluster-cpu/spread-mem").
+	Rule string `json:"rule,omitempty"`
+	// Reconfig links the guard-raise/reconfigure/settle phases of one
+	// reconfiguration (monotone sequence number; 0 = not a phase).
+	Reconfig int64 `json:"reconfig,omitempty"`
+	// Proc is the subject process ID, -1 when the decision is global.
+	Proc int `json:"proc"`
+	// Class is the (new) classification for classify/flip events.
+	Class string `json:"class,omitempty"`
+	// L3CRate is the measured L3C accesses per 1M cycles per core.
+	L3CRate float64 `json:"l3c_per_1m,omitempty"`
+	// UtilizedPMDs is the utilized-PMD count the decision saw.
+	UtilizedPMDs int `json:"utilized_pmds,omitempty"`
+	// DroopClass is the Table II droop magnitude class (0-3).
+	DroopClass int `json:"droop_class,omitempty"`
+	// FromMV/ToMV are the voltage move of guard-raise/settle phases.
+	FromMV int `json:"from_mv,omitempty"`
+	ToMV   int `json:"to_mv,omitempty"`
+	// RequiredMV is the Table II requirement (envelope + guard) of the
+	// target configuration — the chosen Vmin.
+	RequiredMV int `json:"required_mv,omitempty"`
+	// Detail is a free-form human-readable summary.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is the decision-trace bus: emitters publish Decisions, sinks
+// subscribe. When disabled — or with no subscriber — Active is two atomic
+// loads and emitters skip building the Decision entirely.
+type Tracer struct {
+	mu    sync.Mutex
+	subs  []func(Decision)
+	nsubs atomic.Int32
+	off   atomic.Bool // inverted so the zero value is "enabled"
+	seq   atomic.Int64
+}
+
+// NewTracer creates an enabled tracer with no subscribers.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Subscribe adds a sink invoked synchronously for every decision, in
+// subscription order.
+func (t *Tracer) Subscribe(fn func(Decision)) {
+	t.mu.Lock()
+	t.subs = append(t.subs, fn)
+	t.mu.Unlock()
+	t.nsubs.Add(1)
+}
+
+// SetEnabled turns tracing on or off (the avfsd "trace on|off" command).
+// Subscribers stay attached; while off, emitters skip event construction.
+func (t *Tracer) SetEnabled(on bool) { t.off.Store(!on) }
+
+// Enabled reports the switch state.
+func (t *Tracer) Enabled() bool { return !t.off.Load() }
+
+// Active reports whether an Emit would reach anyone — emitters check this
+// before assembling a Decision so disabled tracing costs two atomic loads.
+func (t *Tracer) Active() bool { return !t.off.Load() && t.nsubs.Load() > 0 }
+
+// NextReconfig allocates the sequence number linking the phases of one
+// reconfiguration. The first ID is 1; 0 means "not part of one".
+func (t *Tracer) NextReconfig() int64 { return t.seq.Add(1) }
+
+// Emit publishes one decision to every subscriber.
+func (t *Tracer) Emit(d Decision) {
+	if !t.Active() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, fn := range t.subs {
+		fn(d)
+	}
+}

@@ -57,9 +57,34 @@ func (s *Series) At(t float64) float64 {
 	return s.pts[lo-1].V
 }
 
-// Mean returns the time-weighted average over the full span (simple mean
-// of samples for uniformly sampled series).
+// Mean returns the genuinely time-weighted average over the series span:
+// each sample's value holds from its timestamp until the next sample
+// (the series is a step function, matching At), so irregularly spaced
+// samples are weighted by how long they were in effect. For uniformly
+// sampled series this equals SampleMean of all but the last point.
+// Series with zero span (empty, single-sample, or all samples at one
+// instant) fall back to SampleMean.
 func (s *Series) Mean() float64 {
+	n := len(s.pts)
+	if n == 0 {
+		return 0
+	}
+	span := s.pts[n-1].T - s.pts[0].T
+	if span <= 0 {
+		return s.SampleMean()
+	}
+	var sum float64
+	for i := 0; i < n-1; i++ {
+		sum += s.pts[i].V * (s.pts[i+1].T - s.pts[i].T)
+	}
+	return sum / span
+}
+
+// SampleMean returns the unweighted mean of the samples — the historical
+// Mean behaviour, still correct when every sample represents an equal
+// share of time (or when the caller wants sample statistics, not time
+// statistics).
+func (s *Series) SampleMean() float64 {
 	if len(s.pts) == 0 {
 		return 0
 	}

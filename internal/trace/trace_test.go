@@ -13,11 +13,46 @@ func TestSeriesBasics(t *testing.T) {
 	if s.Len() != 3 {
 		t.Fatalf("Len = %d", s.Len())
 	}
-	if s.Mean() != 3 {
+	// Time-weighted: 1 holds over [0,1), 3 over [1,2); the final sample
+	// has zero width.
+	if s.Mean() != 2 {
 		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.SampleMean() != 3 {
+		t.Errorf("SampleMean = %v", s.SampleMean())
 	}
 	if s.Max() != 5 {
 		t.Errorf("Max = %v", s.Max())
+	}
+}
+
+func TestMeanTimeWeighted(t *testing.T) {
+	// Non-uniform series: 10 holds for 9 seconds, 100 for 1 second.
+	s := NewSeries("x")
+	s.Add(0, 10)
+	s.Add(9, 100)
+	s.Add(10, 0)
+	want := (10*9 + 100*1) / 10.0
+	if got := s.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("time-weighted Mean = %v, want %v", got, want)
+	}
+	// The sample mean ignores the spacing entirely.
+	if got := s.SampleMean(); math.Abs(got-110.0/3) > 1e-12 {
+		t.Errorf("SampleMean = %v, want %v", got, 110.0/3)
+	}
+}
+
+func TestMeanDegenerateSpans(t *testing.T) {
+	single := NewSeries("one")
+	single.Add(5, 7)
+	if single.Mean() != 7 {
+		t.Errorf("single-sample Mean = %v, want 7", single.Mean())
+	}
+	instant := NewSeries("instant")
+	instant.Add(2, 4)
+	instant.Add(2, 8)
+	if instant.Mean() != 6 {
+		t.Errorf("zero-span Mean = %v, want SampleMean 6", instant.Mean())
 	}
 }
 

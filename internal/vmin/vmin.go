@@ -175,6 +175,15 @@ func ClassEnvelope(spec *chip.Spec, fc clock.FreqClass, utilizedPMDs int) chip.M
 	return t[droop.ClassOfPMDs(spec, utilizedPMDs)]
 }
 
+// GuardMargin returns the headroom in millivolts between a programmed
+// supply voltage and the Table II class envelope of a configuration — the
+// guard-band the telemetry layer tracks to show how close the daemon
+// operates to the envelope. Negative values mean the programmed voltage
+// is below the envelope (an emergency if the envelope is binding).
+func GuardMargin(spec *chip.Spec, fc clock.FreqClass, utilizedPMDs int, programmed chip.Millivolts) chip.Millivolts {
+	return programmed - ClassEnvelope(spec, fc, utilizedPMDs)
+}
+
 // staticOffset returns the silicon offset of the configuration: the least
 // robust (closest to zero) offset among the active cores, since the chip
 // fails at its weakest active core.

@@ -327,3 +327,17 @@ func TestSafeVminProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGuardMargin(t *testing.T) {
+	s := chip.XGene3Spec()
+	env := ClassEnvelope(s, clock.FullSpeed, 4)
+	if m := GuardMargin(s, clock.FullSpeed, 4, env+5); m != 5 {
+		t.Errorf("margin above envelope = %v, want 5", m)
+	}
+	if m := GuardMargin(s, clock.FullSpeed, 4, env); m != 0 {
+		t.Errorf("margin at envelope = %v, want 0", m)
+	}
+	if m := GuardMargin(s, clock.FullSpeed, 4, env-10); m != -10 {
+		t.Errorf("margin below envelope = %v, want -10 (an emergency)", m)
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full repository check: vet, build, race-enabled tests, and the
+# telemetry-overhead benchmark. The benchmark's JSON summary is written to
+# BENCH_telemetry.json at the repository root (see docs/OBSERVABILITY.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> telemetry overhead benchmark"
+AVFS_BENCH_OUT="$(pwd)/BENCH_telemetry.json" \
+	go test ./internal/telemetry -run TestTelemetryOverheadBudget -count=1 -v
+
+echo "==> BENCH_telemetry.json"
+cat BENCH_telemetry.json
+
+echo "OK"
