@@ -1,6 +1,7 @@
 # Convenience targets; `make check` is the full gate (vet + build +
-# race-enabled tests + the telemetry-overhead benchmark, which records
-# its JSON summary in BENCH_telemetry.json).
+# race-enabled tests + the telemetry-overhead benchmark + the
+# experiment-runner speedup benchmark, which record their JSON summaries
+# in BENCH_telemetry.json and BENCH_experiments.json).
 
 GO ?= go
 
@@ -26,6 +27,8 @@ check:
 bench:
 	AVFS_BENCH_OUT=$(CURDIR)/BENCH_telemetry.json \
 		$(GO) test ./internal/telemetry -run TestTelemetryOverheadBudget -count=1 -v
+	AVFS_BENCH_EXPERIMENTS_OUT=$(CURDIR)/BENCH_experiments.json \
+		$(GO) test ./internal/experiments -run TestFigure3ParallelBudget -count=1 -v
 
 clean:
 	$(GO) clean ./...

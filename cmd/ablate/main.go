@@ -10,13 +10,18 @@
 //
 //	ablate [-study threshold|guard|poll|hysteresis|memfreq|relaxed|
 //	        protocol|aging|migration|capping|all]
-//	       [-chip xgene2|xgene3] [-duration 900] [-seed 42]
+//	       [-chip xgene2|xgene3] [-duration 900] [-seed 42] [-j N]
+//
+// -j sets the worker-pool width used to run a sweep's variants in
+// parallel; results are identical for any width.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
@@ -27,6 +32,7 @@ func main() {
 	chipFlag := flag.String("chip", "xgene3", "chip: xgene2 or xgene3")
 	duration := flag.Float64("duration", 900, "workload duration in seconds")
 	seed := flag.Int64("seed", 42, "workload seed")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers per sweep")
 	flag.Parse()
 
 	var spec *chip.Spec
@@ -40,37 +46,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	cam := experiments.Campaign{Workers: *jobs}
+
 	type studyFn func() (experiments.AblationResult, error)
 	studies := []struct {
 		name string
 		fn   studyFn
 	}{
 		{"threshold", func() (experiments.AblationResult, error) {
-			return experiments.AblateThreshold(spec, *duration, *seed)
+			return experiments.AblateThresholdContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"guard", func() (experiments.AblationResult, error) {
-			return experiments.AblateGuard(spec, *duration, *seed)
+			return experiments.AblateGuardContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"poll", func() (experiments.AblationResult, error) {
-			return experiments.AblatePollInterval(spec, *duration, *seed)
+			return experiments.AblatePollIntervalContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"hysteresis", func() (experiments.AblationResult, error) {
-			return experiments.AblateHysteresis(spec, *duration, *seed)
+			return experiments.AblateHysteresisContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"memfreq", func() (experiments.AblationResult, error) {
-			return experiments.AblateMemFreq(*duration, *seed)
+			return experiments.AblateMemFreqContext(ctx, cam, *duration, *seed)
 		}},
 		{"relaxed", func() (experiments.AblationResult, error) {
-			return experiments.AblateRelaxed(spec, *duration, *seed)
+			return experiments.AblateRelaxedContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"protocol", func() (experiments.AblationResult, error) {
-			return experiments.AblateProtocol(spec, *duration, *seed)
+			return experiments.AblateProtocolContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"aging", func() (experiments.AblationResult, error) {
-			return experiments.AblateAging(spec, *duration, *seed)
+			return experiments.AblateAgingContext(ctx, cam, spec, *duration, *seed)
 		}},
 		{"migration", func() (experiments.AblationResult, error) {
-			return experiments.AblateMigrationCost(spec, *duration, *seed)
+			return experiments.AblateMigrationCostContext(ctx, cam, spec, *duration, *seed)
 		}},
 	}
 
@@ -90,7 +99,7 @@ func main() {
 	}
 	if *study == "all" || *study == "capping" {
 		ran = true
-		st, err := experiments.RunCapStudy(spec, *duration, *seed)
+		st, err := experiments.RunCapStudyContext(ctx, cam, spec, *duration, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ablate capping: %v\n", err)
 			os.Exit(1)

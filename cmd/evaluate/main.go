@@ -6,14 +6,20 @@
 // Usage:
 //
 //	evaluate [-chip xgene2|xgene3|both] [-duration 3600] [-seed 42]
-//	         [-fig14] [-fig15] [-seeds N] [-csv DIR]
+//	         [-fig14] [-fig15] [-seeds N] [-csv DIR] [-j N]
+//
+// -j sets the worker-pool width: the four configuration replays (or the
+// seeds of the robustness study) run in parallel, with results identical
+// for any width.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"avfs/internal/chip"
@@ -35,8 +41,11 @@ func main() {
 	fig15 := flag.Bool("fig15", false, "also render the Fig. 15 load timeline")
 	seeds := flag.Int("seeds", 0, "run the multi-seed robustness study over N seeds instead of the table")
 	csvDir := flag.String("csv", "", "also export summary and timelines as CSV files into this directory")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the configuration replays")
 	flag.Parse()
 
+	ctx := context.Background()
+	cam := experiments.Campaign{Workers: *jobs}
 	specs, err := chipsFor(*chipFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -48,7 +57,7 @@ func main() {
 			for i := 0; i < *seeds; i++ {
 				list = append(list, *seed+int64(i))
 			}
-			st, err := experiments.RunSeedStudy(spec, *duration, list)
+			st, err := experiments.RunSeedStudyContext(ctx, cam, spec, *duration, list)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "evaluate:", err)
 				os.Exit(1)
@@ -60,7 +69,7 @@ func main() {
 		wl := wlgen.Generate(spec, wlgen.Config{Duration: *duration}, *seed)
 		fmt.Printf("generated workload: %d processes, %d threads total, %.0f%% memory-intensive\n",
 			wl.TotalProcesses(), wl.TotalThreads(), 100*wl.MemoryIntensiveShare())
-		set, err := experiments.EvaluateAll(spec, wl)
+		set, err := experiments.EvaluateAllContext(ctx, cam, spec, wl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)

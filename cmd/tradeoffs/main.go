@@ -6,13 +6,18 @@
 // Usage:
 //
 //	tradeoffs [-experiment fig7|fig11|fig12|all] [-chip xgene2|xgene3|both]
-//	          [-placement clustered|spreaded]
+//	          [-placement clustered|spreaded] [-j N]
+//
+// -j sets the worker-pool width for the measurement campaigns; results
+// are identical for any width.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
@@ -23,6 +28,7 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment: fig7, fig11, fig12 or all")
 	chipFlag := flag.String("chip", "both", "chip: xgene2, xgene3 or both")
 	placeFlag := flag.String("placement", "clustered", "allocation for fig11/fig12: clustered or spreaded")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the measurement campaigns")
 	flag.Parse()
 
 	var specs []*chip.Spec
@@ -42,6 +48,12 @@ func main() {
 		place = sim.Spreaded
 	}
 
+	ctx := context.Background()
+	cam := experiments.Campaign{Workers: *jobs}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "tradeoffs %s: %v\n", name, err)
+		os.Exit(1)
+	}
 	ran := false
 	for _, spec := range specs {
 		run := func(name string, fn func()) {
@@ -53,9 +65,18 @@ func main() {
 			fn()
 			fmt.Println()
 		}
-		run("fig7", func() { experiments.Figure7(spec).Render(os.Stdout) })
+		run("fig7", func() {
+			r, err := experiments.Figure7Context(ctx, cam, spec)
+			if err != nil {
+				fail("fig7", err)
+			}
+			r.Render(os.Stdout)
+		})
 		if *exp == "all" || *exp == "fig11" || *exp == "fig12" {
-			grid := experiments.EnergyGrid(spec, place)
+			grid, err := experiments.EnergyGridContext(ctx, cam, spec, place)
+			if err != nil {
+				fail("fig11/fig12", err)
+			}
 			run("fig11", func() { grid.RenderEnergy(os.Stdout) })
 			run("fig12", func() { grid.RenderED2P(os.Stdout) })
 		}

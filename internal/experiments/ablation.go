@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -120,26 +121,40 @@ type variant struct {
 	setup func(*sim.Machine)
 }
 
-// sweep runs a list of labelled variants.
-func (h *ablationHarness) sweep(study string, seed int64, duration float64, variants []variant) (AblationResult, error) {
+// sweepContext runs the labelled variants as independent cells of the
+// campaign's worker pool; each variant replays the workload on its own
+// fresh machine, so results are identical for any worker width.
+func (h *ablationHarness) sweepContext(ctx context.Context, cam Campaign, study string, seed int64, duration float64, variants []variant) (AblationResult, error) {
 	res := AblationResult{Study: study, Chip: h.spec, Seed: seed, Duration: duration}
-	for _, v := range variants {
-		p, err := h.runVariant(v.label, v.cfg, v.setup)
-		if err != nil {
-			return res, err
-		}
-		res.Points = append(res.Points, p)
+	pts, err := runCells(ctx, cam, variants, func(_ context.Context, v variant) (AblationPoint, error) {
+		return h.runVariant(v.label, v.cfg, v.setup)
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = pts
 	return res, nil
+}
+
+// ablate builds the shared harness (one baseline replay) and sweeps the
+// variants through the campaign.
+func ablate(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64, study string, vs []variant) (AblationResult, error) {
+	h, err := newAblationHarness(spec, duration, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return h.sweepContext(ctx, cam, study, seed, duration, vs)
 }
 
 // AblateThreshold sweeps the L3C classification threshold around the
 // paper's 3K accesses per 1M cycles.
 func AblateThreshold(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateThresholdContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateThresholdContext is AblateThreshold with explicit cancellation and
+// a campaign.
+func AblateThresholdContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, th := range []float64{500, 1500, 3000, 6000, 12000, 1e9} {
 		cfg := daemon.DefaultConfig()
@@ -150,74 +165,81 @@ func AblateThreshold(spec *chip.Spec, duration float64, seed int64) (AblationRes
 		}
 		vs = append(vs, variant{label: label, cfg: cfg})
 	}
-	return h.sweep("L3C classification threshold sweep", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "L3C classification threshold sweep", vs)
 }
 
 // AblateGuard sweeps the voltage guard above the Table II envelope,
 // including negative guards that undercut it — which must trip voltage
 // emergencies, demonstrating that the envelope is tight.
 func AblateGuard(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateGuardContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateGuardContext is AblateGuard with explicit cancellation and a
+// campaign.
+func AblateGuardContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, g := range []chip.Millivolts{30, 15, 5, 0, -10, -25} {
 		cfg := daemon.DefaultConfig()
 		cfg.GuardMV = g
 		vs = append(vs, variant{label: fmt.Sprintf("guard %+dmV", g), cfg: cfg})
 	}
-	return h.sweep("voltage guard sweep", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "voltage guard sweep", vs)
 }
 
 // AblatePollInterval sweeps the monitoring period around the paper's
 // ~0.4 s window.
 func AblatePollInterval(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblatePollIntervalContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblatePollIntervalContext is AblatePollInterval with explicit
+// cancellation and a campaign.
+func AblatePollIntervalContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, iv := range []float64{0.1, 0.4, 1.0, 3.0, 10.0} {
 		cfg := daemon.DefaultConfig()
 		cfg.PollInterval = iv
 		vs = append(vs, variant{label: fmt.Sprintf("poll every %.1fs", iv), cfg: cfg})
 	}
-	return h.sweep("monitoring period sweep", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "monitoring period sweep", vs)
 }
 
 // AblateHysteresis compares classification with and without the
 // hysteresis band.
 func AblateHysteresis(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateHysteresisContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateHysteresisContext is AblateHysteresis with explicit cancellation
+// and a campaign.
+func AblateHysteresisContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, hy := range []float64{0, 0.05, 0.10, 0.25} {
 		cfg := daemon.DefaultConfig()
 		cfg.Hysteresis = hy
 		vs = append(vs, variant{label: fmt.Sprintf("hysteresis %.0f%%", 100*hy), cfg: cfg})
 	}
-	return h.sweep("classification hysteresis sweep", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "classification hysteresis sweep", vs)
 }
 
 // AblateMemFreq compares the memory-PMD frequency choice on X-Gene 2: the
 // paper's 0.9 GHz deep-division point versus plain half speed versus
 // leaving memory PMDs at full speed.
 func AblateMemFreq(duration float64, seed int64) (AblationResult, error) {
-	spec := chip.XGene2Spec()
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateMemFreqContext(context.Background(), Campaign{}, duration, seed)
+}
+
+// AblateMemFreqContext is AblateMemFreq with explicit cancellation and a
+// campaign.
+func AblateMemFreqContext(ctx context.Context, cam Campaign, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, f := range []chip.MHz{900, 1200, 2400} {
 		cfg := daemon.DefaultConfig()
 		cfg.MemFreqMHz = f
 		vs = append(vs, variant{label: fmt.Sprintf("memory PMDs @ %v", f), cfg: cfg})
 	}
-	return h.sweep("memory-PMD frequency choice (X-Gene 2)", seed, duration, vs)
+	return ablate(ctx, cam, chip.XGene2Spec(), duration, seed, "memory-PMD frequency choice (X-Gene 2)", vs)
 }
 
 // AblateRelaxed explores the paper's "relaxed performance constraints"
@@ -226,10 +248,12 @@ func AblateMemFreq(duration float64, seed int64) (AblationResult, error) {
 // visible slowdown. Points walk from the paper's policy toward an
 // everything-at-reduced-speed policy.
 func AblateRelaxed(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateRelaxedContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateRelaxedContext is AblateRelaxed with explicit cancellation and a
+// campaign.
+func AblateRelaxedContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	mk := func(cpuF chip.MHz) daemon.Config {
 		cfg := daemon.DefaultConfig()
 		cfg.CPUFreqMHz = cpuF
@@ -240,23 +264,25 @@ func AblateRelaxed(spec *chip.Spec, duration float64, seed int64) (AblationResul
 		{label: fmt.Sprintf("CPU PMDs @ %v", spec.MaxFreq*3/4), cfg: mk(spec.MaxFreq * 3 / 4)},
 		{label: fmt.Sprintf("CPU PMDs @ %v (half)", spec.HalfFreq()), cfg: mk(spec.HalfFreq())},
 	}
-	return h.sweep("relaxed performance constraints (CPU-PMD frequency)", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "relaxed performance constraints (CPU-PMD frequency)", vs)
 }
 
 // AblateProtocol compares the fail-safe transition ordering against the
 // inverted (reconfigure-first) ordering under staged transitions.
 func AblateProtocol(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateProtocolContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateProtocolContext is AblateProtocol with explicit cancellation and a
+// campaign.
+func AblateProtocolContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	mk := func(unsafe bool) daemon.Config {
 		cfg := daemon.DefaultConfig()
 		cfg.TransitionTicks = 5
 		cfg.UnsafeOrder = unsafe
 		return cfg
 	}
-	return h.sweep("fail-safe transition ordering (staged, 5 ticks/phase)", seed, duration, []variant{
+	return ablate(ctx, cam, spec, duration, seed, "fail-safe transition ordering (staged, 5 ticks/phase)", []variant{
 		{label: "raise -> reconfigure -> settle (paper)", cfg: mk(false)},
 		{label: "reconfigure -> raise -> settle (inverted)", cfg: mk(true)},
 	})

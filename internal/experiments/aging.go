@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,10 +23,12 @@ import (
 // emergencies; the age-aware guard stays safe at the cost of part of the
 // savings.
 func AblateAging(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateAgingContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateAgingContext is AblateAging with explicit cancellation and a
+// campaign.
+func AblateAgingContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	aging := vmin.DefaultAging(spec)
 	var vs []variant
 	for _, years := range []float64{0, 3, 7} {
@@ -46,7 +49,7 @@ func AblateAging(spec *chip.Spec, duration float64, seed int64) (AblationResult,
 			setup: setup,
 		})
 	}
-	return h.sweep("aging drift vs voltage guard", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "aging drift vs voltage guard", vs)
 }
 
 // AblateMigrationCost quantifies the paper's claim that the daemon's
@@ -56,10 +59,12 @@ func AblateAging(spec *chip.Spec, duration float64, seed int64) (AblationResult,
 // milliseconds) the savings are untouched, and only absurd costs erode
 // them.
 func AblateMigrationCost(spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
-	h, err := newAblationHarness(spec, duration, seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	return AblateMigrationCostContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// AblateMigrationCostContext is AblateMigrationCost with explicit
+// cancellation and a campaign.
+func AblateMigrationCostContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (AblationResult, error) {
 	var vs []variant
 	for _, cost := range []float64{0, 0.0001, 0.005, 0.05, 1.0} {
 		cost := cost
@@ -70,7 +75,7 @@ func AblateMigrationCost(spec *chip.Spec, duration float64, seed int64) (Ablatio
 			setup: func(m *sim.Machine) { m.SetMigrationPenalty(cost) },
 		})
 	}
-	return h.sweep("migration cost (paper: negligible)", seed, duration, vs)
+	return ablate(ctx, cam, spec, duration, seed, "migration cost (paper: negligible)", vs)
 }
 
 // SeedPoint is one workload seed's evaluation outcome under Optimal.
@@ -107,24 +112,34 @@ func (s SeedStudy) StddevSavings() float64 { return metrics.Stddev(s.Savings()) 
 // RunSeedStudy evaluates Baseline and Optimal over `seeds` independent
 // workloads of the given duration.
 func RunSeedStudy(spec *chip.Spec, duration float64, seeds []int64) (SeedStudy, error) {
+	return RunSeedStudyContext(context.Background(), Campaign{}, spec, duration, seeds)
+}
+
+// RunSeedStudyContext is RunSeedStudy with explicit cancellation and a
+// campaign: each seed's Baseline+Optimal pair is one independent cell.
+func RunSeedStudyContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seeds []int64) (SeedStudy, error) {
 	st := SeedStudy{Chip: spec, Duration: duration}
-	for _, seed := range seeds {
+	pts, err := runCells(ctx, cam, seeds, func(_ context.Context, seed int64) (SeedPoint, error) {
 		wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
 		base, err := Evaluate(spec, wl, Baseline)
 		if err != nil {
-			return st, err
+			return SeedPoint{}, err
 		}
 		opt, err := Evaluate(spec, wl, Optimal)
 		if err != nil {
-			return st, err
+			return SeedPoint{}, err
 		}
-		st.Points = append(st.Points, SeedPoint{
+		return SeedPoint{
 			Seed:          seed,
 			EnergySavings: metrics.Savings(base.EnergyJ, opt.EnergyJ),
 			TimePenalty:   metrics.RelDiff(opt.TimeSec, base.TimeSec),
 			Emergencies:   opt.Emergencies,
-		})
+		}, nil
+	})
+	if err != nil {
+		return st, err
 	}
+	st.Points = pts
 	return st, nil
 }
 

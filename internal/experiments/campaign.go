@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"context"
+
+	"avfs/internal/experiments/runner"
+)
+
+// Campaign controls how an experiment's independent cells execute. The
+// zero value is the default campaign: one worker per available CPU and no
+// progress sink. Every experiment is deterministic regardless of Workers —
+// each cell seeds its own RNG from its configuration identity and results
+// are collected in enumeration order, so a parallel campaign is deep-equal
+// to the serial (Workers: 1) one.
+type Campaign struct {
+	// Workers is the worker-pool width; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Stats, when non-nil, receives cell progress and simulated-run counts
+	// (exportable through the telemetry registry; see runner.Stats).
+	Stats *runner.Stats
+}
+
+// runCells dispatches fn over cells through the campaign's worker pool,
+// preserving cell order in the results.
+func runCells[J, R any](ctx context.Context, cam Campaign, cells []J, fn func(context.Context, J) (R, error)) ([]R, error) {
+	return runner.RunStats(ctx, cells, cam.Workers, cam.Stats, fn)
+}
+
+// mustCampaign unwraps a campaign result for the legacy panic-on-error
+// entry points.
+func mustCampaign[R any](r R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -21,6 +22,9 @@ import (
 type Fig3Entry struct {
 	Bench    string
 	SafeVmin chip.Millivolts
+	// SafeFound is false when the characterization found no safe level at
+	// all (nominal itself failed); SafeVmin is then meaningless.
+	SafeFound bool
 }
 
 // Fig3Config is one (chip, frequency, threads) panel of Fig. 3.
@@ -35,17 +39,22 @@ type Fig3Config struct {
 // paper's headline observation is that this collapses to ≤10 mV in
 // multicore runs.
 func (c Fig3Config) SpreadMV() chip.Millivolts {
-	if len(c.Entries) == 0 {
-		return 0
-	}
-	min, max := c.Entries[0].SafeVmin, c.Entries[0].SafeVmin
-	for _, e := range c.Entries[1:] {
-		if e.SafeVmin < min {
+	var min, max chip.Millivolts
+	seen := false
+	for _, e := range c.Entries {
+		if !e.SafeFound {
+			continue // no safe level: excluded from the spread
+		}
+		if !seen || e.SafeVmin < min {
 			min = e.SafeVmin
 		}
-		if e.SafeVmin > max {
+		if !seen || e.SafeVmin > max {
 			max = e.SafeVmin
 		}
+		seen = true
+	}
+	if !seen {
+		return 0
 	}
 	return max - min
 }
@@ -61,8 +70,23 @@ type Fig3Result struct {
 // characterizer's trial counts can be reduced for fast runs; trials<=0
 // uses the paper's 1000-run criterion.
 func Figure3(trials int) Fig3Result {
+	return mustCampaign(Figure3Context(context.Background(), Campaign{}, trials))
+}
+
+// fig3Cell is one (panel, benchmark) characterization of Fig. 3.
+type fig3Cell struct {
+	panel int
+	bench string
+	cfg   *vmin.Config
+}
+
+// Figure3Context is Figure3 with explicit cancellation and a campaign: the
+// (config, benchmark) cells are enumerated up front and dispatched through
+// the bounded worker pool. Results are identical for any worker width.
+func Figure3Context(ctx context.Context, cam Campaign, trials int) (Fig3Result, error) {
 	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
-	var out Fig3Result
+	var panels []Fig3Config
+	var cells []fig3Cell
 	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
 		threadOpts := []int{spec.Cores, spec.Cores / 2}
 		if spec.Model == chip.XGene3 {
@@ -70,39 +94,58 @@ func Figure3(trials int) Fig3Result {
 		}
 		for _, f := range clock.ReportedFrequencies(spec) {
 			for _, n := range threadOpts {
-				cfg := Fig3Config{Chip: spec, Freq: f, Threads: n}
 				cores, err := sim.SpreadedCores(spec, n)
 				if err != nil {
-					panic(err)
+					return Fig3Result{}, err
 				}
+				panel := len(panels)
+				panels = append(panels, Fig3Config{Chip: spec, Freq: f, Threads: n})
 				for _, b := range workload.CharacterizationSet() {
-					cz := ch.Characterize(&vmin.Config{
+					cells = append(cells, fig3Cell{panel: panel, bench: b.Name, cfg: &vmin.Config{
 						Spec:      spec,
 						FreqClass: clock.ClassOf(spec, f),
 						Cores:     cores,
 						Bench:     b,
-					})
-					cfg.Entries = append(cfg.Entries, Fig3Entry{b.Name, cz.SafeVmin})
+					}})
 				}
-				out.Configs = append(out.Configs, cfg)
 			}
 		}
 	}
-	return out
+	entries, err := runCells(ctx, cam, cells, func(_ context.Context, c fig3Cell) (Fig3Entry, error) {
+		cz := ch.Characterize(c.cfg)
+		cam.Stats.AddRuns(cz.TotalRuns)
+		return Fig3Entry{Bench: c.bench, SafeVmin: cz.SafeVmin, SafeFound: cz.SafeFound}, nil
+	})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	for i, e := range entries {
+		p := &panels[cells[i].panel]
+		p.Entries = append(p.Entries, e)
+	}
+	return Fig3Result{Configs: panels}, nil
 }
 
-// Render writes the figure as one table per panel.
+// Render writes the figure as one table per panel. Benchmarks for which
+// the characterization found no safe level are called out explicitly
+// instead of being charted as if nominal were safe.
 func (r Fig3Result) Render(w io.Writer) {
 	for _, c := range r.Configs {
 		fmt.Fprintf(w, "\n%s  %dT @ %v  (nominal %v, spread %dmV)\n",
 			c.Chip.Name, c.Threads, c.Freq, c.Chip.NominalMV, c.SpreadMV())
-		labels := make([]string, len(c.Entries))
-		values := make([]float64, len(c.Entries))
-		for i, e := range c.Entries {
-			labels[i] = e.Bench
-			values[i] = float64(e.SafeVmin)
+		var labels []string
+		var values []float64
+		for _, e := range c.Entries {
+			if !e.SafeFound {
+				fmt.Fprintf(w, "  %s: no safe level found (nominal %v fails)\n", e.Bench, c.Chip.NominalMV)
+				continue
+			}
+			labels = append(labels, e.Bench)
+			values = append(values, float64(e.SafeVmin))
 		}
-		ascii.BarChart(w, labels, values, 40)
+		if len(labels) > 0 {
+			ascii.BarChart(w, labels, values, 40)
+		}
 	}
 }
 
@@ -130,35 +173,65 @@ type Fig4Result struct {
 // graphs) and on both cores of every PMD (bottom graphs) of the X-Gene 2
 // at 2.4 GHz.
 func Figure4(trials int) Fig4Result {
+	return mustCampaign(Figure4Context(context.Background(), Campaign{}, trials))
+}
+
+// fig4Cell is one (benchmark, core-or-PMD) characterization of Fig. 4.
+type fig4Cell struct {
+	single bool // true: single-core sweep; false: two-core (PMD) sweep
+	bench  string
+	target string
+	cfg    *vmin.Config
+}
+
+// Figure4Context is Figure4 with explicit cancellation and a campaign.
+func Figure4Context(ctx context.Context, cam Campaign, trials int) (Fig4Result, error) {
 	spec := chip.XGene2Spec()
 	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
-	out := Fig4Result{Chip: spec}
+	var cells []fig4Cell
 	for _, b := range workload.CharacterizationSet() {
 		for c := 0; c < spec.Cores; c++ {
-			cz := ch.Characterize(&vmin.Config{
-				Spec:      spec,
-				FreqClass: clock.FullSpeed,
-				Cores:     []chip.CoreID{chip.CoreID(c)},
-				Bench:     b,
-			})
-			out.SingleCore = append(out.SingleCore, Fig4Cell{
-				Bench: b.Name, Target: fmt.Sprintf("core%d", c), SafeVmin: cz.SafeVmin,
+			cells = append(cells, fig4Cell{
+				single: true, bench: b.Name, target: fmt.Sprintf("core%d", c),
+				cfg: &vmin.Config{
+					Spec:      spec,
+					FreqClass: clock.FullSpeed,
+					Cores:     []chip.CoreID{chip.CoreID(c)},
+					Bench:     b,
+				},
 			})
 		}
 		for p := 0; p < spec.PMDs(); p++ {
 			c0, c1 := spec.CoresOf(chip.PMDID(p))
-			cz := ch.Characterize(&vmin.Config{
-				Spec:      spec,
-				FreqClass: clock.FullSpeed,
-				Cores:     []chip.CoreID{c0, c1},
-				Bench:     b,
-			})
-			out.TwoCore = append(out.TwoCore, Fig4Cell{
-				Bench: b.Name, Target: fmt.Sprintf("PMD%d", p), SafeVmin: cz.SafeVmin,
+			cells = append(cells, fig4Cell{
+				single: false, bench: b.Name, target: fmt.Sprintf("PMD%d", p),
+				cfg: &vmin.Config{
+					Spec:      spec,
+					FreqClass: clock.FullSpeed,
+					Cores:     []chip.CoreID{c0, c1},
+					Bench:     b,
+				},
 			})
 		}
 	}
-	return out
+	vmins, err := runCells(ctx, cam, cells, func(_ context.Context, c fig4Cell) (chip.Millivolts, error) {
+		cz := ch.Characterize(c.cfg)
+		cam.Stats.AddRuns(cz.TotalRuns)
+		return cz.SafeVmin, nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	out := Fig4Result{Chip: spec}
+	for i, v := range vmins {
+		cell := Fig4Cell{Bench: cells[i].bench, Target: cells[i].target, SafeVmin: v}
+		if cells[i].single {
+			out.SingleCore = append(out.SingleCore, cell)
+		} else {
+			out.TwoCore = append(out.TwoCore, cell)
+		}
+	}
+	return out, nil
 }
 
 // variation summarizes a cell group: the max-min spread.
@@ -257,15 +330,21 @@ type Fig5Line struct {
 	PFail   []float64
 }
 
-// SafeVmin returns the highest voltage with pfail 0 on the averaged curve.
+// NoSafeVmin is the sentinel returned by Fig5Line.SafeVmin when the
+// averaged curve has no genuinely clean level — including the empty curve.
+const NoSafeVmin chip.Millivolts = -1
+
+// SafeVmin returns the lowest voltage whose averaged pfail is still zero:
+// the safe Vmin of the configuration averaged over benchmarks. If even the
+// first (highest) level already has nonzero pfail, or the curve is empty,
+// it returns NoSafeVmin rather than pretending an unsafe level is clean.
 func (l Fig5Line) SafeVmin() chip.Millivolts {
-	safe := l.Voltage[0]
+	safe := NoSafeVmin
 	for i, p := range l.PFail {
-		if p == 0 {
-			safe = l.Voltage[i]
-		} else {
+		if p != 0 {
 			break
 		}
+		safe = l.Voltage[i]
 	}
 	return safe
 }
@@ -279,12 +358,37 @@ type Fig5Result struct {
 // scaling and core allocation options on both chips and averages the
 // pfail curves over the 25 benchmarks.
 func Figure5(trials int) Fig5Result {
+	return mustCampaign(Figure5Context(context.Background(), Campaign{}, trials))
+}
+
+// fig5Cell is one (line, benchmark) characterization of Fig. 5.
+type fig5Cell struct {
+	line int
+	cfg  *vmin.Config
+}
+
+// fig5Curve is one benchmark's cumulative-pfail curve within a line.
+type fig5Curve struct {
+	pts map[chip.Millivolts]float64
+	// safe/hasSafe mirror Characterization.SafeVmin/SafeFound; last is the
+	// lowest measured level (complete failure continues below it).
+	safe    chip.Millivolts
+	last    chip.Millivolts
+	hasSafe bool
+}
+
+// Figure5Context is Figure5 with explicit cancellation and a campaign: the
+// per-benchmark sweeps of every line run as independent cells; averaging
+// happens afterwards in benchmark order, so the curve is bit-identical for
+// any worker width.
+func Figure5Context(ctx context.Context, cam Campaign, trials int) (Fig5Result, error) {
 	ch := &vmin.Characterizer{SafeTrials: trials, UnsafeTrials: trials}
-	var out Fig5Result
 	type cfg struct {
 		threadsDiv int
 		place      sim.Placement
 	}
+	var lines []Fig5Line
+	var cells []fig5Cell
 	for _, spec := range []*chip.Spec{chip.XGene2Spec(), chip.XGene3Spec()} {
 		for _, f := range clock.ReportedFrequencies(spec) {
 			for _, c := range []cfg{
@@ -295,76 +399,93 @@ func Figure5(trials int) Fig5Result {
 				n := spec.Cores / c.threadsDiv
 				cores, err := sim.CoresFor(spec, c.place, n)
 				if err != nil {
-					panic(err)
+					return Fig5Result{}, err
 				}
 				label := fmt.Sprintf("%s %dT @ %v", spec.Name, n, f)
 				if c.threadsDiv > 1 {
 					label = fmt.Sprintf("%s %dT(%v) @ %v", spec.Name, n, c.place, f)
 				}
-				line := Fig5Line{
+				line := len(lines)
+				lines = append(lines, Fig5Line{
 					Label: label, Chip: spec, Freq: f,
 					Threads: n, Place: c.place,
-				}
-				// Per-benchmark curves, then average over the union
-				// of voltage levels. Levels above a benchmark's safe
-				// point count as pfail 0 for it; levels below its
-				// last recorded point count as pfail 1 (complete
-				// failure continues downwards).
-				type curve struct {
-					pts  map[chip.Millivolts]float64
-					safe chip.Millivolts
-					last chip.Millivolts
-				}
-				var curves []curve
-				levelSet := map[chip.Millivolts]bool{}
+				})
 				for _, b := range workload.CharacterizationSet() {
-					cz := ch.Characterize(&vmin.Config{
+					cells = append(cells, fig5Cell{line: line, cfg: &vmin.Config{
 						Spec:      spec,
 						FreqClass: clock.ClassOf(spec, f),
 						Cores:     cores,
 						Bench:     b,
-					})
-					cv := curve{pts: map[chip.Millivolts]float64{}, safe: cz.SafeVmin, last: cz.SafeVmin}
-					for _, pt := range cz.CumulativePFail() {
-						cv.pts[pt.Voltage] = pt.PFail
-						if pt.Voltage < cv.last {
-							cv.last = pt.Voltage
-						}
-						levelSet[pt.Voltage] = true
-					}
-					curves = append(curves, cv)
+					}})
 				}
-				var levels []chip.Millivolts
-				for v := range levelSet {
-					levels = append(levels, v)
-				}
-				sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
-				for _, v := range levels {
-					var sum float64
-					for _, cv := range curves {
-						switch {
-						case v >= cv.safe:
-							// pfail 0 above the safe point
-						case v < cv.last:
-							sum += 1
-						default:
-							sum += cv.pts[v]
-						}
-					}
-					line.Voltage = append(line.Voltage, v)
-					line.PFail = append(line.PFail, sum/float64(len(curves)))
-				}
-				out.Lines = append(out.Lines, line)
 			}
 		}
 	}
-	return out
+	curves, err := runCells(ctx, cam, cells, func(_ context.Context, c fig5Cell) (fig5Curve, error) {
+		cz := ch.Characterize(c.cfg)
+		cam.Stats.AddRuns(cz.TotalRuns)
+		cv := fig5Curve{pts: map[chip.Millivolts]float64{}, safe: cz.SafeVmin, hasSafe: cz.SafeFound}
+		for i, pt := range cz.CumulativePFail() {
+			cv.pts[pt.Voltage] = pt.PFail
+			if i == 0 || pt.Voltage < cv.last {
+				cv.last = pt.Voltage
+			}
+		}
+		return cv, nil
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	byLine := make([][]fig5Curve, len(lines))
+	for i, cv := range curves {
+		byLine[cells[i].line] = append(byLine[cells[i].line], cv)
+	}
+	// Average each line over the union of its voltage levels. Levels above
+	// a benchmark's safe point count as pfail 0 for it; levels below its
+	// last recorded point count as pfail 1 (complete failure continues
+	// downwards). A benchmark with no safe level at all contributes its
+	// measured pfail at every level it covers — never an implicit 0.
+	for li := range lines {
+		line := &lines[li]
+		curves := byLine[li]
+		levelSet := map[chip.Millivolts]bool{}
+		for _, cv := range curves {
+			for v := range cv.pts {
+				levelSet[v] = true
+			}
+		}
+		var levels []chip.Millivolts
+		for v := range levelSet {
+			levels = append(levels, v)
+		}
+		sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+		for _, v := range levels {
+			var sum float64
+			for _, cv := range curves {
+				switch {
+				case cv.hasSafe && v >= cv.safe:
+					// pfail 0 above the safe point
+				case v < cv.last:
+					sum += 1
+				default:
+					sum += cv.pts[v]
+				}
+			}
+			line.Voltage = append(line.Voltage, v)
+			line.PFail = append(line.PFail, sum/float64(len(curves)))
+		}
+	}
+	return Fig5Result{Lines: lines}, nil
 }
 
 // Render writes each line as voltage → pfail pairs.
 func (r Fig5Result) Render(w io.Writer) {
 	for _, l := range r.Lines {
-		fmt.Fprintf(w, "\n%s  (avg over 25 benchmarks, safe Vmin %v)\n", l.Label, l.SafeVmin())
+		safe := "none"
+		if v := l.SafeVmin(); v != NoSafeVmin {
+			safe = v.String()
+		}
+		fmt.Fprintf(w, "\n%s  (avg over 25 benchmarks, safe Vmin %s)\n", l.Label, safe)
 		rows := make([][]string, 0, len(l.Voltage))
 		for i := range l.Voltage {
 			rows = append(rows, []string{

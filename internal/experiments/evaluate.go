@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -188,13 +189,23 @@ type EvalSet struct {
 
 // EvaluateAll runs all four configurations over the same workload.
 func EvaluateAll(spec *chip.Spec, wl *wlgen.Workload) (*EvalSet, error) {
+	return EvaluateAllContext(context.Background(), Campaign{}, spec, wl)
+}
+
+// EvaluateAllContext is EvaluateAll with explicit cancellation and a
+// campaign: the four configuration replays run as independent cells, each
+// on its own fresh machine.
+func EvaluateAllContext(ctx context.Context, cam Campaign, spec *chip.Spec, wl *wlgen.Workload) (*EvalSet, error) {
+	cfgs := SystemConfigs()
+	results, err := runCells(ctx, cam, cfgs, func(_ context.Context, cfg SystemConfig) (EvalResult, error) {
+		return Evaluate(spec, wl, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
 	set := &EvalSet{Chip: spec, Workload: wl, Results: map[SystemConfig]EvalResult{}}
-	for _, cfg := range SystemConfigs() {
-		r, err := Evaluate(spec, wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		set.Results[cfg] = r
+	for i, cfg := range cfgs {
+		set.Results[cfg] = results[i]
 	}
 	return set, nil
 }

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"avfs/internal/chip"
+	"avfs/internal/experiments/runner"
+	"avfs/internal/wlgen"
+)
+
+// smallWorkload generates a short fixed-seed workload for the parallel
+// evaluation tests.
+func smallWorkload(t *testing.T) (*chip.Spec, *wlgen.Workload) {
+	t.Helper()
+	spec := chip.XGene2Spec()
+	return spec, wlgen.Generate(spec, wlgen.Config{Duration: 300}, 11)
+}
+
+// The determinism proof of the parallel runner: a campaign's result must be
+// deep-equal to the serial one for any worker width, because every cell
+// seeds its own RNG from its configuration identity and results are
+// collected in enumeration order (including float summation order).
+
+func TestFigure3ParallelMatchesSerial(t *testing.T) {
+	const trials = 40
+	serial, err := Figure3Context(context.Background(), Campaign{Workers: 1}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure3Context(context.Background(), Campaign{Workers: 4}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel Figure3 result differs from serial")
+	}
+}
+
+func TestFigure5ParallelMatchesSerial(t *testing.T) {
+	const trials = 30
+	serial, err := Figure5Context(context.Background(), Campaign{Workers: 1}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure5Context(context.Background(), Campaign{Workers: 4}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel Figure5 result differs from serial")
+	}
+}
+
+func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
+	spec, wl := smallWorkload(t)
+	serial, err := EvaluateAllContext(context.Background(), Campaign{Workers: 1}, spec, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EvaluateAllContext(context.Background(), Campaign{Workers: 4}, spec, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range SystemConfigs() {
+		s, p := serial.Results[cfg], parallel.Results[cfg]
+		if s.TimeSec != p.TimeSec || s.EnergyJ != p.EnergyJ || s.Emergencies != p.Emergencies {
+			t.Errorf("%v: parallel run differs from serial (%v/%v vs %v/%v)",
+				cfg, s.TimeSec, s.EnergyJ, p.TimeSec, p.EnergyJ)
+		}
+	}
+}
+
+func TestCampaignCancellationMidFigure(t *testing.T) {
+	// The paper-fidelity trial count would run for minutes; the deadline
+	// must abort the campaign long before that.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Figure3Context(ctx, Campaign{Workers: 4}, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestFigure3ParallelBudget is the CI speedup gate: it runs the Figure 3
+// campaign serially and with 4 workers, hard-fails if the parallel result
+// diverges from the serial one, and records both timings in the JSON file
+// named by AVFS_BENCH_EXPERIMENTS_OUT (see scripts/check.sh). The >= 2x
+// speedup floor is only enforced on machines with at least 4 CPUs.
+func TestFigure3ParallelBudget(t *testing.T) {
+	out := os.Getenv("AVFS_BENCH_EXPERIMENTS_OUT")
+	if out == "" {
+		t.Skip("set AVFS_BENCH_EXPERIMENTS_OUT to run the parallel-speedup benchmark")
+	}
+	const trials = 60
+	const workers = 4
+
+	serialStats := runner.NewStats()
+	begin := time.Now()
+	serial, err := Figure3Context(context.Background(), Campaign{Workers: 1, Stats: serialStats}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSec := time.Since(begin).Seconds()
+
+	parStats := runner.NewStats()
+	begin = time.Now()
+	parallel, err := Figure3Context(context.Background(), Campaign{Workers: workers, Stats: parStats}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSec := time.Since(begin).Seconds()
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel Figure3 result diverges from serial — determinism is broken")
+	}
+	if serialStats.Runs() != parStats.Runs() || serialStats.Completed() != parStats.Completed() {
+		t.Fatalf("parallel campaign did different work: %d cells / %d runs vs %d cells / %d runs",
+			parStats.Completed(), parStats.Runs(), serialStats.Completed(), serialStats.Runs())
+	}
+
+	speedup := serialSec / parallelSec
+	report := struct {
+		Trials      int     `json:"trials"`
+		Cells       int64   `json:"cells"`
+		SimRuns     int64   `json:"sim_runs"`
+		Workers     int     `json:"workers"`
+		NumCPU      int     `json:"num_cpu"`
+		SerialSec   float64 `json:"serial_sec"`
+		ParallelSec float64 `json:"parallel_sec"`
+		Speedup     float64 `json:"speedup"`
+	}{
+		Trials:      trials,
+		Cells:       serialStats.Completed(),
+		SimRuns:     serialStats.Runs(),
+		Workers:     workers,
+		NumCPU:      runtime.NumCPU(),
+		SerialSec:   serialSec,
+		ParallelSec: parallelSec,
+		Speedup:     speedup,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("figure3 x%d trials=%d: serial %.2fs, parallel %.2fs, speedup %.2fx (%d cells, %d runs)",
+		workers, trials, serialSec, parallelSec, speedup, report.Cells, report.SimRuns)
+
+	if runtime.NumCPU() >= workers && speedup < 2 {
+		t.Errorf("parallel speedup %.2fx at %d workers, want >= 2x", speedup, workers)
+	}
+}

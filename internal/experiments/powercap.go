@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,6 +39,20 @@ type CapStudy struct {
 // RunCapStudy replays one workload under Baseline, a power cap at the
 // daemon's average power, and the Optimal daemon.
 func RunCapStudy(spec *chip.Spec, duration float64, seed int64) (CapStudy, error) {
+	return RunCapStudyContext(context.Background(), Campaign{}, spec, duration, seed)
+}
+
+// capVariant is one labelled system of the capping comparison.
+type capVariant struct {
+	label string
+	setup func(*sim.Machine)
+}
+
+// RunCapStudyContext is RunCapStudy with explicit cancellation and a
+// campaign. The Baseline and Optimal replays are independent cells; the
+// capped replay must wait for them because its budget is the Optimal
+// daemon's measured average power.
+func RunCapStudyContext(ctx context.Context, cam Campaign, spec *chip.Spec, duration float64, seed int64) (CapStudy, error) {
 	wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
 	st := CapStudy{Chip: spec, Seed: seed, Duration: duration}
 
@@ -72,24 +87,30 @@ func RunCapStudy(spec *chip.Spec, duration float64, seed int64) (CapStudy, error
 		}, nil
 	}
 
-	base, err := replay("Baseline (ondemand)", func(m *sim.Machine) { sched.NewBaseline(m) })
-	if err != nil {
-		return st, err
-	}
-	opt, err := replay("Optimal daemon", func(m *sim.Machine) {
-		daemon.New(m, daemon.DefaultConfig()).Attach()
+	firstTwo, err := runCells(ctx, cam, []capVariant{
+		{label: "Baseline (ondemand)", setup: func(m *sim.Machine) { sched.NewBaseline(m) }},
+		{label: "Optimal daemon", setup: func(m *sim.Machine) {
+			daemon.New(m, daemon.DefaultConfig()).Attach()
+		}},
+	}, func(_ context.Context, v capVariant) (CapPoint, error) {
+		return replay(v.label, v.setup)
 	})
 	if err != nil {
 		return st, err
 	}
+	base, opt := firstTwo[0], firstTwo[1]
 	st.BudgetW = opt.AvgPowerW
-	capped, err := replay(fmt.Sprintf("Power cap @ %.1fW", st.BudgetW), func(m *sim.Machine) {
-		sched.NewPowerCap(m, st.BudgetW).Attach()
+	cappedRes, err := runCells(ctx, cam, []capVariant{
+		{label: fmt.Sprintf("Power cap @ %.1fW", st.BudgetW), setup: func(m *sim.Machine) {
+			sched.NewPowerCap(m, st.BudgetW).Attach()
+		}},
+	}, func(_ context.Context, v capVariant) (CapPoint, error) {
+		return replay(v.label, v.setup)
 	})
 	if err != nil {
 		return st, err
 	}
-	st.Points = []CapPoint{base, capped, opt}
+	st.Points = []CapPoint{base, cappedRes[0], opt}
 	return st, nil
 }
 

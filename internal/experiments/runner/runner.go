@@ -1,0 +1,149 @@
+// Package runner is the bounded worker-pool fan-out engine behind the
+// experiment campaigns. The paper's methodology (Sec. III-A) spends 1000
+// safe-point runs plus 60-run unsafe sweeps per (chip, frequency,
+// allocation, benchmark) cell; every cell seeds its own RNG from the
+// configuration identity, so cells are independent and a parallel campaign
+// is bit-identical to the serial one. Run preserves job order in the
+// result slice, captures worker panics as errors, and honours context
+// cancellation, which is what makes the parallel/serial equivalence
+// testable with a plain reflect.DeepEqual.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError wraps a panic that escaped a worker function, preserving the
+// job index, the recovered value and the goroutine stack.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+// Error describes the captured panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Run dispatches fn over jobs with at most width concurrent workers and
+// returns the results in job order: results[i] is fn's result for jobs[i],
+// regardless of completion order. width <= 0 means runtime.GOMAXPROCS(0);
+// width is clamped to len(jobs); width 1 runs the jobs serially on the
+// calling goroutine (the determinism baseline).
+//
+// A worker panic is recovered into a *PanicError and treated as that job's
+// error. On the first error (or on ctx cancellation) no further jobs are
+// dispatched; in-flight jobs finish, their results are kept, and Run
+// returns the error of the lowest-indexed failed job — deterministic no
+// matter which worker hit it first. The partial result slice is always
+// returned: entries for jobs that never ran hold zero values.
+func Run[J, R any](ctx context.Context, jobs []J, width int, fn func(context.Context, J) (R, error)) ([]R, error) {
+	return RunStats(ctx, jobs, width, nil, fn)
+}
+
+// RunStats is Run with an optional *Stats sink: every job is counted as
+// planned up front, as in-flight while a worker holds it, and as completed
+// when its result lands. A nil Stats is valid and cost-free.
+func RunStats[J, R any](ctx context.Context, jobs []J, width int, st *Stats, fn func(context.Context, J) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	st.plan(len(jobs))
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width > len(jobs) {
+		width = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The lowest-indexed error wins so the returned error does not depend
+	// on goroutine scheduling.
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	work := func(i int) {
+		st.begin()
+		defer st.end()
+		r, err := safeCall(ctx, i, jobs[i], fn)
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		results[i] = r
+	}
+
+	if width == 1 {
+		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
+			work(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					work(i)
+				}
+			}()
+		}
+	dispatch:
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	// cancel() has not run yet (it is deferred), so a non-nil ctx.Err()
+	// here can only come from the caller's context.
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// safeCall invokes fn for one job, converting an escaped panic into a
+// *PanicError so one bad cell cannot take the whole campaign process down.
+func safeCall[J, R any](ctx context.Context, i int, job J, fn func(context.Context, J) (R, error)) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Job: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job)
+}

@@ -1,0 +1,247 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avfs/internal/telemetry"
+)
+
+func TestRunPreservesJobOrder(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, width := range []int{1, 4, 16, 0} {
+		got, err := Run(context.Background(), jobs, width, func(_ context.Context, j int) (int, error) {
+			return j * j, nil
+		})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("width %d: results[%d] = %d, want %d", width, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyJobs(t *testing.T) {
+	got, err := Run(context.Background(), nil, 4, func(_ context.Context, j int) (int, error) {
+		return j, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty jobs: %v, %v", got, err)
+	}
+}
+
+func TestRunWidthIsBounded(t *testing.T) {
+	const width = 3
+	var inFlight, peak atomic.Int64
+	jobs := make([]int, 40)
+	_, err := Run(context.Background(), jobs, width, func(_ context.Context, _ int) (int, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > width {
+		t.Errorf("observed %d concurrent workers, want <= %d", p, width)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	got, err := Run(context.Background(), jobs, 4, func(_ context.Context, j int) (int, error) {
+		if j == 2 || j == 5 {
+			return 0, boom(j)
+		}
+		return j + 100, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Job 2 is dispatched before job 5, so even when both fail the
+	// reported error must be the lowest-indexed one.
+	if !strings.Contains(err.Error(), "job 2 failed") {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if got[0] != 100 {
+		// Job 0 is dispatched before any failure can cancel the campaign.
+		t.Errorf("results[0] = %d, want 100", got[0])
+	}
+}
+
+func TestRunCapturesWorkerPanics(t *testing.T) {
+	jobs := []int{0, 1, 2, 3}
+	_, err := Run(context.Background(), jobs, 2, func(_ context.Context, j int) (int, error) {
+		if j == 3 {
+			panic("cell exploded")
+		}
+		return j, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Job != 3 || pe.Value != "cell exploded" {
+		t.Errorf("panic error = job %d value %v", pe.Job, pe.Value)
+	}
+	if !strings.Contains(pe.Error(), "cell exploded") || len(pe.Stack) == 0 {
+		t.Error("panic error must carry the message and the stack")
+	}
+}
+
+func TestRunSerialWidthCapturesPanics(t *testing.T) {
+	_, err := Run(context.Background(), []int{0}, 1, func(_ context.Context, _ int) (int, error) {
+		panic("serial cell exploded")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError from serial path, got %v", err)
+	}
+}
+
+func TestRunCancellationMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]int, 64)
+	var started atomic.Int64
+	got, err := Run(ctx, jobs, 4, func(ctx context.Context, _ int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel() // cancel while the pool is mid-flight
+		}
+		<-ctx.Done()
+		return 7, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := started.Load(); n >= int64(len(jobs)) {
+		t.Errorf("all %d jobs started despite cancellation", n)
+	}
+	if len(got) != len(jobs) {
+		t.Errorf("partial results slice has len %d, want %d", len(got), len(jobs))
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Run(ctx, make([]int, 10), 2, func(_ context.Context, _ int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n > 2 {
+		t.Errorf("%d jobs ran on a pre-cancelled context", n)
+	}
+}
+
+func TestStatsCountsAndNilSafety(t *testing.T) {
+	st := NewStats()
+	jobs := make([]int, 30)
+	_, err := RunStats(context.Background(), jobs, 4, st, func(_ context.Context, _ int) (int, error) {
+		st.AddRuns(10)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Planned() != 30 || st.Completed() != 30 || st.InFlight() != 0 {
+		t.Errorf("stats = %d planned / %d done / %d in flight",
+			st.Planned(), st.Completed(), st.InFlight())
+	}
+	if st.Runs() != 300 {
+		t.Errorf("runs = %d, want 300", st.Runs())
+	}
+
+	var nilStats *Stats
+	nilStats.AddRuns(5) // must not panic
+	if nilStats.Planned() != 0 || nilStats.Completed() != 0 || nilStats.InFlight() != 0 || nilStats.Runs() != 0 {
+		t.Error("nil Stats accessors must return zero")
+	}
+	if _, err := RunStats(context.Background(), jobs, 2, nil, func(_ context.Context, _ int) (int, error) {
+		return 0, nil
+	}); err != nil {
+		t.Fatalf("nil stats run: %v", err)
+	}
+}
+
+func TestStatsInstrument(t *testing.T) {
+	st := NewStats()
+	reg := telemetry.NewRegistry()
+	st.Instrument(reg)
+	if _, err := RunStats(context.Background(), make([]int, 12), 3, st, func(_ context.Context, _ int) (int, error) {
+		st.AddRuns(2)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		MetricCellsPlanned:   12,
+		MetricCellsCompleted: 12,
+		MetricCellsInFlight:  0,
+		MetricSimRuns:        24,
+	} {
+		got, ok := reg.Value(name)
+		if !ok {
+			t.Errorf("metric %s not registered", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStartProgressPrintsAndStops(t *testing.T) {
+	st := NewStats()
+	st.plan(4)
+	st.AddRuns(100)
+	var buf syncBuffer
+	stop := st.StartProgress(&buf, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if !strings.Contains(buf.String(), "0/4 cells done") {
+		t.Errorf("progress output missing summary: %q", buf.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder for the progress test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"avfs/internal/telemetry"
+)
+
+// Metric names the Stats instrumentation registers; docs/OBSERVABILITY.md
+// documents them.
+const (
+	// MetricCellsPlanned is the number of cells enqueued across every Run
+	// call sharing the Stats (a gauge: campaigns enqueue incrementally).
+	MetricCellsPlanned = "avfs_runner_cells_planned"
+	// MetricCellsCompleted counts cells whose worker function returned.
+	MetricCellsCompleted = "avfs_runner_cells_completed_total"
+	// MetricCellsInFlight is the number of cells currently held by workers.
+	MetricCellsInFlight = "avfs_runner_cells_inflight"
+	// MetricSimRuns counts simulated executions reported via AddRuns —
+	// the paper-methodology cost unit (1000 safe runs + 60-run sweeps).
+	MetricSimRuns = "avfs_runner_sim_runs_total"
+)
+
+// Stats aggregates the progress of one campaign across every Run call that
+// shares it: cells planned/completed/in-flight plus the number of simulated
+// executions the cells report via AddRuns. All methods are safe for
+// concurrent use and safe on a nil receiver, so experiment code can update
+// an optional sink unconditionally.
+type Stats struct {
+	planned   atomic.Int64
+	completed atomic.Int64
+	inflight  atomic.Int64
+	runs      atomic.Int64
+}
+
+// NewStats returns an empty progress sink.
+func NewStats() *Stats { return &Stats{} }
+
+func (s *Stats) plan(n int) {
+	if s == nil {
+		return
+	}
+	s.planned.Add(int64(n))
+}
+
+func (s *Stats) begin() {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(1)
+}
+
+func (s *Stats) end() {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(-1)
+	s.completed.Add(1)
+}
+
+// AddRuns records n simulated executions performed by a cell (e.g. a
+// Characterization's TotalRuns), so long campaigns expose their true
+// methodology cost, not just cell counts.
+func (s *Stats) AddRuns(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.runs.Add(int64(n))
+}
+
+// Planned returns the number of cells enqueued so far.
+func (s *Stats) Planned() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.planned.Load()
+}
+
+// Completed returns the number of cells finished (successfully or not).
+func (s *Stats) Completed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.completed.Load()
+}
+
+// InFlight returns the number of cells currently executing.
+func (s *Stats) InFlight() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.inflight.Load()
+}
+
+// Runs returns the total simulated executions reported via AddRuns.
+func (s *Stats) Runs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.runs.Load()
+}
+
+// Instrument registers the campaign-progress metrics on a telemetry
+// registry: planned and in-flight cells as gauges, completed cells and
+// simulated runs as counters. The gauges read the atomics at gather time,
+// so scraping a long campaign never blocks the workers.
+func (s *Stats) Instrument(reg *telemetry.Registry) {
+	reg.Gauge(MetricCellsPlanned, "experiment cells enqueued by the campaign runner",
+		func() float64 { return float64(s.Planned()) })
+	reg.CounterFunc(MetricCellsCompleted, "experiment cells completed by the campaign runner",
+		func() float64 { return float64(s.Completed()) })
+	reg.Gauge(MetricCellsInFlight, "experiment cells currently held by runner workers",
+		func() float64 { return float64(s.InFlight()) })
+	reg.CounterFunc(MetricSimRuns, "simulated executions performed inside runner cells",
+		func() float64 { return float64(s.Runs()) })
+}
+
+// StartProgress prints a one-line progress summary to w every interval
+// until the returned stop function is called. Intended for long CLI
+// campaigns (the -progress flag of cmd/characterize).
+func (s *Stats) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "runner: %d/%d cells done, %d in flight, %d simulated runs\n",
+					s.Completed(), s.Planned(), s.InFlight(), s.Runs())
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
+	}
+}

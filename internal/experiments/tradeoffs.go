@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,26 +39,41 @@ type Fig7Result struct {
 // Figure7 measures every characterization benchmark with half-of-half
 // threads (4 on X-Gene 2) under both allocations.
 func Figure7(spec *chip.Spec) Fig7Result {
+	return mustCampaign(Figure7Context(context.Background(), Campaign{}, spec))
+}
+
+// Figure7Context is Figure7 with explicit cancellation and a campaign:
+// each benchmark's clustered+spreaded pair is one independent cell.
+func Figure7Context(ctx context.Context, cam Campaign, spec *chip.Spec) (Fig7Result, error) {
 	threads := spec.Cores / 2
-	out := Fig7Result{Chip: spec, Threads: threads}
-	for _, b := range workload.SortByMemoryIntensity(workload.CharacterizationSet()) {
-		cl := MustMeasure(RunSpec{
+	benches := workload.SortByMemoryIntensity(workload.CharacterizationSet())
+	entries, err := runCells(ctx, cam, benches, func(_ context.Context, b *workload.Benchmark) (Fig7Entry, error) {
+		cl, err := Measure(RunSpec{
 			Chip: spec, Bench: b, Threads: threads,
 			Placement: sim.Clustered, Freq: spec.MaxFreq,
 		})
-		sp := MustMeasure(RunSpec{
+		if err != nil {
+			return Fig7Entry{}, err
+		}
+		sp, err := Measure(RunSpec{
 			Chip: spec, Bench: b, Threads: threads,
 			Placement: sim.Spreaded, Freq: spec.MaxFreq,
 		})
-		out.Entries = append(out.Entries, Fig7Entry{
+		if err != nil {
+			return Fig7Entry{}, err
+		}
+		return Fig7Entry{
 			Bench:           b.Name,
 			ClusteredJ:      cl.EnergyJ,
 			SpreadedJ:       sp.EnergyJ,
 			DiffFrac:        metrics.RelDiff(cl.EnergyJ, sp.EnergyJ),
 			MemoryIntensive: b.MemoryIntensive(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
 	}
-	return out
+	return Fig7Result{Chip: spec, Threads: threads, Entries: entries}, nil
 }
 
 // Render writes the energy pairs ordered from CPU- to memory-intensive,
@@ -111,26 +127,42 @@ type GridResult struct {
 // threads, frequency) combination at the configuration's safe Vmin. The
 // same data renders Fig. 12 via the ED2P field.
 func EnergyGrid(spec *chip.Spec, place sim.Placement) GridResult {
-	out := GridResult{Chip: spec, Placement: place}
+	return mustCampaign(EnergyGridContext(context.Background(), Campaign{}, spec, place))
+}
+
+// EnergyGridContext is EnergyGrid with explicit cancellation and a
+// campaign: the (benchmark, threads, frequency) cells are enumerated up
+// front and measured through the worker pool.
+func EnergyGridContext(ctx context.Context, cam Campaign, spec *chip.Spec, place sim.Placement) (GridResult, error) {
+	var specs []RunSpec
 	for _, b := range FiveBenchmarks() {
 		for _, n := range ThreadOptions(spec) {
 			for _, f := range clock.ReportedFrequencies(spec) {
-				res := MustMeasure(RunSpec{
+				specs = append(specs, RunSpec{
 					Chip: spec, Bench: b, Threads: n,
 					Placement: place, Freq: f,
 					Voltage: VoltageSafeVmin,
 				})
-				out.Cells = append(out.Cells, GridCell{
-					Bench: b.Name, Threads: n, Freq: f,
-					AppliedMV: res.AppliedMV,
-					EnergyJ:   res.EnergyJ,
-					Runtime:   res.Runtime,
-					ED2P:      res.ED2P(),
-				})
 			}
 		}
 	}
-	return out
+	cells, err := runCells(ctx, cam, specs, func(_ context.Context, rs RunSpec) (GridCell, error) {
+		res, err := Measure(rs)
+		if err != nil {
+			return GridCell{}, err
+		}
+		return GridCell{
+			Bench: rs.Bench.Name, Threads: rs.Threads, Freq: rs.Freq,
+			AppliedMV: res.AppliedMV,
+			EnergyJ:   res.EnergyJ,
+			Runtime:   res.Runtime,
+			ED2P:      res.ED2P(),
+		}, nil
+	})
+	if err != nil {
+		return GridResult{}, err
+	}
+	return GridResult{Chip: spec, Placement: place, Cells: cells}, nil
 }
 
 // Cell returns the grid cell for a benchmark/threads/frequency combination.

@@ -3,6 +3,7 @@ package vmin
 import (
 	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"avfs/internal/chip"
 )
@@ -42,6 +43,12 @@ func (l LevelResult) PFail() float64 {
 type Characterization struct {
 	Config   *Config
 	SafeVmin chip.Millivolts
+	// SafeFound reports whether any swept level (including nominal)
+	// passed the safe-run criterion. When false — nominal voltage itself
+	// failed — SafeVmin is zero and meaningless: the configuration has no
+	// safe operating point on the sweep grid, and callers must not treat
+	// nominal as safe.
+	SafeFound bool
 	// Levels are ordered from the first level below the safe point
 	// downwards; the last level has pfail == 1 (or hit the regulator
 	// floor).
@@ -51,12 +58,16 @@ type Characterization struct {
 }
 
 // seedFor derives a stable RNG seed from the configuration identity so
-// characterizations are reproducible run to run.
+// characterizations are reproducible run to run. The core list is hashed
+// in canonical (sorted) order: a configuration is a core *set*, so the
+// same cores passed in a different order must characterize identically.
 func seedFor(c *Config, salt int64) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(c.Spec.Name))
 	h.Write([]byte{byte(c.FreqClass)})
-	for _, id := range c.Cores {
+	cores := append([]chip.CoreID(nil), c.Cores...)
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+	for _, id := range cores {
 		h.Write([]byte{byte(id), byte(id >> 8)})
 	}
 	if c.Bench != nil {
@@ -121,8 +132,12 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 	out := Characterization{Config: c}
 
 	// Phase 1: find the safe Vmin. Walk down from nominal; the safe
-	// point is the lowest level whose SafeRuns runs are all clean.
-	safe := c.Spec.NominalMV
+	// point is the lowest level whose SafeRuns runs are all clean. If
+	// even the nominal level fails its criterion there is no safe level:
+	// that outcome is recorded explicitly (SafeFound == false) instead of
+	// silently claiming nominal is safe.
+	var safe chip.Millivolts
+	found := false
 	for v := c.Spec.NominalMV; v >= c.Spec.MinSafeMV; v -= StepMV {
 		lvl := runLevel(c, v, ch.safeTrials(), rng, true)
 		out.TotalRuns += lvl.Runs
@@ -130,14 +145,20 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 			out.Levels = append(out.Levels, lvl)
 			break
 		}
-		safe = v
+		safe, found = v, true
 	}
-	out.SafeVmin = safe
+	out.SafeVmin, out.SafeFound = safe, found
 
 	// Phase 2: sweep the unsafe region at SweepRuns per level until the
 	// system reaches complete failure (pfail == 1) or the regulator
 	// floor. The first unsafe level is re-measured at full resolution.
-	for v := safe - StepMV; v >= c.Spec.MinSafeMV; v -= StepMV {
+	// With no safe level the whole grid from nominal down is unsafe, so
+	// the sweep starts at nominal itself.
+	start := safe - StepMV
+	if !found {
+		start = c.Spec.NominalMV
+	}
+	for v := start; v >= c.Spec.MinSafeMV; v -= StepMV {
 		lvl := runLevel(c, v, ch.unsafeTrials(), rng, false)
 		out.TotalRuns += lvl.Runs
 		// Replace the early-stopped probe of phase 1 if it covered
@@ -156,7 +177,9 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 
 // CumulativePFail returns the (voltage, pfail) points of the unsafe sweep
 // ordered from the safe point downwards, prepending the safe point itself
-// with pfail 0 — the data behind each line of Fig. 5.
+// with pfail 0 — the data behind each line of Fig. 5. When no safe level
+// was found there is no clean point to prepend: the curve holds only the
+// measured (all unsafe) levels.
 func (cz Characterization) CumulativePFail() []struct {
 	Voltage chip.Millivolts
 	PFail   float64
@@ -165,10 +188,12 @@ func (cz Characterization) CumulativePFail() []struct {
 		Voltage chip.Millivolts
 		PFail   float64
 	}, 0, len(cz.Levels)+1)
-	pts = append(pts, struct {
-		Voltage chip.Millivolts
-		PFail   float64
-	}{cz.SafeVmin, 0})
+	if cz.SafeFound {
+		pts = append(pts, struct {
+			Voltage chip.Millivolts
+			PFail   float64
+		}{cz.SafeVmin, 0})
+	}
 	for _, l := range cz.Levels {
 		pts = append(pts, struct {
 			Voltage chip.Millivolts
@@ -179,7 +204,11 @@ func (cz Characterization) CumulativePFail() []struct {
 }
 
 // GuardbandMV returns the exposed voltage guardband of the configuration:
-// nominal voltage minus the discovered safe Vmin.
+// nominal voltage minus the discovered safe Vmin. When no safe level was
+// found there is no exploitable guardband and the result is zero.
 func (cz Characterization) GuardbandMV() chip.Millivolts {
+	if !cz.SafeFound {
+		return 0
+	}
 	return cz.Config.Spec.NominalMV - cz.SafeVmin
 }

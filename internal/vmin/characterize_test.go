@@ -106,6 +106,77 @@ func TestCharacterizeDeterministic(t *testing.T) {
 	}
 }
 
+func TestSeedIgnoresCoreOrder(t *testing.T) {
+	// A configuration is a core *set*: the same cores in a different order
+	// must characterize bit-identically (regression: seedFor used to hash
+	// the slice in caller order).
+	s := chip.XGene2Spec()
+	mk := func(cores []chip.CoreID) Characterization {
+		return fastCh.Characterize(&Config{
+			Spec:      s,
+			FreqClass: clock.FullSpeed,
+			Cores:     cores,
+			Bench:     workload.MustByName("milc"),
+		})
+	}
+	a := mk([]chip.CoreID{0, 2, 4, 6, 1, 3, 5, 7}) // spreaded enumeration order
+	b := mk([]chip.CoreID{0, 1, 2, 3, 4, 5, 6, 7}) // sorted
+	if a.SafeVmin != b.SafeVmin || a.TotalRuns != b.TotalRuns || len(a.Levels) != len(b.Levels) {
+		t.Fatalf("core order changed the characterization: %v/%d vs %v/%d",
+			a.SafeVmin, a.TotalRuns, b.SafeVmin, b.TotalRuns)
+	}
+	for i := range a.Levels {
+		if a.Levels[i].Voltage != b.Levels[i].Voltage || a.Levels[i].Fails != b.Levels[i].Fails {
+			t.Fatalf("level %d differs across core orders", i)
+		}
+	}
+	// The input slice must not be reordered in place.
+	in := []chip.CoreID{6, 4, 2, 0}
+	fastCh.Characterize(&Config{Spec: s, FreqClass: clock.FullSpeed, Cores: in, Bench: workload.MustByName("EP")})
+	if in[0] != 6 || in[3] != 0 {
+		t.Error("seedFor must sort a copy, not the caller's slice")
+	}
+}
+
+func TestCharacterizeReportsNoSafeLevel(t *testing.T) {
+	// A chip whose nominal voltage sits below the model's safe Vmin (e.g.
+	// badly aged or mis-binned silicon) has no safe level on the grid.
+	// Regression: `safe` was pre-initialized to nominal and never
+	// invalidated, so the sweep silently claimed nominal was safe.
+	s := chip.XGene2Spec()
+	s.NominalMV = 880 // FullSpeed 4-PMD envelope is 910 mV
+	cfg := &Config{Spec: s, FreqClass: clock.FullSpeed, Cores: cores(8)}
+	cz := fastCh.Characterize(cfg)
+	if cz.SafeFound {
+		t.Fatalf("SafeFound = true with nominal %v below the %v envelope", s.NominalMV, SafeVmin(cfg))
+	}
+	if cz.SafeVmin != 0 {
+		t.Errorf("SafeVmin = %v, want 0 when no safe level exists", cz.SafeVmin)
+	}
+	if cz.GuardbandMV() != 0 {
+		t.Errorf("GuardbandMV = %v, want 0 when no safe level exists", cz.GuardbandMV())
+	}
+	if len(cz.Levels) == 0 || cz.Levels[0].Voltage != s.NominalMV {
+		t.Fatalf("unsafe sweep must start at nominal, got %+v", cz.Levels)
+	}
+	// The nominal level is re-measured at full sweep resolution, not left
+	// as the early-stopped phase-1 probe.
+	if cz.Levels[0].Runs != fastCh.unsafeTrials() {
+		t.Errorf("nominal level has %d runs, want the %d-run sweep", cz.Levels[0].Runs, fastCh.unsafeTrials())
+	}
+	pts := cz.CumulativePFail()
+	if len(pts) == 0 || pts[0].PFail == 0 {
+		t.Errorf("curve must not start with a fake clean point: %+v", pts)
+	}
+	// A healthy chip still reports SafeFound.
+	healthy := fastCh.Characterize(&Config{
+		Spec: chip.XGene2Spec(), FreqClass: clock.FullSpeed, Cores: cores(8),
+	})
+	if !healthy.SafeFound {
+		t.Error("healthy chip must find a safe level")
+	}
+}
+
 func TestCumulativePFailStartsAtSafePoint(t *testing.T) {
 	s := chip.XGene3Spec()
 	cfg := &Config{Spec: s, FreqClass: clock.HalfSpeed, Cores: cores(8), Bench: workload.MustByName("FT")}

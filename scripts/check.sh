@@ -1,7 +1,9 @@
 #!/bin/sh
-# Full repository check: vet, build, race-enabled tests, and the
-# telemetry-overhead benchmark. The benchmark's JSON summary is written to
-# BENCH_telemetry.json at the repository root (see docs/OBSERVABILITY.md).
+# Full repository check: vet, build, race-enabled tests, the
+# telemetry-overhead benchmark, and the experiment-runner speedup gate.
+# The benchmarks' JSON summaries are written to BENCH_telemetry.json and
+# BENCH_experiments.json at the repository root (see docs/OBSERVABILITY.md
+# and EXPERIMENTS.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,5 +23,12 @@ AVFS_BENCH_OUT="$(pwd)/BENCH_telemetry.json" \
 
 echo "==> BENCH_telemetry.json"
 cat BENCH_telemetry.json
+
+echo "==> experiment-runner speedup benchmark (serial vs parallel Figure 3)"
+AVFS_BENCH_EXPERIMENTS_OUT="$(pwd)/BENCH_experiments.json" \
+	go test ./internal/experiments -run TestFigure3ParallelBudget -count=1 -v
+
+echo "==> BENCH_experiments.json"
+cat BENCH_experiments.json
 
 echo "OK"
