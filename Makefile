@@ -1,7 +1,8 @@
 # Convenience targets; `make check` is the full gate (vet + build +
-# race-enabled tests + the telemetry-overhead benchmark + the
-# experiment-runner speedup benchmark, which record their JSON summaries
-# in BENCH_telemetry.json and BENCH_experiments.json).
+# race-enabled tests + the telemetry-overhead benchmark + the simulator
+# hot-path benchmark + the experiment-runner speedup benchmark, which
+# record their JSON summaries in BENCH_telemetry.json, BENCH_sim.json and
+# BENCH_experiments.json).
 
 GO ?= go
 
@@ -27,6 +28,8 @@ check:
 bench:
 	AVFS_BENCH_OUT=$(CURDIR)/BENCH_telemetry.json \
 		$(GO) test ./internal/telemetry -run TestTelemetryOverheadBudget -count=1 -v
+	AVFS_BENCH_SIM_OUT=$(CURDIR)/BENCH_sim.json \
+		$(GO) test ./internal/sim -run TestSimSteadyStateBudget -count=1 -v
 	AVFS_BENCH_EXPERIMENTS_OUT=$(CURDIR)/BENCH_experiments.json \
 		$(GO) test ./internal/experiments -run TestFigure3ParallelBudget -count=1 -v
 

@@ -11,9 +11,11 @@
 //	ablate [-study threshold|guard|poll|hysteresis|memfreq|relaxed|
 //	        protocol|aging|migration|capping|all]
 //	       [-chip xgene2|xgene3] [-duration 900] [-seed 42] [-j N]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -j sets the worker-pool width used to run a sweep's variants in
-// parallel; results are identical for any width.
+// parallel; results are identical for any width. -cpuprofile and
+// -memprofile write pprof profiles covering the whole run.
 package main
 
 import (
@@ -25,14 +27,23 @@ import (
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
+	"avfs/internal/profiling"
 )
 
+// main defers to run so profile flushing (and any other deferred cleanup)
+// happens before the process exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	study := flag.String("study", "all", "threshold, guard, poll, hysteresis, memfreq, relaxed, protocol, aging, migration, capping or all")
 	chipFlag := flag.String("chip", "xgene3", "chip: xgene2 or xgene3")
 	duration := flag.Float64("duration", 900, "workload duration in seconds")
 	seed := flag.Int64("seed", 42, "workload seed")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers per sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
 
 	var spec *chip.Spec
@@ -43,8 +54,19 @@ func main() {
 		spec = chip.XGene3Spec()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipFlag)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+		}
+	}()
 
 	ctx := context.Background()
 	cam := experiments.Campaign{Workers: *jobs}
@@ -92,7 +114,7 @@ func main() {
 		res, err := s.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ablate %s: %v\n", s.name, err)
-			os.Exit(1)
+			return 1
 		}
 		res.Render(os.Stdout)
 		fmt.Println()
@@ -102,13 +124,14 @@ func main() {
 		st, err := experiments.RunCapStudyContext(ctx, cam, spec, *duration, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ablate capping: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		st.Render(os.Stdout)
 		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

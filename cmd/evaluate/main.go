@@ -7,10 +7,12 @@
 //
 //	evaluate [-chip xgene2|xgene3|both] [-duration 3600] [-seed 42]
 //	         [-fig14] [-fig15] [-seeds N] [-csv DIR] [-j N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -j sets the worker-pool width: the four configuration replays (or the
 // seeds of the robustness study) run in parallel, with results identical
-// for any width.
+// for any width. -cpuprofile and -memprofile write pprof profiles covering
+// the whole campaign.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
 	"avfs/internal/export"
+	"avfs/internal/profiling"
 	"avfs/internal/wlgen"
 )
 
@@ -33,7 +36,13 @@ func sanitizeChip(name string) string {
 	return strings.ReplaceAll(strings.ToLower(name), " ", "-")
 }
 
+// main defers to run so profile flushing (and any other deferred cleanup)
+// happens before the process exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	chipFlag := flag.String("chip", "both", "chip to evaluate: xgene2, xgene3 or both")
 	duration := flag.Float64("duration", 3600, "workload duration in seconds")
 	seed := flag.Int64("seed", 42, "workload generator seed")
@@ -42,14 +51,27 @@ func main() {
 	seeds := flag.Int("seeds", 0, "run the multi-seed robustness study over N seeds instead of the table")
 	csvDir := flag.String("csv", "", "also export summary and timelines as CSV files into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the configuration replays")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+		}
+	}()
 
 	ctx := context.Background()
 	cam := experiments.Campaign{Workers: *jobs}
 	specs, err := chipsFor(*chipFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	for _, spec := range specs {
 		if *seeds > 0 {
@@ -60,7 +82,7 @@ func main() {
 			st, err := experiments.RunSeedStudyContext(ctx, cam, spec, *duration, list)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "evaluate:", err)
-				os.Exit(1)
+				return 1
 			}
 			st.Render(os.Stdout)
 			fmt.Println()
@@ -72,14 +94,14 @@ func main() {
 		set, err := experiments.EvaluateAllContext(ctx, cam, spec, wl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(1)
+			return 1
 		}
 		set.Render(os.Stdout)
 		if *csvDir != "" {
 			dir := filepath.Join(*csvDir, sanitizeChip(spec.Name))
 			if err := export.EvalSet(dir, set); err != nil {
 				fmt.Fprintln(os.Stderr, "evaluate: csv export:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println("CSV written to", dir)
 		}
@@ -95,6 +117,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
 func chipsFor(name string) ([]*chip.Spec, error) {

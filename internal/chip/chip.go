@@ -258,6 +258,12 @@ type Chip struct {
 
 	voltage Millivolts
 	pmdFreq []MHz
+
+	// gen counts electrical-state changes (voltage or any PMD frequency).
+	// Consumers cache derived state (safe-Vmin requirements, power-model
+	// inputs) keyed on this counter; a no-op programming that lands on the
+	// already-applied value does not advance it.
+	gen uint64
 }
 
 // New creates a chip in its default power-on state: nominal voltage and all
@@ -281,9 +287,17 @@ func (c *Chip) Voltage() Millivolts { return c.voltage }
 // is clamped to the regulator envelope and grid; the applied value is
 // returned. Voltage is chip-global: all cores always share it.
 func (c *Chip) SetVoltage(v Millivolts) Millivolts {
-	c.voltage = c.Spec.ClampVoltage(v)
+	if g := c.Spec.ClampVoltage(v); g != c.voltage {
+		c.voltage = g
+		c.gen++
+	}
 	return c.voltage
 }
+
+// Generation returns a counter that advances whenever the applied voltage
+// or any PMD frequency actually changes. Equal generations guarantee an
+// unchanged electrical state, so derived caches remain valid.
+func (c *Chip) Generation() uint64 { return c.gen }
 
 // PMDFreq returns the programmed frequency of PMD p.
 func (c *Chip) PMDFreq(p PMDID) MHz {
@@ -300,15 +314,25 @@ func (c *Chip) SetPMDFreq(p PMDID, f MHz) MHz {
 	if !c.Spec.ValidPMD(p) {
 		panic(fmt.Sprintf("chip: invalid PMD %d", p))
 	}
-	c.pmdFreq[p] = c.Spec.ClampFreq(f)
+	if g := c.Spec.ClampFreq(f); g != c.pmdFreq[p] {
+		c.pmdFreq[p] = g
+		c.gen++
+	}
 	return c.pmdFreq[p]
 }
 
 // SetAllFreq programs every PMD to frequency f and returns the applied value.
 func (c *Chip) SetAllFreq(f MHz) MHz {
 	g := c.Spec.ClampFreq(f)
+	changed := false
 	for i := range c.pmdFreq {
-		c.pmdFreq[i] = g
+		if c.pmdFreq[i] != g {
+			c.pmdFreq[i] = g
+			changed = true
+		}
+	}
+	if changed {
+		c.gen++
 	}
 	return g
 }

@@ -221,3 +221,36 @@ func TestUnitStrings(t *testing.T) {
 		t.Error("Millivolts.Volts")
 	}
 }
+
+func TestGenerationCountsOnlyRealChanges(t *testing.T) {
+	c := New(XGene3Spec())
+	g0 := c.Generation()
+	// A no-op programming (same value lands after clamping) must not
+	// advance the generation — consumers key caches on it, and voltage
+	// re-settles to the same level are common in the daemon's protocol.
+	c.SetVoltage(c.Voltage())
+	c.SetPMDFreq(0, c.PMDFreq(0))
+	c.SetAllFreq(c.PMDFreq(0))
+	if c.Generation() != g0 {
+		t.Errorf("no-op programmings advanced generation %d -> %d", g0, c.Generation())
+	}
+	c.SetVoltage(c.Spec.NominalMV - 50)
+	if c.Generation() != g0+1 {
+		t.Errorf("voltage change advanced generation to %d, want %d", c.Generation(), g0+1)
+	}
+	c.SetPMDFreq(1, c.Spec.HalfFreq())
+	if c.Generation() != g0+2 {
+		t.Errorf("frequency change advanced generation to %d, want %d", c.Generation(), g0+2)
+	}
+	// SetAllFreq counts as one electrical change no matter how many PMDs
+	// move.
+	c.SetAllFreq(c.Spec.MaxFreq)
+	if c.Generation() != g0+3 {
+		t.Errorf("SetAllFreq advanced generation to %d, want %d", c.Generation(), g0+3)
+	}
+	// ...and is still a no-op when every PMD already sits on the target.
+	c.SetAllFreq(c.Spec.MaxFreq)
+	if c.Generation() != g0+3 {
+		t.Errorf("no-op SetAllFreq advanced generation to %d", c.Generation())
+	}
+}

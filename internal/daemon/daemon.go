@@ -181,10 +181,20 @@ type Daemon struct {
 	// Telemetry (all nil/zero when uninstrumented — the hot path then
 	// pays only nil checks; the overhead benchmark in internal/telemetry
 	// keeps that claim honest).
-	tracer    *telemetry.Tracer
-	hLatency  *telemetry.Histogram
-	hMargin   *telemetry.Histogram
-	residency [][]*telemetry.FloatCounter // [pmd][clock.FreqClass]
+	tracer   *telemetry.Tracer
+	hLatency *telemetry.Histogram
+	hMargin  *telemetry.Histogram
+	// Residency accounting. Frequencies only move when the chip's
+	// generation counter bumps, so per-PMD classes are cached per
+	// generation and ticks accumulate into a single epoch span; the
+	// settled per-[pmd][class] seconds live in residency and the
+	// registered CounterFuncs add the open epoch back in at gather time.
+	// One float add per tick instead of a per-PMD scan.
+	residency [][]float64 // [pmd][clock.FreqClass] settled seconds
+	resClass  []clock.FreqClass
+	resGen    uint64
+	resValid  bool
+	resSpan   float64 // seconds accumulated in the current generation
 	reconfigs int64
 }
 
@@ -235,14 +245,23 @@ func (d *Daemon) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		"Programmed voltage minus true safe Vmin, sampled at each poll.",
 		[]float64{0, 5, 10, 20, 40, 80, 160})
 	spec := d.M.Spec
-	d.residency = make([][]*telemetry.FloatCounter, spec.PMDs())
+	d.residency = make([][]float64, spec.PMDs())
+	d.resClass = make([]clock.FreqClass, spec.PMDs())
 	for p := range d.residency {
-		d.residency[p] = make([]*telemetry.FloatCounter, int(clock.DividedLow)+1)
+		d.residency[p] = make([]float64, int(clock.DividedLow)+1)
 		for fc := range d.residency[p] {
-			d.residency[p][fc] = reg.FloatCounter(MetricResidency,
+			p, fc := p, clock.FreqClass(fc)
+			reg.CounterFunc(MetricResidency,
 				"Seconds each PMD spent programmed in each frequency class.",
+				func() float64 {
+					v := d.residency[p][fc]
+					if d.resValid && d.resClass[p] == fc {
+						v += d.resSpan
+					}
+					return v
+				},
 				telemetry.Label{Key: "pmd", Value: strconv.Itoa(p)},
-				telemetry.Label{Key: "class", Value: clock.FreqClass(fc).String()})
+				telemetry.Label{Key: "class", Value: fc.String()})
 		}
 	}
 }
@@ -295,26 +314,49 @@ func (d *Daemon) ClassCounts() (cpu, mem int) {
 	return
 }
 
-// Attach hooks the daemon into the machine's event loop.
+// Attach hooks the daemon into the machine's event loop. The hook is
+// batch-aware: while the daemon has no staged transition, no pending
+// arrivals and no dirty placement, the machine may coalesce steady ticks
+// up to the daemon's next poll instant.
 func (d *Daemon) Attach() {
 	d.M.OnFinish(func(p *sim.Process) {
 		delete(d.states, p.ID)
 		d.dirty = true
 	})
-	d.M.OnTick(func(*sim.Machine) { d.tick() })
+	d.M.OnTickBounded(func(_ *sim.Machine, k int) { d.tick(k) }, d.nextBoundary)
 	// Establish the initial electrical state.
 	d.dirty = true
 }
 
-// tick is the daemon's per-simulation-step entry point.
-func (d *Daemon) tick() {
-	// Residency accounting runs every tick, before the early returns of
-	// the transition machinery.
+// nextBoundary reports the next simulation time the daemon must observe a
+// tick-exact step. Any in-flight transition, dirty placement or pending
+// arrival needs per-tick processing (return a time already passed);
+// otherwise the daemon sleeps until its next monitoring poll.
+func (d *Daemon) nextBoundary() float64 {
+	if len(d.queue) > 0 || d.dirty || d.M.PendingCount() > 0 {
+		return 0
+	}
+	return d.nextPoll
+}
+
+// tick is the daemon's end-of-commit entry point; ticks is how many
+// simulator ticks the machine just committed (1 on the exact path).
+func (d *Daemon) tick(ticks int) {
+	// Residency accounting covers every committed tick, before the early
+	// returns of the transition machinery. Frequencies cannot change
+	// inside a coalesced batch (any chip programming invalidates steady
+	// state), so the whole span sat in the current class — and while the
+	// chip generation is unchanged the classes are the cached ones, so
+	// the span folds into one accumulator.
 	if d.residency != nil {
-		for p := range d.residency {
-			fc := clock.ClassOf(d.M.Spec, d.M.Chip.PMDFreq(chip.PMDID(p)))
-			d.residency[p][fc].Add(d.M.Tick)
+		if g := d.M.Chip.Generation(); !d.resValid || g != d.resGen {
+			d.flushResidency()
+			for p := range d.resClass {
+				d.resClass[p] = clock.ClassOf(d.M.Spec, d.M.Chip.PMDFreq(chip.PMDID(p)))
+			}
+			d.resGen, d.resValid = g, true
 		}
+		d.resSpan += float64(ticks) * d.M.Tick
 	}
 	// An in-flight staged transition runs to completion before any new
 	// decision is taken (the controller is busy actuating).
@@ -330,7 +372,7 @@ func (d *Daemon) tick() {
 		return
 	}
 	// Arrivals: any pending process triggers the placement path.
-	if len(d.M.Pending()) > 0 {
+	if d.M.PendingCount() > 0 {
 		d.dirty = true
 	}
 	if d.dirty {
@@ -344,6 +386,18 @@ func (d *Daemon) tick() {
 		d.poll()
 		d.nextPoll = d.M.Now() + d.Cfg.PollInterval
 	}
+}
+
+// flushResidency settles the open epoch span into the per-class totals
+// (called before the cached classes change).
+func (d *Daemon) flushResidency() {
+	if !d.resValid || d.resSpan == 0 {
+		return
+	}
+	for p, fc := range d.resClass {
+		d.residency[p][fc] += d.resSpan
+	}
+	d.resSpan = 0
 }
 
 // TransitionInFlight reports whether a staged transition is executing.

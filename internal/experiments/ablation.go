@@ -84,23 +84,8 @@ func (h *ablationHarness) runVariant(label string, cfg daemon.Config, setup func
 	}
 	d := daemon.New(m, cfg)
 	d.Attach()
-	next := 0
-	limit := h.wl.Duration*3 + 3600
-	for {
-		for next < len(h.wl.Arrivals) && h.wl.Arrivals[next].At <= m.Now() {
-			a := h.wl.Arrivals[next]
-			if _, err := m.Submit(a.Bench, a.Threads); err != nil {
-				return AblationPoint{}, err
-			}
-			next++
-		}
-		if next == len(h.wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
-			break
-		}
-		if m.Now() > limit {
-			return AblationPoint{}, fmt.Errorf("experiments: ablation variant %q stuck", label)
-		}
-		m.Step()
+	if err := replayArrivals(m, h.wl, "ablation variant "+label); err != nil {
+		return AblationPoint{}, err
 	}
 	st := d.Stats()
 	return AblationPoint{

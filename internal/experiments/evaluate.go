@@ -95,7 +95,16 @@ type EvalResult struct {
 // Evaluate replays workload wl on a fresh machine of the given chip under
 // the chosen system configuration and measures the paper's table metrics.
 func Evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig) (EvalResult, error) {
+	res, _, err := evaluate(spec, wl, cfg, true)
+	return res, err
+}
+
+// evaluate is Evaluate with an explicit tick-coalescing switch. It also
+// returns the replayed machine so the equivalence tests can compare
+// observables beyond the table metrics (per-core counters, finish order).
+func evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig, coalesce bool) (EvalResult, *sim.Machine, error) {
 	m := sim.New(spec)
+	m.SetCoalescing(coalesce)
 	res := EvalResult{Config: cfg, Chip: spec}
 
 	var d *daemon.Daemon
@@ -115,7 +124,7 @@ func Evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig) (EvalResult
 		d = daemon.New(m, daemon.DefaultConfig())
 		d.Attach()
 	default:
-		return res, fmt.Errorf("experiments: unknown system config %v", cfg)
+		return res, nil, fmt.Errorf("experiments: unknown system config %v", cfg)
 	}
 
 	rec := trace.NewRecorder(1.0)
@@ -144,27 +153,11 @@ func Evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig) (EvalResult
 		_, mm := classCounts()
 		return float64(mm)
 	})
-	m.OnTick(func(mm *sim.Machine) { rec.Tick(mm.Now()) })
+	m.OnTickBounded(func(mm *sim.Machine, _ int) { rec.Tick(mm.Now()) }, rec.NextSampleTime)
 
 	// Replay the arrival schedule.
-	next := 0
-	limit := wl.Duration*3 + 3600
-	for {
-		for next < len(wl.Arrivals) && wl.Arrivals[next].At <= m.Now() {
-			a := wl.Arrivals[next]
-			if _, err := m.Submit(a.Bench, a.Threads); err != nil {
-				return res, fmt.Errorf("experiments: submit %s: %w", a.Bench.Name, err)
-			}
-			next++
-		}
-		if next == len(wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
-			break
-		}
-		if m.Now() > limit {
-			return res, fmt.Errorf("experiments: %v run exceeded %.0fs (running=%d pending=%d)",
-				cfg, limit, len(m.Running()), len(m.Pending()))
-		}
-		m.Step()
+	if err := replayArrivals(m, wl, cfg.String()); err != nil {
+		return res, m, err
 	}
 
 	res.TimeSec = m.Now()
@@ -176,7 +169,7 @@ func Evaluate(spec *chip.Spec, wl *wlgen.Workload, cfg SystemConfig) (EvalResult
 	if d != nil {
 		res.DaemonStats = d.Stats()
 	}
-	return res, nil
+	return res, m, nil
 }
 
 // EvalSet is the four-configuration comparison of Table III (X-Gene 2) or

@@ -59,23 +59,8 @@ func RunCapStudyContext(ctx context.Context, cam Campaign, spec *chip.Spec, dura
 	replay := func(label string, setup func(*sim.Machine)) (CapPoint, error) {
 		m := sim.New(spec)
 		setup(m)
-		next := 0
-		limit := duration*3 + 3600
-		for {
-			for next < len(wl.Arrivals) && wl.Arrivals[next].At <= m.Now() {
-				a := wl.Arrivals[next]
-				if _, err := m.Submit(a.Bench, a.Threads); err != nil {
-					return CapPoint{}, err
-				}
-				next++
-			}
-			if next == len(wl.Arrivals) && len(m.Running()) == 0 && len(m.Pending()) == 0 {
-				break
-			}
-			if m.Now() > limit {
-				return CapPoint{}, fmt.Errorf("experiments: cap-study %q stuck", label)
-			}
-			m.Step()
+		if err := replayArrivals(m, wl, "cap-study "+label); err != nil {
+			return CapPoint{}, err
 		}
 		return CapPoint{
 			Label:       label,

@@ -102,6 +102,16 @@ type State struct {
 	MemUtil float64
 }
 
+// NewState returns a State shaped for spec with every core idle and all
+// PMDs unprogrammed. Hot loops keep one such State and refill it in place
+// each evaluation instead of reallocating the PMDFreq/Cores slices.
+func NewState(spec *chip.Spec) State {
+	return State{
+		PMDFreq: make([]chip.MHz, spec.PMDs()),
+		Cores:   make([]CoreState, spec.Cores),
+	}
+}
+
 // Breakdown is the instantaneous power decomposition in watts.
 type Breakdown struct {
 	CoreDynamic float64

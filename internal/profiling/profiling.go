@@ -1,0 +1,52 @@
+// Package profiling wires the standard runtime/pprof profilers into
+// command-line tools: one call at startup, one deferred stop, and the
+// campaign binaries can be profiled without editing code (the perf-PR
+// workflow behind the simulator's hot-path work).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths:
+// cpuPath receives a CPU profile collected until stop is called, memPath
+// an allocation profile snapshotted at stop time. The returned stop
+// function must run before the process exits — defer it from a helper
+// that returns an exit code rather than calling os.Exit directly, or the
+// profiles are lost. Start never returns a nil stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -42,11 +42,19 @@ func NewPowerCap(m *sim.Machine, budgetW float64) *PowerCap {
 }
 
 // Attach hooks the governor (and the default placer) onto the machine.
+// The tick boundary is the governor's next sample instant (immediate while
+// processes await placement), so steady spans between control-loop
+// evaluations can be coalesced.
 func (g *PowerCap) Attach() {
 	placer := &DefaultPlacer{M: g.M}
-	g.M.OnTick(func(*sim.Machine) {
+	g.M.OnTickBounded(func(*sim.Machine, int) {
 		placer.PlacePending()
 		g.Tick()
+	}, func() float64 {
+		if g.M.PendingCount() > 0 {
+			return 0
+		}
+		return g.nextSample
 	})
 }
 

@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"avfs/internal/chip"
@@ -73,6 +74,9 @@ func (p *DefaultPlacer) pickCores(n int) []chip.CoreID {
 // FIFO order; a process that does not fit blocks the queue (FIFO fairness,
 // mirroring a batch spooler feeding a fully loaded server).
 func (p *DefaultPlacer) PlacePending() {
+	if p.M.PendingCount() == 0 {
+		return
+	}
 	for _, proc := range p.M.Pending() {
 		cores := p.pickCores(len(proc.Threads))
 		if cores == nil {
@@ -86,9 +90,20 @@ func (p *DefaultPlacer) PlacePending() {
 
 // Attach hooks the placer to the machine so pending processes are placed
 // on every tick (completions free cores, so the next tick drains the
-// queue).
+// queue). The hook is batch-aware: with nothing pending the placer never
+// needs a tick-exact step (completions invalidate the machine's steady
+// state on their own, so arrival-free stretches coalesce freely).
 func (p *DefaultPlacer) Attach() {
-	p.M.OnTick(func(*sim.Machine) { p.PlacePending() })
+	p.M.OnTickBounded(func(*sim.Machine, int) { p.PlacePending() }, p.nextBoundary)
+}
+
+// nextBoundary forces per-tick stepping only while something waits for
+// placement.
+func (p *DefaultPlacer) nextBoundary() float64 {
+	if p.M.PendingCount() > 0 {
+		return 0
+	}
+	return math.Inf(1)
 }
 
 // Ondemand is the Linux ondemand cpufreq governor operating per policy
@@ -112,6 +127,10 @@ type Ondemand struct {
 func NewOndemand(m *sim.Machine) *Ondemand {
 	return &Ondemand{M: m, SamplePeriod: 0.1, StepDownFactor: 0.25}
 }
+
+// NextSample returns the simulation time of the next governor evaluation
+// — the tick boundary a coalescing simulator must not batch past.
+func (g *Ondemand) NextSample() float64 { return g.nextSample }
 
 // Tick runs one governor evaluation if the sample period elapsed.
 func (g *Ondemand) Tick() {
@@ -154,9 +173,16 @@ func NewBaseline(m *sim.Machine) *Baseline {
 		Placer:   &DefaultPlacer{M: m},
 		Governor: NewOndemand(m),
 	}
-	m.OnTick(func(*sim.Machine) {
+	m.OnTickBounded(func(*sim.Machine, int) {
 		b.Placer.PlacePending()
 		b.Governor.Tick()
+	}, func() float64 {
+		// Pending work needs per-tick placement attempts; otherwise the
+		// stack next acts at the governor's sample instant.
+		if m.PendingCount() > 0 {
+			return 0
+		}
+		return b.Governor.NextSample()
 	})
 	return b
 }

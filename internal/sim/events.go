@@ -123,6 +123,7 @@ func (m *Machine) seedVFMirrors() {
 	for p := range m.lastF {
 		m.lastF[p] = m.Chip.PMDFreq(chip.PMDID(p))
 	}
+	m.evGen, m.evValid = m.Chip.Generation(), true
 }
 
 // Events returns the recorded events (nil when the log is disabled).

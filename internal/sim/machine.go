@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"avfs/internal/chip"
 	"avfs/internal/clock"
@@ -29,6 +28,22 @@ const contentionOverlap = 0.8
 // queueing factor finite.
 const maxMemRho = 0.95
 
+// steadyRhoEps bounds the residual movement of the memory fixed point for
+// a tick to count as steady: once the damped iteration's last mix moves
+// rho by less than this, the utilization is frozen and identical ticks can
+// be coalesced without drifting the per-tick instruction quantum.
+const steadyRhoEps = 1e-12
+
+// maxBatchTicks caps one coalesced commit (the max-horizon bound): even a
+// fully steady idle machine re-validates its world at least every ~11
+// simulated minutes.
+const maxBatchTicks = 1 << 16
+
+// boundarySlop mirrors the FP tolerance the tick consumers use in their
+// own "has the boundary passed" checks (daemon poll, trace recorder), so
+// a batch never skips past a tick on which a consumer would have acted.
+const boundarySlop = 1e-12
+
 // Emergency records an instant at which the programmed voltage was below
 // the configuration's true safe Vmin — on real hardware, a crash risk. The
 // daemon's fail-safe protocol must keep this list empty.
@@ -45,6 +60,56 @@ type CoreCounters struct {
 	L3CAccesses  uint64
 }
 
+// upd is the per-thread scratch record of one tick: the static factors
+// resolved in Phase 1, the equilibrium progress of Phase 2, and the
+// derived per-tick commit quanta reused by the steady-state engine.
+type upd struct {
+	t      *Thread
+	bench  *workload.Benchmark
+	core   chip.CoreID
+	fGHz   float64
+	l2Infl float64
+	cpi    float64
+	instr  float64
+	cycles float64
+	// Commit quanta of one steady tick (Phase 5 equivalents).
+	coreW   float64
+	dCycles uint64
+	dInstr  uint64
+	dL3C    uint64
+}
+
+// steadyCache captures the fully converged outcome of one tick so that
+// while nothing changes — same busy-thread set, same V/F, no stall
+// expiring, memory fixed point converged — subsequent ticks replay it
+// without recomputation, one at a time (Step) or k at once (Advance).
+type steadyCache struct {
+	valid bool
+	// Validity keys: the electrical state and placement generations the
+	// cache was built under, and the tick length.
+	chipGen  uint64
+	placeGen uint64
+	tick     float64
+	// n is the number of entries of Machine.upds the cache covers.
+	n int
+	// Power of one steady tick.
+	watts float64
+	bd    power.Breakdown
+	// emCheck replays the Phase 4 accounting: ticks with any runnable
+	// thread count one emergency evaluation each.
+	emCheck bool
+}
+
+// tickHook is one registered end-of-tick callback. Legacy OnTick hooks
+// observe every tick and therefore disable coalescing; bounded hooks
+// declare the next simulation time they care about, letting the engine
+// batch every tick strictly before it.
+type tickHook struct {
+	legacy func(*Machine)
+	fn     func(*Machine, int)
+	next   func() float64
+}
+
 // Machine is one simulated X-Gene server.
 type Machine struct {
 	Spec  *chip.Spec
@@ -55,12 +120,26 @@ type Machine struct {
 	// Tick is the integration step in seconds.
 	Tick float64
 
-	now    float64
+	// ticks is the integer tick count; now is always derived as
+	// float64(ticks)*Tick so hour-scale runs accumulate no FP drift.
+	ticks uint64
+	now   float64
+
 	nextID int
 
 	procs    map[int]*Process
 	coreThr  []*Thread // occupancy: one thread per core, or nil
 	counters []CoreCounters
+
+	// running mirrors procs' Running subset in ascending ID order;
+	// pendingN counts the Pending subset. Both are maintained on state
+	// transitions so the hot path never rebuilds or sorts them.
+	running  []*Process
+	pendingN int
+	// finCheck marks that a thread may have completed since the last
+	// completion scan (set by Phase 5 and by placements, which can admit
+	// zero-work processes).
+	finCheck bool
 
 	// memRho is the lagged memory-path utilization used to break the
 	// demand/latency fixed point across ticks.
@@ -77,9 +156,13 @@ type Machine struct {
 	// subs receive every event as it happens (see Subscribe).
 	subs []func(Event)
 	// lastV/lastF mirror the chip's programmed V/F so Step can log
-	// changes regardless of which component programmed them.
-	lastV chip.Millivolts
-	lastF []chip.MHz
+	// changes regardless of which component programmed them; evGen is the
+	// chip generation the mirrors reflect, so steady ticks skip the scan
+	// (the generation bumps on every real V/F change).
+	lastV   chip.Millivolts
+	lastF   []chip.MHz
+	evGen   uint64
+	evValid bool
 	// emChecks counts voltage-emergency evaluations (one per tick with
 	// any thread making progress) — the denominator behind the paper's
 	// "zero emergencies" claim.
@@ -95,37 +178,114 @@ type Machine struct {
 	// paper's approximation.
 	migrationPenalty float64
 
+	// placeGen counts placement-affecting changes (submit, place,
+	// migrate, reassign, completion, aging drift); together with the
+	// chip's electrical generation it keys every derived cache.
+	placeGen uint64
+
+	// upds is the persistent Phase 1/2 scratch buffer; pst the persistent
+	// power-model input. Both are refilled in place every full tick.
+	upds []upd
+	pst  power.State
+	// foldDone/foldInc are dense scratch for the batch commit's progress
+	// fold (cache-friendly and free of per-iteration pointer chasing).
+	foldDone []float64
+	foldInc  []float64
+
+	// steady is the coalescing engine's cached tick.
+	steady steadyCache
+	// coalescing gates multi-tick commits (Advance); per-tick Step always
+	// reuses the steady cache regardless, so both settings follow the
+	// same numeric trajectory.
+	coalescing bool
+	// coalesced counts ticks committed beyond the first of each batch.
+	coalesced uint64
+
+	// Cached RequiredSafeVmin, keyed by (chip generation, placeGen).
+	reqVmin     chip.Millivolts
+	reqChipGen  uint64
+	reqPlaceGen uint64
+	reqValid    bool
+
 	// onFinish callbacks run after a process completes (within Step,
 	// after state updates), in registration order.
 	onFinish []func(*Process)
-	// onTick callbacks run at the end of every step, in registration
-	// order.
-	onTick []func(*Machine)
+	// hooks are the end-of-tick callbacks in registration order;
+	// hasLegacy notes whether any of them must observe every tick.
+	hooks     []tickHook
+	hasLegacy bool
 }
 
 // New creates an idle machine for the given chip spec.
 func New(spec *chip.Spec) *Machine {
 	return &Machine{
-		Spec:     spec,
-		Chip:     chip.New(spec),
-		Power:    power.NewModel(spec),
-		Tick:     DefaultTick,
-		procs:    map[int]*Process{},
-		coreThr:  make([]*Thread, spec.Cores),
-		counters: make([]CoreCounters, spec.Cores),
+		Spec:       spec,
+		Chip:       chip.New(spec),
+		Power:      power.NewModel(spec),
+		Tick:       DefaultTick,
+		procs:      map[int]*Process{},
+		coreThr:    make([]*Thread, spec.Cores),
+		counters:   make([]CoreCounters, spec.Cores),
+		coalescing: true,
 	}
 }
 
 // Now returns the simulation time in seconds.
 func (m *Machine) Now() float64 { return m.now }
 
+// Ticks returns the number of ticks committed so far; Now() is always
+// exactly Ticks()*Tick.
+func (m *Machine) Ticks() uint64 { return m.ticks }
+
+// CoalescedTicks returns how many of the committed ticks were replayed
+// from the steady-state cache in multi-tick batches (every tick beyond
+// the first of each batch).
+func (m *Machine) CoalescedTicks() uint64 { return m.coalesced }
+
+// SetCoalescing enables or disables multi-tick steady-state batching in
+// Advance/RunFor/RunUntilIdle (on by default). Both settings produce the
+// same trajectory: integer counters and tick times exactly, accumulated
+// energies within FP-summation tolerance.
+func (m *Machine) SetCoalescing(on bool) { m.coalescing = on }
+
 // OnFinish registers a callback invoked whenever a process completes.
 // Callbacks run in registration order.
 func (m *Machine) OnFinish(fn func(*Process)) { m.onFinish = append(m.onFinish, fn) }
 
-// OnTick registers a callback invoked at the end of every step.
-// Callbacks run in registration order.
-func (m *Machine) OnTick(fn func(*Machine)) { m.onTick = append(m.onTick, fn) }
+// OnTick registers a callback invoked at the end of every step, in
+// registration order with OnTickBounded hooks. A legacy per-tick hook
+// must see every tick, so registering one disables tick coalescing for
+// the machine; components that can state when they next need to run
+// should use OnTickBounded instead.
+func (m *Machine) OnTick(fn func(*Machine)) {
+	m.hooks = append(m.hooks, tickHook{legacy: fn})
+	m.hasLegacy = true
+}
+
+// OnTickBounded registers a batch-aware end-of-tick callback. fn runs
+// after every commit with the number of ticks just committed (1 on the
+// exact path, k>=1 after a coalesced batch); it may be nil for hooks that
+// only constrain batching. next reports the next simulation time the hook
+// needs tick-exact processing for: the engine never commits a batch past
+// the first tick whose time reaches next()-1e-12, so the hook observes
+// that tick exactly as serial stepping would. Returning a time at or
+// before Now() forces per-tick stepping; +Inf leaves batching unbounded.
+func (m *Machine) OnTickBounded(fn func(*Machine, int), next func() float64) {
+	m.hooks = append(m.hooks, tickHook{fn: fn, next: next})
+}
+
+// runHooks invokes the end-of-tick callbacks for a commit of k ticks.
+func (m *Machine) runHooks(k int) {
+	for i := range m.hooks {
+		h := &m.hooks[i]
+		switch {
+		case h.legacy != nil:
+			h.legacy(m)
+		case h.fn != nil:
+			h.fn(m, k)
+		}
+	}
+}
 
 // Submit creates a new pending process of nThreads threads running bench.
 func (m *Machine) Submit(b *workload.Benchmark, nThreads int) (*Process, error) {
@@ -135,6 +295,8 @@ func (m *Machine) Submit(b *workload.Benchmark, nThreads int) (*Process, error) 
 	}
 	m.nextID++
 	m.procs[p.ID] = p
+	m.pendingN++
+	m.placeGen++
 	m.logEvent(EvSubmit, p.ID, "%s x%d threads", b.Name, nThreads)
 	return p, nil
 }
@@ -146,6 +308,25 @@ func (m *Machine) MustSubmit(b *workload.Benchmark, nThreads int) *Process {
 		panic(err)
 	}
 	return p
+}
+
+// startRunning transitions a pending process to Running and inserts it
+// into the maintained running list (ascending ID order).
+func (m *Machine) startRunning(p *Process) {
+	p.State = Running
+	p.Started = m.now
+	m.pendingN--
+	i := len(m.running)
+	for i > 0 && m.running[i-1].ID > p.ID {
+		i--
+	}
+	m.running = append(m.running, nil)
+	copy(m.running[i+1:], m.running[i:])
+	m.running[i] = p
+	// A degenerate zero-work process (possible with SerialFrac 1) is done
+	// the moment it starts; make sure the next tick's completion scan
+	// sees it.
+	m.finCheck = true
 }
 
 // Place pins every thread of a pending process onto the given cores (one
@@ -164,10 +345,20 @@ func (m *Machine) Place(p *Process, cores []chip.CoreID) error {
 		t.Core = cores[i]
 		m.coreThr[cores[i]] = t
 	}
-	p.State = Running
-	p.Started = m.now
+	m.startRunning(p)
+	m.placeGen++
 	m.logEvent(EvPlace, p.ID, "%s on %s", p.Bench.Name, coresString(cores))
 	return nil
+}
+
+// stallTicks converts the configured migration penalty to whole ticks,
+// rounding up so any positive penalty stalls at least the remainder of
+// its span; a zero penalty is exactly free.
+func (m *Machine) stallTicks() uint64 {
+	if m.migrationPenalty <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(m.migrationPenalty/m.Tick - 1e-9))
 }
 
 // Migrate moves a running process's threads onto a new core set, modelling
@@ -188,11 +379,13 @@ func (m *Machine) Migrate(p *Process, cores []chip.CoreID) error {
 			m.coreThr[t.Core] = nil
 		}
 	}
+	stall := m.ticks + m.stallTicks()
 	for i, t := range p.Threads {
 		t.Core = cores[i]
 		m.coreThr[cores[i]] = t
-		t.stalledUntil = m.now + m.migrationPenalty
+		t.stalledUntilTick = stall
 	}
+	m.placeGen++
 	m.logEvent(EvMigrate, p.ID, "%s to %s", p.Bench.Name, coresString(cores))
 	return nil
 }
@@ -246,22 +439,23 @@ func (m *Machine) Reassign(assign map[*Process][]chip.CoreID) error {
 			t.Core = -1
 		}
 	}
+	stall := m.ticks + m.stallTicks()
 	for p, cores := range assign {
 		for i, t := range p.Threads {
 			t.Core = cores[i]
 			m.coreThr[cores[i]] = t
 		}
 		if p.State == Pending {
-			p.State = Running
-			p.Started = m.now
+			m.startRunning(p)
 			m.logEvent(EvPlace, p.ID, "%s on %s", p.Bench.Name, coresString(cores))
 		} else if !coresEqual(oldCores[p], cores) {
 			for _, t := range p.Threads {
-				t.stalledUntil = m.now + m.migrationPenalty
+				t.stalledUntilTick = stall
 			}
 			m.logEvent(EvMigrate, p.ID, "%s to %s", p.Bench.Name, coresString(cores))
 		}
 	}
+	m.placeGen++
 	return nil
 }
 
@@ -310,27 +504,34 @@ func (m *Machine) FreeCores() []chip.CoreID {
 
 // Running returns the running processes in submission order.
 func (m *Machine) Running() []*Process {
-	var out []*Process
-	for _, p := range m.procs {
-		if p.State == Running {
+	if len(m.running) == 0 {
+		return nil
+	}
+	return append([]*Process(nil), m.running...)
+}
+
+// RunningCount returns the number of running processes without copying
+// the list.
+func (m *Machine) RunningCount() int { return len(m.running) }
+
+// Pending returns the pending (submitted, unplaced) processes in
+// submission order.
+func (m *Machine) Pending() []*Process {
+	if m.pendingN == 0 {
+		return nil
+	}
+	out := make([]*Process, 0, m.pendingN)
+	for id := 0; id < m.nextID && len(out) < m.pendingN; id++ {
+		if p, ok := m.procs[id]; ok && p.State == Pending {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Pending returns the pending (submitted, unplaced) processes.
-func (m *Machine) Pending() []*Process {
-	var out []*Process
-	for _, p := range m.procs {
-		if p.State == Pending {
-			out = append(out, p)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+// PendingCount returns the number of pending processes without building
+// the list.
+func (m *Machine) PendingCount() int { return m.pendingN }
 
 // Finished returns every completed process so far, in completion order.
 func (m *Machine) Finished() []*Process { return m.finished }
@@ -378,7 +579,8 @@ func (m *Machine) LastPower() float64 { return m.lastWatts }
 // SetMigrationPenalty makes every subsequent migration stall the moved
 // threads for d seconds — the cost the paper argues is negligible
 // ("equal impact as a process migration of the Linux kernel"); the
-// migration-cost ablation quantifies that claim.
+// migration-cost ablation quantifies that claim. The penalty is applied
+// in whole ticks (rounded up), so 0 is exactly free.
 func (m *Machine) SetMigrationPenalty(d float64) {
 	if d < 0 {
 		d = 0
@@ -395,6 +597,7 @@ func (m *Machine) SetVminDrift(mv chip.Millivolts) {
 		mv = 0
 	}
 	m.vminDrift = mv
+	m.placeGen++
 }
 
 // VminDrift returns the configured aging drift.
@@ -404,8 +607,15 @@ func (m *Machine) VminDrift() chip.Millivolts { return m.vminDrift }
 // machine's instantaneous configuration: for every active core, the class
 // envelope of its PMD's frequency class at the current utilized-PMD count,
 // adjusted by the hosted program's offsets. Idle machines require only the
-// regulator floor.
+// regulator floor. The value is memoized on the electrical and placement
+// generations, so callers on hot paths (the per-tick emergency check, the
+// daemon's guard-margin sampling) pay a cache probe, not a recomputation.
 func (m *Machine) RequiredSafeVmin() chip.Millivolts {
+	return m.cachedRequiredVmin()
+}
+
+// computeRequiredVmin derives the requirement from scratch.
+func (m *Machine) computeRequiredVmin() chip.Millivolts {
 	active := m.ActiveCores()
 	if len(active) == 0 {
 		return m.Spec.MinSafeMV
@@ -454,11 +664,151 @@ func (m *Machine) RequiredSafeVmin() chip.Millivolts {
 	return req
 }
 
-// Step advances the simulation by one tick: recomputes contention,
+// cachedRequiredVmin memoizes computeRequiredVmin on the electrical and
+// placement generations so the per-tick emergency check allocates nothing
+// while the configuration is unchanged.
+func (m *Machine) cachedRequiredVmin() chip.Millivolts {
+	cg := m.Chip.Generation()
+	if !m.reqValid || m.reqChipGen != cg || m.reqPlaceGen != m.placeGen {
+		m.reqVmin = m.computeRequiredVmin()
+		m.reqChipGen = cg
+		m.reqPlaceGen = m.placeGen
+		m.reqValid = true
+	}
+	return m.reqVmin
+}
+
+// Step advances the simulation by exactly one tick: recomputes contention,
 // advances thread work, integrates energy, updates counters, checks for
-// voltage emergencies, and completes processes whose work is done.
+// voltage emergencies, and completes processes whose work is done. While
+// the machine is in steady state the tick replays from the cached
+// equilibrium at a fraction of the cost and with zero allocations.
 func (m *Machine) Step() {
+	if m.steadyReady() {
+		m.commitSteady(1)
+		return
+	}
+	m.stepFull()
+}
+
+// steadyReady reports whether the cached steady tick applies to the next
+// tick: the cache is valid for the current electrical/placement
+// generations and tick length, and no covered thread would finish within
+// the tick (a finishing tick changes the busy set and must take the full
+// path).
+func (m *Machine) steadyReady() bool {
+	c := &m.steady
+	if !c.valid || c.tick != m.Tick || c.placeGen != m.placeGen || c.chipGen != m.Chip.Generation() {
+		return false
+	}
+	for i := 0; i < c.n; i++ {
+		u := &m.upds[i]
+		if u.t.instrDone+u.instr >= u.t.instrTotal {
+			return false
+		}
+	}
+	return true
+}
+
+// commitSteady commits k identical steady ticks in one batch. With k == 1
+// it is the exact-path fast tick; with k > 1 it is the coalescing engine's
+// batch commit. Progress is applied as k repeated additions so the float
+// trajectory of every thread is identical to serial stepping; integer
+// counters multiply exactly; time-integrated energies accumulate the same
+// watts over k*dt (equal within FP-summation tolerance, ~1e-16 relative
+// per batch).
+func (m *Machine) commitSteady(k int) {
+	c := &m.steady
 	dt := m.Tick
+	dtk := dt * float64(k)
+
+	m.lastWatts = c.watts
+	m.Meter.Accumulate(c.watts, dtk)
+	m.energyBD.CoreDynamic += c.bd.CoreDynamic * dtk
+	m.energyBD.PMDUncore += c.bd.PMDUncore * dtk
+	m.energyBD.L3Fabric += c.bd.L3Fabric * dtk
+	m.energyBD.MemCtl += c.bd.MemCtl * dtk
+	m.energyBD.Leakage += c.bd.Leakage * dtk
+	if c.emCheck {
+		// Every replayed tick ran the emergency evaluation; the cache is
+		// only valid while the programmed voltage meets the requirement,
+		// so none of them records an emergency.
+		m.emChecks += k
+	}
+	ku := uint64(k)
+	// Progress is folded tick by tick — k repeated additions — so every
+	// thread's float trajectory is bitwise identical to serial stepping.
+	// The tick-major order over dense scratch interleaves the threads'
+	// dependency chains, which the per-thread order would serialize on
+	// FP-add latency.
+	if k == 1 {
+		for i := 0; i < c.n; i++ {
+			u := &m.upds[i]
+			u.t.instrDone += u.instr
+		}
+	} else {
+		// Fold through 8 accumulators held in registers: the chains are
+		// independent, so eight 4-cycle FP adds overlap and each batch
+		// tick costs ~4 cycles per 8 threads instead of a store-bound
+		// pass over memory. Lanes beyond n fold zeros, harmlessly.
+		padded := (c.n + 7) &^ 7
+		if cap(m.foldDone) < padded {
+			m.foldDone = make([]float64, padded)
+			m.foldInc = make([]float64, padded)
+		}
+		done, inc := m.foldDone[:padded], m.foldInc[:padded]
+		for i := c.n; i < padded; i++ {
+			done[i], inc[i] = 0, 0
+		}
+		for i := 0; i < c.n; i++ {
+			done[i] = m.upds[i].t.instrDone
+			inc[i] = m.upds[i].instr
+		}
+		for i := 0; i < padded; i += 8 {
+			d0, d1, d2, d3 := done[i], done[i+1], done[i+2], done[i+3]
+			d4, d5, d6, d7 := done[i+4], done[i+5], done[i+6], done[i+7]
+			x0, x1, x2, x3 := inc[i], inc[i+1], inc[i+2], inc[i+3]
+			x4, x5, x6, x7 := inc[i+4], inc[i+5], inc[i+6], inc[i+7]
+			for j := 0; j < k; j++ {
+				d0 += x0
+				d1 += x1
+				d2 += x2
+				d3 += x3
+				d4 += x4
+				d5 += x5
+				d6 += x6
+				d7 += x7
+			}
+			done[i], done[i+1], done[i+2], done[i+3] = d0, d1, d2, d3
+			done[i+4], done[i+5], done[i+6], done[i+7] = d4, d5, d6, d7
+		}
+		for i := 0; i < c.n; i++ {
+			m.upds[i].t.instrDone = done[i]
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		u := &m.upds[i]
+		cc := &m.counters[u.t.Core]
+		cc.Cycles += ku * u.dCycles
+		cc.Instructions += ku * u.dInstr
+		cc.L3CAccesses += ku * u.dL3C
+		u.t.Proc.coreEnergyJ += u.coreW * dtk
+	}
+	m.ticks += ku
+	m.now = float64(m.ticks) * m.Tick
+	m.runHooks(k)
+}
+
+// stepFull is the exact one-tick path: the full contention fixed point,
+// power integration, emergency check, commit and completion scan. At the
+// end it rebuilds the steady cache if the tick closed in equilibrium.
+func (m *Machine) stepFull() {
+	dt := m.Tick
+	// The generations the tick's inputs were read under; callbacks at the
+	// end of the tick may change state, which these keys then invalidate.
+	chipGen := m.Chip.Generation()
+	placeGen := m.placeGen
+	m.steady.valid = false
 
 	// --- Phase 1: per-thread static factors (L2 sharing) and the
 	// memory-contention fixed point. Demand on the shared L3/DRAM path
@@ -466,15 +816,8 @@ func (m *Machine) Step() {
 	// latency, which depends on demand; a few damped iterations starting
 	// from the previous tick's utilization converge to the equilibrium
 	// (the map is monotone decreasing, so the fixed point is unique).
-	type upd struct {
-		t      *Thread
-		fGHz   float64
-		l2Infl float64
-		cpi    float64
-		instr  float64
-		cycles float64
-	}
-	updates := make([]upd, 0, len(m.coreThr))
+	upds := m.upds[:0]
+	stalled := false
 	for c, t := range m.coreThr {
 		if t == nil || t.Done() {
 			// A thread that finished its work blocks (the kernel idles
@@ -482,7 +825,8 @@ func (m *Machine) Step() {
 			// counting cycles and stops loading the memory system.
 			continue
 		}
-		if t.stalledUntil > m.now {
+		if t.stalledUntilTick > m.ticks {
+			stalled = true
 			continue // paying a migration penalty: no forward progress
 		}
 		core := chip.CoreID(c)
@@ -493,41 +837,45 @@ func (m *Machine) Step() {
 			pressure := math.Sqrt(b.L2ShareSensitivity * s.L2ShareSensitivity)
 			l2Infl = 1.0 + l2SharePenalty*pressure
 		}
-		updates = append(updates, upd{t: t, fGHz: fGHz, l2Infl: l2Infl})
+		upds = append(upds, upd{t: t, bench: t.Proc.Bench, core: core, fGHz: fGHz, l2Infl: l2Infl})
 	}
+	m.upds = upds
 
 	rho := m.memRho
-	demandAt := func(rho float64) float64 {
+	var lastMix float64
+	for iter := 0; iter < 6; iter++ {
 		q := 1.0 / (1.0 - math.Min(rho, maxMemRho))
 		contInfl := 1.0 + contentionOverlap*(q-1.0)
 		var demand float64
-		for _, u := range updates {
-			cpi := u.t.Proc.Bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
-			demand += (u.fGHz * 1e9 / cpi) * u.t.Proc.Bench.MemPerInstr * u.l2Infl
+		for i := range upds {
+			u := &upds[i]
+			cpi := u.bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
+			demand += (u.fGHz * 1e9 / cpi) * u.bench.MemPerInstr * u.l2Infl
 		}
-		return demand
-	}
-	for iter := 0; iter < 6; iter++ {
-		next := math.Min(demandAt(rho)/m.Spec.MemBandwidth, 1.0)
-		rho = 0.5*rho + 0.5*next
+		next := math.Min(demand/m.Spec.MemBandwidth, 1.0)
+		mixed := 0.5*rho + 0.5*next
+		lastMix = math.Abs(mixed - rho)
+		rho = mixed
 	}
 	q := 1.0 / (1.0 - math.Min(rho, maxMemRho))
 	contInfl := 1.0 + contentionOverlap*(q-1.0)
 
 	// --- Phase 2: per-thread effective CPI and progress at equilibrium.
-	for i := range updates {
-		u := &updates[i]
-		u.cpi = u.t.Proc.Bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
+	clamped := false
+	for i := range upds {
+		u := &upds[i]
+		u.cpi = u.bench.CPIAt(u.fGHz, u.l2Infl, contInfl)
 		u.cycles = u.fGHz * 1e9 * dt
 		u.instr = u.cycles / u.cpi
 		if remaining := u.t.instrTotal - u.t.instrDone; u.instr > remaining {
 			u.instr = remaining
+			clamped = true
 		}
 	}
 
 	// --- Phase 3: power integration (uses pre-update stall fractions).
-	st := m.powerState()
-	bd := m.Power.Power(st)
+	st := m.fillPowerState()
+	bd := m.Power.Power(*st)
 	watts := bd.Total()
 	m.lastWatts = watts
 	m.Meter.Accumulate(watts, dt)
@@ -538,10 +886,12 @@ func (m *Machine) Step() {
 	m.energyBD.Leakage += bd.Leakage * dt
 
 	// --- Phase 4: voltage-emergency check and V/F change logging.
-	if len(updates) > 0 {
+	voltageSafe := true
+	if len(upds) > 0 {
 		m.emChecks++
-		req := m.RequiredSafeVmin()
+		req := m.cachedRequiredVmin()
 		if m.Chip.Voltage() < req {
+			voltageSafe = false
 			m.emergencies = append(m.emergencies, Emergency{
 				At: m.now, Voltage: m.Chip.Voltage(), Required: req,
 			})
@@ -549,44 +899,70 @@ func (m *Machine) Step() {
 		}
 	}
 	if m.eventsOn() {
-		if v := m.Chip.Voltage(); v != m.lastV {
-			m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
-			m.lastV = v
-		}
-		for p := 0; p < m.Spec.PMDs(); p++ {
-			if f := m.Chip.PMDFreq(chip.PMDID(p)); f != m.lastF[p] {
-				m.logEvent(EvFreq, -1, "PMD%d %v -> %v", p, m.lastF[p], f)
-				m.lastF[p] = f
+		if g := m.Chip.Generation(); !m.evValid || g != m.evGen {
+			if v := m.Chip.Voltage(); v != m.lastV {
+				m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
+				m.lastV = v
 			}
+			for p := 0; p < m.Spec.PMDs(); p++ {
+				if f := m.Chip.PMDFreq(chip.PMDID(p)); f != m.lastF[p] {
+					m.logEvent(EvFreq, -1, "PMD%d %v -> %v", p, m.lastF[p], f)
+					m.lastF[p] = f
+				}
+			}
+			m.evGen, m.evValid = g, true
 		}
 	}
 
 	// --- Phase 5: commit progress, counters and per-process energy
 	// attribution (core dynamic share only; uncore is chip-shared).
 	v := m.Chip.Voltage()
-	for _, u := range updates {
-		u.t.instrDone += u.instr
-		u.t.lastCPI = u.cpi
-		u.t.lastL2Infl = u.l2Infl
-		base := u.t.Proc.Bench.CPIBase
-		u.t.stallFrac = (u.cpi - base) / u.cpi
-		cc := &m.counters[u.t.Core]
-		cc.Cycles += uint64(u.cycles)
-		cc.Instructions += uint64(u.instr)
-		cc.L3CAccesses += uint64(u.instr * u.t.Proc.Bench.MemPerInstr * u.l2Infl)
-		coreW := m.Power.CoreDynamicPower(v, m.Chip.CoreFreq(u.t.Core), power.CoreState{
+	finished := false
+	for i := range upds {
+		u := &upds[i]
+		t := u.t
+		t.instrDone += u.instr
+		t.lastCPI = u.cpi
+		t.lastL2Infl = u.l2Infl
+		base := u.bench.CPIBase
+		t.stallFrac = (u.cpi - base) / u.cpi
+		cc := &m.counters[t.Core]
+		u.dCycles = uint64(u.cycles)
+		u.dInstr = uint64(u.instr)
+		u.dL3C = uint64(u.instr * u.bench.MemPerInstr * u.l2Infl)
+		cc.Cycles += u.dCycles
+		cc.Instructions += u.dInstr
+		cc.L3CAccesses += u.dL3C
+		u.coreW = m.Power.CoreDynamicPower(v, m.Chip.CoreFreq(t.Core), power.CoreState{
 			Busy:      true,
-			Activity:  u.t.Proc.Bench.Activity,
-			StallFrac: u.t.stallFrac,
+			Activity:  u.bench.Activity,
+			StallFrac: t.stallFrac,
 		})
-		u.t.Proc.coreEnergyJ += coreW * dt
+		t.Proc.coreEnergyJ += u.coreW * dt
+		if t.instrDone >= t.instrTotal {
+			finished = true
+		}
 	}
 	m.memRho = rho
-	m.now += dt
+	m.ticks++
+	m.now = float64(m.ticks) * m.Tick
+	if finished {
+		m.finCheck = true
+	}
 
 	// --- Phase 6: completions.
-	for _, p := range m.Running() {
-		if p.done() {
+	if m.finCheck {
+		m.finCheck = false
+		i := 0
+		for i < len(m.running) {
+			p := m.running[i]
+			if !p.done() {
+				i++
+				continue
+			}
+			copy(m.running[i:], m.running[i+1:])
+			m.running[len(m.running)-1] = nil
+			m.running = m.running[:len(m.running)-1]
 			for _, t := range p.Threads {
 				if t.Core >= 0 && m.coreThr[t.Core] == t {
 					m.coreThr[t.Core] = nil
@@ -596,15 +972,37 @@ func (m *Machine) Step() {
 			p.State = Finished
 			p.Completed = m.now
 			m.finished = append(m.finished, p)
+			m.placeGen++
 			m.logEvent(EvFinish, p.ID, "%s after %.1fs", p.Bench.Name, p.Runtime())
 			for _, fn := range m.onFinish {
 				fn(p)
 			}
 		}
 	}
-	for _, fn := range m.onTick {
-		fn(m)
+
+	// Rebuild the steady cache when the tick closed in equilibrium: the
+	// fixed point converged, no thread clamped/finished or sat stalled,
+	// the emergency outcome is repeatable, and nothing (including this
+	// tick's completions) moved the generations mid-tick. Power is
+	// re-evaluated against the just-committed stall fractions so the
+	// cached tick equals what the next full tick would compute.
+	if !stalled && !clamped && !finished && voltageSafe &&
+		lastMix < steadyRhoEps && placeGen == m.placeGen {
+		st := m.fillPowerState()
+		cbd := m.Power.Power(*st)
+		m.steady = steadyCache{
+			valid:    true,
+			chipGen:  chipGen,
+			placeGen: placeGen,
+			tick:     m.Tick,
+			n:        len(upds),
+			watts:    cbd.Total(),
+			bd:       cbd,
+			emCheck:  len(upds) > 0,
+		}
 	}
+
+	m.runHooks(1)
 }
 
 // siblingThread returns the thread on the other core of c's PMD, or nil.
@@ -613,20 +1011,23 @@ func (m *Machine) siblingThread(c chip.CoreID) *Thread {
 	return m.coreThr[sib]
 }
 
-// powerState assembles the power-model input for this instant.
-func (m *Machine) powerState() power.State {
-	st := power.State{
-		Voltage: m.Chip.Voltage(),
-		PMDFreq: make([]chip.MHz, m.Spec.PMDs()),
-		Cores:   make([]power.CoreState, m.Spec.Cores),
-		MemUtil: m.memRho,
+// fillPowerState refills the machine's persistent power-model input for
+// this instant and returns it.
+func (m *Machine) fillPowerState() *power.State {
+	st := &m.pst
+	if st.PMDFreq == nil {
+		m.pst = power.NewState(m.Spec)
+		st = &m.pst
 	}
+	st.Voltage = m.Chip.Voltage()
+	st.MemUtil = m.memRho
 	for p := 0; p < m.Spec.PMDs(); p++ {
 		st.PMDFreq[p] = m.Chip.PMDFreq(chip.PMDID(p))
 	}
 	for c, t := range m.coreThr {
 		if t == nil || t.Done() {
-			continue // blocked threads leave their core in WFI
+			st.Cores[c] = power.CoreState{} // blocked threads leave their core in WFI
+			continue
 		}
 		st.Cores[c] = power.CoreState{
 			Busy:      true,
@@ -637,28 +1038,147 @@ func (m *Machine) powerState() power.State {
 	return st
 }
 
+// Advance moves the simulation forward by at least one tick, committing
+// a whole batch of steady ticks at once when the machine is in steady
+// state (and coalescing is enabled). It returns the number of ticks
+// committed. The batch is bounded by the earliest thread completion, the
+// next boundary any OnTickBounded hook declares, and the max-horizon cap;
+// legacy OnTick hooks force per-tick stepping.
+func (m *Machine) Advance() int { return m.advance(1 << 30) }
+
+// advance is Advance bounded additionally by limit ticks (used by
+// RunFor/RunUntilIdle to stop exactly on their deadlines).
+func (m *Machine) advance(limit int) int {
+	if limit <= 1 || !m.coalescing || m.hasLegacy || !m.steadyReady() {
+		m.Step()
+		return 1
+	}
+	k := m.batchTicks(limit)
+	if k <= 1 {
+		m.Step()
+		return 1
+	}
+	m.commitSteady(k)
+	m.coalesced += uint64(k - 1)
+	return k
+}
+
+// batchTicks computes how many identical steady ticks may be committed at
+// once: at most limit and the max horizon, stopping at (and including)
+// the first tick any bounded hook needs to observe, and never reaching a
+// tick on which a thread would finish.
+func (m *Machine) batchTicks(limit int) int {
+	k := limit
+	if k > maxBatchTicks {
+		k = maxBatchTicks
+	}
+	for i := range m.hooks {
+		h := &m.hooks[i]
+		if h.next == nil {
+			continue
+		}
+		if kb := m.ticksToBoundary(h.next()); kb < k {
+			k = kb
+		}
+	}
+	c := &m.steady
+	for i := 0; i < c.n && k > 1; i++ {
+		u := &m.upds[i]
+		// Conservative completion bound: the exact folded sum after j
+		// additions deviates from instrDone + j*instr by at most j*eps
+		// relative (j <= maxBatchTicks, so ~1e-11), while the 2-tick
+		// safety margin is worth 2*instr — many orders larger. Within
+		// the bound no thread can finish, so the batch commit's exact
+		// fold never crosses instrTotal; the remaining ticks run through
+		// Step, whose steadyReady check is tick-exact.
+		q := (u.t.instrTotal - u.t.instrDone) / u.instr
+		if q < float64(k)+3 {
+			kt := int(q) - 2
+			if kt < 1 {
+				kt = 1
+			}
+			if kt < k {
+				k = kt
+			}
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ticksToBoundary returns how many ticks may be committed before (and
+// including) the first tick whose time reaches b-1e-12 — the tick on
+// which a boundary consumer (recorder sample, daemon poll) fires. A
+// boundary at or before the current time forces a single exact tick.
+func (m *Machine) ticksToBoundary(b float64) int {
+	if math.IsInf(b, 1) {
+		return 1 << 30
+	}
+	target := b - boundarySlop
+	span := target - m.now
+	if span > float64(1<<30)*m.Tick {
+		return 1 << 30
+	}
+	k := 1
+	if est := int(span / m.Tick); est > k {
+		k = est
+	}
+	for k > 1 && float64(m.ticks+uint64(k-1))*m.Tick >= target {
+		k--
+	}
+	for float64(m.ticks+uint64(k))*m.Tick < target {
+		k++
+	}
+	return k
+}
+
+// ticksUntil returns the number of ticks serial stepping would take until
+// now reaches t (at least one).
+func (m *Machine) ticksUntil(t float64) int {
+	span := t - m.now
+	if !(span > 0) {
+		return 1
+	}
+	if span > float64(1<<30)*m.Tick {
+		return 1 << 30
+	}
+	k := 1
+	if est := int(span / m.Tick); est > k {
+		k = est
+	}
+	for k > 1 && float64(m.ticks+uint64(k-1))*m.Tick >= t {
+		k--
+	}
+	for float64(m.ticks+uint64(k))*m.Tick < t {
+		k++
+	}
+	return k
+}
+
 // RunFor advances the simulation by d seconds.
 func (m *Machine) RunFor(d float64) {
 	end := m.now + d
 	for m.now < end-1e-12 {
-		m.Step()
+		m.advance(m.ticksUntil(end - 1e-12))
 	}
 }
 
-// RunUntilIdle steps until no process is running or pending, or until
+// RunUntilIdle advances until no process is running or pending, or until
 // maxSeconds of additional simulated time elapse. It returns an error on
 // timeout (which usually means a pending process was never placed).
 func (m *Machine) RunUntilIdle(maxSeconds float64) error {
 	deadline := m.now + maxSeconds
 	for m.now < deadline {
-		if len(m.Running()) == 0 && len(m.Pending()) == 0 {
+		if len(m.running) == 0 && m.pendingN == 0 {
 			return nil
 		}
-		m.Step()
+		m.advance(m.ticksUntil(deadline))
 	}
-	if len(m.Running()) != 0 || len(m.Pending()) != 0 {
+	if len(m.running) != 0 || m.pendingN != 0 {
 		return fmt.Errorf("sim: machine not idle after %.0fs (running=%d pending=%d)",
-			maxSeconds, len(m.Running()), len(m.Pending()))
+			maxSeconds, len(m.running), m.pendingN)
 	}
 	return nil
 }

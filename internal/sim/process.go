@@ -51,10 +51,12 @@ type Thread struct {
 	lastL2Infl float64
 	stallFrac  float64
 
-	// stalledUntil pauses the thread's execution until the given
-	// simulation time — the cost of a migration (cold caches, kernel
-	// bookkeeping) when the machine models one.
-	stalledUntil float64
+	// stalledUntilTick pauses the thread's execution until the machine
+	// reaches the given tick index — the cost of a migration (cold
+	// caches, kernel bookkeeping) when the machine models one. Integer
+	// ticks make the resume boundary exact: the thread runs again on the
+	// first tick whose index is >= stalledUntilTick.
+	stalledUntilTick uint64
 }
 
 // Done reports whether the thread finished its work.

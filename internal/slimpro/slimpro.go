@@ -13,6 +13,7 @@ package slimpro
 
 import (
 	"fmt"
+	"math"
 
 	"avfs/internal/chip"
 	"avfs/internal/sim"
@@ -108,14 +109,18 @@ func (c *Controller) Instrument(reg *telemetry.Registry) {
 }
 
 // Attach creates the controller and hooks its thermal integration into
-// the machine's tick loop.
+// the machine's tick loop. The hook is bounded with no boundary of its
+// own: power is constant inside a coalesced batch, so k Euler steps at
+// commit time reproduce the serial integration bit for bit.
 func Attach(m *sim.Machine) *Controller {
 	c := &Controller{m: m, tempC: ambientC}
-	m.OnTick(func(mm *sim.Machine) {
-		// Euler step of the first-order thermal model.
+	m.OnTickBounded(func(mm *sim.Machine, ticks int) {
+		// Euler steps of the first-order thermal model dT/dt = (P·R + Tamb - T)/tau.
 		target := ambientC + mm.LastPower()*thermalResCpW
-		c.tempC += (target - c.tempC) * mm.Tick / thermalTauSec
-	})
+		for i := 0; i < ticks; i++ {
+			c.tempC += (target - c.tempC) * mm.Tick / thermalTauSec
+		}
+	}, func() float64 { return math.Inf(1) })
 	return c
 }
 

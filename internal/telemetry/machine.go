@@ -29,6 +29,11 @@ const (
 	MetricMachineEvents  = "avfs_machine_events_total"
 	MetricPMDFreqMHz     = "avfs_pmd_frequency_mhz"
 	MetricVminEnvelope   = "avfs_vmin_envelope_millivolts"
+
+	// Steady-state tick-coalescing observables (see docs/PERFORMANCE.md).
+	MetricSimTicks          = "avfs_sim_ticks_total"
+	MetricSimTicksCoalesced = "avfs_sim_ticks_coalesced_total"
+	MetricSimSteadyRatio    = "avfs_sim_steady_ratio"
 )
 
 // WireMachine instruments a simulated machine: registers its electrical
@@ -62,6 +67,17 @@ func WireMachine(m *sim.Machine, reg *Registry, tr *Tracer) {
 			func() float64 { return float64(len(m.Emergencies())) })
 		reg.CounterFunc(MetricEmergChecks, "Voltage-emergency evaluations performed.",
 			func() float64 { return float64(m.EmergencyChecks()) })
+		reg.CounterFunc(MetricSimTicks, "Simulator ticks committed.",
+			func() float64 { return float64(m.Ticks()) })
+		reg.CounterFunc(MetricSimTicksCoalesced, "Ticks replayed from the steady-state cache in multi-tick batches.",
+			func() float64 { return float64(m.CoalescedTicks()) })
+		reg.Gauge(MetricSimSteadyRatio, "Fraction of committed ticks that were coalesced.",
+			func() float64 {
+				if t := m.Ticks(); t > 0 {
+					return float64(m.CoalescedTicks()) / float64(t)
+				}
+				return 0
+			})
 		for p := 0; p < spec.PMDs(); p++ {
 			pmd := chip.PMDID(p)
 			reg.Gauge(MetricPMDFreqMHz, "Programmed PMD clock frequency.",

@@ -51,7 +51,7 @@ func stepLoop(b *testing.B, m *sim.Machine) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if len(m.Running())+len(m.Pending()) == 0 {
+		if m.RunningCount()+m.PendingCount() == 0 {
 			b.StopTimer()
 			refill(m)
 			b.StartTimer()

@@ -160,6 +160,11 @@ func (r *Recorder) Track(name string, fn func() float64) *Series {
 	return s
 }
 
+// NextSampleTime returns the simulation time of the next scheduled
+// sample — the tick boundary a coalescing simulator must not batch past
+// (see sim.Machine.OnTickBounded).
+func (r *Recorder) NextSampleTime() float64 { return r.next }
+
 // Tick samples all gauges if the interval elapsed since the last sample.
 // Call it once per simulation step with the current simulation time.
 func (r *Recorder) Tick(now float64) {

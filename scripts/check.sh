@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full repository check: vet, build, race-enabled tests, the
-# telemetry-overhead benchmark, and the experiment-runner speedup gate.
-# The benchmarks' JSON summaries are written to BENCH_telemetry.json and
-# BENCH_experiments.json at the repository root (see docs/OBSERVABILITY.md
-# and EXPERIMENTS.md).
+# telemetry-overhead benchmark, the simulator hot-path benchmark, and the
+# experiment-runner speedup gate. The benchmarks' JSON summaries are
+# written to BENCH_telemetry.json, BENCH_sim.json and
+# BENCH_experiments.json at the repository root (see docs/OBSERVABILITY.md,
+# docs/PERFORMANCE.md and EXPERIMENTS.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,6 +24,13 @@ AVFS_BENCH_OUT="$(pwd)/BENCH_telemetry.json" \
 
 echo "==> BENCH_telemetry.json"
 cat BENCH_telemetry.json
+
+echo "==> simulator hot-path benchmark (steady-state allocs + coalescing speedup)"
+AVFS_BENCH_SIM_OUT="$(pwd)/BENCH_sim.json" \
+	go test ./internal/sim -run TestSimSteadyStateBudget -count=1 -v
+
+echo "==> BENCH_sim.json"
+cat BENCH_sim.json
 
 echo "==> experiment-runner speedup benchmark (serial vs parallel Figure 3)"
 AVFS_BENCH_EXPERIMENTS_OUT="$(pwd)/BENCH_experiments.json" \
