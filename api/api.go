@@ -1,0 +1,204 @@
+// Package api defines the wire types of the AVFS fleet control plane's
+// v1 HTTP/JSON API. Both sides speak it: internal/service implements the
+// server, avfs/client consumes it, and neither leaks internal simulator
+// types onto the wire.
+//
+// Errors travel as a JSON body with a stable machine-readable Code; the
+// client reconstructs them as *Error values that satisfy errors.Is against
+// the package's Err* sentinels, so callers branch on error identity the
+// same way on both sides of the network. docs/API.md documents the full
+// endpoint surface and the status-code mapping.
+package api
+
+import "fmt"
+
+// Error codes carried in error response bodies. They are part of the v1
+// contract: new codes may be added, existing ones never change meaning.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeUnknownBenchmark = "unknown_benchmark"
+	CodeUnknownModel     = "unknown_model"
+	CodeUnknownPolicy    = "unknown_policy"
+	CodeSessionNotFound  = "session_not_found"
+	CodeJobNotFound      = "job_not_found"
+	CodeConflict         = "conflict"
+	CodeNoSafeVmin       = "no_safe_vmin"
+	CodeNotIdle          = "not_idle"
+	CodeBusy             = "busy"
+	CodeFleetFull        = "fleet_full"
+	CodeDraining         = "draining"
+	CodeCanceled         = "canceled"
+	CodeDeadline         = "deadline_exceeded"
+	CodeInternal         = "internal"
+)
+
+// Error is the wire form of a request failure. Status is filled from the
+// HTTP response by the client (it is not serialized).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"-"`
+	// RetryAfterSec mirrors the Retry-After header on 429/503 responses.
+	RetryAfterSec int `json:"-"`
+}
+
+// Error renders the failure.
+func (e *Error) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("avfs api: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("avfs api: %s (%s)", e.Message, e.Code)
+}
+
+// Is matches two *Error values by Code, so
+// errors.Is(err, api.ErrSessionNotFound) works on client-side errors.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Client-side sentinels, one per stable code. Match with errors.Is.
+var (
+	ErrInvalidRequest   = &Error{Code: CodeInvalidRequest}
+	ErrUnknownBenchmark = &Error{Code: CodeUnknownBenchmark}
+	ErrUnknownModel     = &Error{Code: CodeUnknownModel}
+	ErrUnknownPolicy    = &Error{Code: CodeUnknownPolicy}
+	ErrSessionNotFound  = &Error{Code: CodeSessionNotFound}
+	ErrJobNotFound      = &Error{Code: CodeJobNotFound}
+	ErrConflict         = &Error{Code: CodeConflict}
+	ErrNoSafeVmin       = &Error{Code: CodeNoSafeVmin}
+	ErrBusy             = &Error{Code: CodeBusy}
+	ErrFleetFull        = &Error{Code: CodeFleetFull}
+	ErrDraining         = &Error{Code: CodeDraining}
+)
+
+// CreateSessionRequest opens a session: one simulated machine plus the
+// selected control policy.
+type CreateSessionRequest struct {
+	// Model is "xgene2" or "xgene3" (default "xgene3").
+	Model string `json:"model,omitempty"`
+	// Policy is one of the four Table IV configurations: "baseline",
+	// "safe-vmin", "placement", "optimal" (default "optimal").
+	Policy string `json:"policy,omitempty"`
+	// TickSeconds overrides the integration step (default 0.010).
+	TickSeconds float64 `json:"tick_seconds,omitempty"`
+	// PollSeconds overrides the daemon's monitoring period (default 0.4).
+	PollSeconds float64 `json:"poll_seconds,omitempty"`
+	// TTLSeconds overrides the fleet's idle-session reaping deadline for
+	// this session; 0 inherits the fleet default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// Coalescing disables steady-state tick batching when set to false
+	// (default true). Mostly useful for tests and trace-fidelity studies.
+	Coalescing *bool `json:"coalescing,omitempty"`
+}
+
+// Session is the public state of one fleet session.
+type Session struct {
+	ID      string  `json:"id"`
+	Model   string  `json:"model"`
+	Policy  string  `json:"policy"`
+	Now     float64 `json:"now_seconds"`
+	Ticks   uint64  `json:"ticks"`
+	Running int     `json:"running"`
+	Pending int     `json:"pending"`
+	Done    int     `json:"finished"`
+	// Electrical and energy state (the meter/Vmin read surface).
+	VoltageMV      int     `json:"voltage_mv"`
+	RequiredVminMV int     `json:"required_vmin_mv"`
+	EnergyJ        float64 `json:"energy_joules"`
+	AvgPowerW      float64 `json:"avg_power_watts"`
+	PeakPowerW     float64 `json:"peak_power_watts"`
+	Emergencies    int     `json:"emergencies"`
+	UtilizedPMDs   int     `json:"utilized_pmds"`
+	IdleSeconds    float64 `json:"idle_seconds"`
+}
+
+// SessionList is the response of GET /v1/sessions.
+type SessionList struct {
+	Sessions []Session `json:"sessions"`
+}
+
+// SubmitRequest queues a program on a session's machine.
+type SubmitRequest struct {
+	Benchmark string `json:"benchmark"`
+	Threads   int    `json:"threads"`
+}
+
+// Process is the public state of one submitted program.
+type Process struct {
+	ID          int     `json:"id"`
+	Benchmark   string  `json:"benchmark"`
+	Threads     int     `json:"threads"`
+	State       string  `json:"state"`
+	Progress    float64 `json:"progress"`
+	Cores       []int   `json:"cores,omitempty"`
+	Submitted   float64 `json:"submitted_seconds"`
+	Runtime     float64 `json:"runtime_seconds"`
+	CoreEnergyJ float64 `json:"core_energy_joules"`
+}
+
+// ProcessList is the response of GET /v1/sessions/{id}/processes.
+type ProcessList struct {
+	Processes []Process `json:"processes"`
+}
+
+// RunRequest advances a session's simulated time.
+type RunRequest struct {
+	// Seconds of simulated time to advance (sync and async), or, with
+	// UntilIdle, the budget after which the run times out.
+	Seconds float64 `json:"seconds"`
+	// UntilIdle stops as soon as no process is running or pending.
+	UntilIdle bool `json:"until_idle,omitempty"`
+	// Async returns a job handle immediately instead of blocking.
+	Async bool `json:"async,omitempty"`
+}
+
+// RunResult reports a completed (or cancelled) time advance.
+type RunResult struct {
+	Now         float64 `json:"now_seconds"`
+	Ticks       uint64  `json:"ticks"`
+	EnergyJ     float64 `json:"energy_joules"`
+	Emergencies int     `json:"emergencies"`
+}
+
+// Energy is the response of GET /v1/sessions/{id}/energy: the meter and
+// Vmin read surface plus the per-component energy breakdown.
+type Energy struct {
+	Seconds        float64            `json:"seconds"`
+	EnergyJ        float64            `json:"energy_joules"`
+	AvgPowerW      float64            `json:"avg_power_watts"`
+	PeakPowerW     float64            `json:"peak_power_watts"`
+	VoltageMV      int                `json:"voltage_mv"`
+	RequiredVminMV int                `json:"required_vmin_mv"`
+	Emergencies    int                `json:"emergencies"`
+	Breakdown      map[string]float64 `json:"breakdown_joules"`
+}
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// Job is the handle of an asynchronous run.
+type Job struct {
+	ID      string     `json:"id"`
+	Session string     `json:"session"`
+	Status  string     `json:"status"`
+	Seconds float64    `json:"seconds"`
+	Error   *Error     `json:"error,omitempty"`
+	Result  *RunResult `json:"result,omitempty"`
+}
+
+// JobList is the response of GET /v1/sessions/{id}/jobs.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// PolicyRequest flips a live session between the Table IV configurations.
+type PolicyRequest struct {
+	Policy string `json:"policy"`
+}

@@ -20,13 +20,26 @@
 //
 // Quick start:
 //
-//	machine := avfs.NewMachine(avfs.XGene3)
-//	d := avfs.NewDaemon(machine, avfs.OptimalDaemonConfig())
+//	machine, err := avfs.NewMachineWithOptions(avfs.XGene3)
+//	if err != nil { ... }
+//	d, err := avfs.NewDaemonWithOptions(machine)
+//	if err != nil { ... }
 //	d.Attach()
-//	p, _ := machine.Submit(avfs.Benchmark("CG"), 8)
+//	bench, err := avfs.BenchmarkByName("CG")
+//	if err != nil { ... } // errors.Is(err, avfs.ErrUnknownBenchmark)
+//	p, _ := machine.Submit(bench, 8)
 //	_ = p
-//	machine.RunFor(60) // simulated seconds
+//	_ = machine.RunForContext(ctx, 60) // simulated seconds
 //	fmt.Println(machine.Meter.Energy(), "J")
+//
+// Construction is configured with functional options (options.go) and
+// failures are typed sentinels (errors.go) matched with errors.Is. Long
+// runs take a context — Machine.RunForContext and
+// Machine.RunUntilIdleContext stop between tick batches when the context
+// ends, which is how the fleet service (internal/service, cmd/avfs-server)
+// propagates request deadlines and drain cancellation into simulations.
+// The original zero-option constructors remain as thin deprecated
+// wrappers.
 package avfs
 
 import (
@@ -97,10 +110,16 @@ func Spec(m Model) *ChipSpec { return chip.SpecFor(m) }
 
 // NewMachine creates an idle simulated server of the given model, at
 // nominal voltage with every PMD at maximum frequency.
+//
+// Deprecated: use NewMachineWithOptions, which reports configuration
+// errors instead of requiring post-construction setters.
 func NewMachine(m Model) *Machine { return sim.New(chip.SpecFor(m)) }
 
 // NewDaemon creates the online monitoring daemon for a machine. Call
-// Attach on the result to start it.
+// Attach on the result to start it. It panics on an invalid config.
+//
+// Deprecated: use NewDaemonWithOptions, which validates the configuration
+// and returns an error instead of panicking.
 func NewDaemon(m *Machine, cfg DaemonConfig) *Daemon { return daemon.New(m, cfg) }
 
 // OptimalDaemonConfig returns the paper's "Optimal" configuration:
@@ -118,7 +137,16 @@ func AttachBaseline(m *Machine) { sched.NewBaseline(m) }
 
 // Benchmark returns the model of a program by name (e.g. "CG", "milc");
 // it panics on unknown names. Use Benchmarks() to enumerate.
+//
+// Deprecated: use BenchmarkByName, which returns ErrUnknownBenchmark
+// instead of panicking.
 func Benchmark(name string) *BenchmarkModel { return workload.MustByName(name) }
+
+// BenchmarkByName returns the model of a program by name (e.g. "CG",
+// "milc"). Unknown names report an error wrapping ErrUnknownBenchmark.
+func BenchmarkByName(name string) (*BenchmarkModel, error) {
+	return workload.ByName(name)
+}
 
 // Benchmarks returns every modelled program.
 func Benchmarks() []*BenchmarkModel { return workload.All() }

@@ -1,0 +1,293 @@
+// Package client is the Go consumer of the AVFS fleet control plane's v1
+// HTTP API (cmd/avfs-server). It speaks the wire types of avfs/api and
+// reconstructs request failures as *api.Error values, so callers branch on
+// error identity with errors.Is exactly like server-side code:
+//
+//	c := client.New("http://localhost:8080")
+//	s, err := c.CreateSession(ctx, api.CreateSessionRequest{Policy: "optimal"})
+//	if err != nil { ... }
+//	_, err = c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8})
+//	if errors.Is(err, api.ErrUnknownBenchmark) { ... }
+//	job, _ := c.RunAsync(ctx, s.ID, 60)
+//	job, _ = c.WaitJob(ctx, s.ID, job.ID)
+//	e, _ := c.Energy(ctx, s.ID)
+//	fmt.Println(e.EnergyJ, "J")
+//
+// See docs/API.md for the endpoint surface and the error model.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"avfs/api"
+)
+
+// Client talks to one avfs-server.
+type Client struct {
+	base string
+	http *http.Client
+	// PollInterval paces WaitJob's status polling (default 50 ms).
+	PollInterval time.Duration
+}
+
+// New builds a client for a server base URL (e.g. "http://host:8080").
+// The optional httpClient overrides http.DefaultClient.
+func New(base string, httpClient ...*http.Client) *Client {
+	c := &Client{
+		base:         strings.TrimRight(base, "/"),
+		http:         http.DefaultClient,
+		PollInterval: 50 * time.Millisecond,
+	}
+	if len(httpClient) > 0 && httpClient[0] != nil {
+		c.http = httpClient[0]
+	}
+	return c
+}
+
+// do issues one request and decodes the response into out (nil to discard).
+// Non-2xx responses come back as *api.Error with Status and RetryAfterSec
+// filled from the HTTP layer.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError reconstructs a wire error; a body that is not the error
+// shape degrades to a generic *api.Error with the status alone.
+func decodeError(resp *http.Response) error {
+	apiErr := &api.Error{Code: api.CodeInternal, Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfterSec = n
+		}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var decoded api.Error
+	if err := json.Unmarshal(raw, &decoded); err == nil && decoded.Code != "" {
+		apiErr.Code = decoded.Code
+		apiErr.Message = decoded.Message
+	} else {
+		apiErr.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return apiErr
+}
+
+// CreateSession opens a session (one simulated machine + control policy).
+func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest) (api.Session, error) {
+	var s api.Session
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &s)
+	return s, err
+}
+
+// ListSessions enumerates live sessions.
+func (c *Client) ListSessions(ctx context.Context) (api.SessionList, error) {
+	var l api.SessionList
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &l)
+	return l, err
+}
+
+// Session reads one session's state.
+func (c *Client) Session(ctx context.Context, id string) (api.Session, error) {
+	var s api.Session
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &s)
+	return s, err
+}
+
+// DeleteSession removes a session, aborting any in-flight run.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Submit queues a benchmark on a session.
+func (c *Client) Submit(ctx context.Context, id string, req api.SubmitRequest) (api.Process, error) {
+	var p api.Process
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/processes", req, &p)
+	return p, err
+}
+
+// Processes lists a session's programs.
+func (c *Client) Processes(ctx context.Context, id string) (api.ProcessList, error) {
+	var l api.ProcessList
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/processes", nil, &l)
+	return l, err
+}
+
+// Run advances a session's simulated time and blocks for the result.
+func (c *Client) Run(ctx context.Context, id string, seconds float64) (api.RunResult, error) {
+	var r api.RunResult
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/run",
+		api.RunRequest{Seconds: seconds}, &r)
+	return r, err
+}
+
+// RunUntilIdle advances until the session is idle, within a budget.
+func (c *Client) RunUntilIdle(ctx context.Context, id string, budgetSeconds float64) (api.RunResult, error) {
+	var r api.RunResult
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/run",
+		api.RunRequest{Seconds: budgetSeconds, UntilIdle: true}, &r)
+	return r, err
+}
+
+// RunAsync admits a time advance and returns a pollable job handle.
+func (c *Client) RunAsync(ctx context.Context, id string, seconds float64) (api.Job, error) {
+	var j api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/run",
+		api.RunRequest{Seconds: seconds, Async: true}, &j)
+	return j, err
+}
+
+// Job polls an async handle.
+func (c *Client) Job(ctx context.Context, id, jobID string) (api.Job, error) {
+	var j api.Job
+	err := c.do(ctx, http.MethodGet,
+		"/v1/sessions/"+url.PathEscape(id)+"/jobs/"+url.PathEscape(jobID), nil, &j)
+	return j, err
+}
+
+// Jobs lists a session's async handles.
+func (c *Client) Jobs(ctx context.Context, id string) (api.JobList, error) {
+	var l api.JobList
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/jobs", nil, &l)
+	return l, err
+}
+
+// CancelJob aborts an in-flight async run.
+func (c *Client) CancelJob(ctx context.Context, id, jobID string) (api.Job, error) {
+	var j api.Job
+	err := c.do(ctx, http.MethodDelete,
+		"/v1/sessions/"+url.PathEscape(id)+"/jobs/"+url.PathEscape(jobID), nil, &j)
+	return j, err
+}
+
+// WaitJob polls an async handle until it leaves the queued/running states
+// or ctx ends.
+func (c *Client) WaitJob(ctx context.Context, id, jobID string) (api.Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id, jobID)
+		if err != nil {
+			return api.Job{}, err
+		}
+		if j.Status != api.JobQueued && j.Status != api.JobRunning {
+			return j, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return j, ctx.Err()
+		}
+	}
+}
+
+// Energy reads a session's meter/Vmin surface with the energy breakdown.
+func (c *Client) Energy(ctx context.Context, id string) (api.Energy, error) {
+	var e api.Energy
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/energy", nil, &e)
+	return e, err
+}
+
+// SetPolicy flips a live session between the four Table IV configurations
+// ("baseline", "safe-vmin", "placement", "optimal").
+func (c *Client) SetPolicy(ctx context.Context, id, policy string) (api.Session, error) {
+	var s api.Session
+	err := c.do(ctx, http.MethodPut, "/v1/sessions/"+url.PathEscape(id)+"/policy",
+		api.PolicyRequest{Policy: policy}, &s)
+	return s, err
+}
+
+// Trace fetches a session's decision trace as raw JSONL lines from an
+// absolute offset, returning the next offset to poll from.
+func (c *Client) Trace(ctx context.Context, id string, since int) (lines []string, next int, err error) {
+	path := fmt.Sprintf("/v1/sessions/%s/trace?since=%d", url.PathEscape(id), since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: GET trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, 0, decodeError(resp)
+	}
+	next, _ = strconv.Atoi(resp.Header.Get("X-Trace-Next"))
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: read trace: %w", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, next, nil
+}
+
+// Metrics fetches a Prometheus text-format snapshot: the fleet's with
+// id == "", or one session's.
+func (c *Client) Metrics(ctx context.Context, id string) (string, error) {
+	path := "/metrics"
+	if id != "" {
+		path = "/v1/sessions/" + url.PathEscape(id) + "/metrics"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: read metrics: %w", err)
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,433 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"avfs/api"
+	"avfs/client"
+	"avfs/internal/service"
+)
+
+// newServer stands up a fleet behind httptest and a client pointed at it.
+func newServer(t *testing.T, cfg service.Config) (*service.Fleet, *client.Client) {
+	t.Helper()
+	cfg.ReapEvery = -1
+	f := service.New(cfg)
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		f.Close()
+	})
+	c := client.New(ts.URL, ts.Client())
+	c.PollInterval = 5 * time.Millisecond
+	return f, c
+}
+
+// TestEndToEndSessionFlow drives the full v1 surface over real HTTP:
+// create → submit CG → run 60 s async → poll the job → read energy,
+// processes, trace, and metrics.
+func TestEndToEndSessionFlow(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	ctx := context.Background()
+
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{Model: "xgene3", Policy: "optimal"})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if s.ID == "" || s.Policy != "optimal" {
+		t.Fatalf("bad session: %+v", s)
+	}
+
+	p, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if p.Benchmark != "CG" || p.Threads != 8 {
+		t.Fatalf("bad process: %+v", p)
+	}
+
+	job, err := c.RunAsync(ctx, s.ID, 60)
+	if err != nil {
+		t.Fatalf("RunAsync: %v", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	job, err = c.WaitJob(wctx, s.ID, job.ID)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if job.Status != api.JobDone || job.Result == nil {
+		t.Fatalf("job did not finish: %+v", job)
+	}
+	if math.Abs(job.Result.Now-60) > 1e-6 {
+		t.Errorf("job advanced to %v, want 60", job.Result.Now)
+	}
+
+	e, err := c.Energy(ctx, s.ID)
+	if err != nil {
+		t.Fatalf("Energy: %v", err)
+	}
+	if e.EnergyJ <= 0 || e.AvgPowerW <= 0 {
+		t.Errorf("meter did not accumulate: %+v", e)
+	}
+	if len(e.Breakdown) == 0 {
+		t.Error("energy breakdown missing")
+	}
+
+	pl, err := c.Processes(ctx, s.ID)
+	if err != nil || len(pl.Processes) != 1 {
+		t.Fatalf("Processes = %+v, %v", pl, err)
+	}
+
+	lines, next, err := c.Trace(ctx, s.ID, 0)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(lines) == 0 || next != len(lines) {
+		t.Fatalf("trace: %d lines, next=%d", len(lines), next)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("trace line is not JSON: %v", err)
+	}
+
+	for _, id := range []string{"", s.ID} {
+		text, err := c.Metrics(ctx, id)
+		if err != nil {
+			t.Fatalf("Metrics(%q): %v", id, err)
+		}
+		if !strings.Contains(text, "avfs_") {
+			t.Errorf("Metrics(%q) has no avfs_ series:\n%.200s", id, text)
+		}
+	}
+
+	if err := c.DeleteSession(ctx, s.ID); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
+	}
+	if _, err := c.Session(ctx, s.ID); !errors.Is(err, api.ErrSessionNotFound) {
+		t.Fatalf("Session after delete = %v, want ErrSessionNotFound", err)
+	}
+}
+
+// TestConcurrentSessions32 runs 32 independent sessions in parallel, each
+// with its own workload and policy, over one shared server. Under -race
+// this exercises the per-session actor serialization and the shared pool.
+func TestConcurrentSessions32(t *testing.T) {
+	_, c := newServer(t, service.Config{MaxSessions: 64, Workers: 8, Queue: 256})
+	policies := []string{"baseline", "safe-vmin", "placement", "optimal"}
+	benchmarks := []string{"CG", "MG", "blackscholes", "swaptions"}
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	nows := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			errs[i] = func() error {
+				s, err := c.CreateSession(ctx, api.CreateSessionRequest{Policy: policies[i%len(policies)]})
+				if err != nil {
+					return fmt.Errorf("create: %w", err)
+				}
+				if _, err := c.Submit(ctx, s.ID, api.SubmitRequest{
+					Benchmark: benchmarks[i%len(benchmarks)], Threads: 1 + i%4,
+				}); err != nil {
+					return fmt.Errorf("submit: %w", err)
+				}
+				res, err := c.Run(ctx, s.ID, 20)
+				if err != nil {
+					return fmt.Errorf("run: %w", err)
+				}
+				nows[i] = res.Now
+				if _, err := c.Energy(ctx, s.ID); err != nil {
+					return fmt.Errorf("energy: %w", err)
+				}
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("session %d: %v", i, err)
+		}
+	}
+	for i, now := range nows {
+		if errs[i] == nil && math.Abs(now-20) > 1e-6 {
+			t.Errorf("session %d advanced to %v, want 20", i, now)
+		}
+	}
+	l, err := c.ListSessions(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Sessions) != n {
+		t.Errorf("fleet holds %d sessions, want %d", len(l.Sessions), n)
+	}
+}
+
+// TestHTTPErrorContract pins the sentinel → status/code mapping table at
+// the wire level.
+func TestHTTPErrorContract(t *testing.T) {
+	f, c := newServer(t, service.Config{})
+	ctx := context.Background()
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		call   func() error
+		status int
+		code   string
+		ident  error // optional errors.Is identity check
+	}{
+		{
+			name:   "unknown session",
+			call:   func() error { _, err := c.Session(ctx, "s-999999"); return err },
+			status: 404, code: "session_not_found", ident: api.ErrSessionNotFound,
+		},
+		{
+			name:   "unknown job",
+			call:   func() error { _, err := c.Job(ctx, s.ID, "j-999999"); return err },
+			status: 404, code: "job_not_found", ident: api.ErrJobNotFound,
+		},
+		{
+			name: "unknown benchmark",
+			call: func() error {
+				_, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "doom", Threads: 1})
+				return err
+			},
+			status: 404, code: "unknown_benchmark", ident: api.ErrUnknownBenchmark,
+		},
+		{
+			name: "unknown model",
+			call: func() error {
+				_, err := c.CreateSession(ctx, api.CreateSessionRequest{Model: "z80"})
+				return err
+			},
+			status: 400, code: "unknown_model", ident: api.ErrUnknownModel,
+		},
+		{
+			name:   "unknown policy",
+			call:   func() error { _, err := c.SetPolicy(ctx, s.ID, "turbo"); return err },
+			status: 400, code: "unknown_policy", ident: api.ErrUnknownPolicy,
+		},
+		{
+			name: "invalid process",
+			call: func() error {
+				_, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 0})
+				return err
+			},
+			status: 400, code: "invalid_request", ident: api.ErrInvalidRequest,
+		},
+		{
+			name:   "negative run budget",
+			call:   func() error { _, err := c.Run(ctx, s.ID, -5); return err },
+			status: 400, code: "invalid_request", ident: api.ErrInvalidRequest,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("call succeeded, want error")
+			}
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error is %T, want *api.Error: %v", err, err)
+			}
+			if apiErr.Status != tc.status || apiErr.Code != tc.code {
+				t.Errorf("got %d/%s, want %d/%s", apiErr.Status, apiErr.Code, tc.status, tc.code)
+			}
+			if tc.ident != nil && !errors.Is(err, tc.ident) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.ident)
+			}
+		})
+	}
+
+	// Raw-wire cases the typed client cannot produce.
+	base := clientBase(t, f)
+	t.Run("malformed body", func(t *testing.T) {
+		resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("bad trace offset", func(t *testing.T) {
+		resp, err := http.Get(base + "/v1/sessions/" + s.ID + "/trace?since=bogus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// clientBase re-serves the fleet on a fresh listener so raw net/http
+// calls can hit it without the typed client.
+func clientBase(t *testing.T, f *service.Fleet) string {
+	t.Helper()
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestBackpressureRetryAfter saturates a 1-worker/1-queue fleet and checks
+// the 429 + Retry-After contract end to end.
+func TestBackpressureRetryAfter(t *testing.T) {
+	_, c := newServer(t, service.Config{Workers: 1, Queue: 1})
+	ctx := context.Background()
+	off := false
+
+	var ids [3]string
+	for i := range ids {
+		s, err := c.CreateSession(ctx, api.CreateSessionRequest{Coalescing: &off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = s.ID
+	}
+	j0, err := c.RunAsync(ctx, ids[0], 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jb, err := c.Job(ctx, ids[0], j0.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jb.Status == api.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.RunAsync(ctx, ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RunAsync(ctx, ids[2], 1)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("saturated run = %v, want *api.Error", err)
+	}
+	if apiErr.Status != 429 || !errors.Is(err, api.ErrBusy) || apiErr.RetryAfterSec <= 0 {
+		t.Errorf("saturated run = %+v, want 429 busy with Retry-After", apiErr)
+	}
+	if _, err := c.CancelJob(ctx, ids[0], j0.ID); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if _, err := c.WaitJob(wctx, ids[0], j0.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainOverHTTP: after Drain, in-flight runs have finished, health
+// reports draining, and new work is 503 with Retry-After.
+func TestDrainOverHTTP(t *testing.T) {
+	f, c := newServer(t, service.Config{})
+	ctx := context.Background()
+	off := false
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{Coalescing: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.RunAsync(ctx, s.ID, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	if err := f.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	jb, err := c.Job(ctx, s.ID, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Status != api.JobDone || jb.Result == nil || math.Abs(jb.Result.Now-1800) > 1e-6 {
+		t.Fatalf("in-flight job after drain = %+v, want done at 1800", jb)
+	}
+
+	_, err = c.CreateSession(ctx, api.CreateSessionRequest{})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 || !errors.Is(err, api.ErrDraining) {
+		t.Errorf("create while draining = %v, want 503 draining", err)
+	}
+	if apiErr != nil && apiErr.RetryAfterSec <= 0 {
+		t.Errorf("draining rejection lacks Retry-After: %+v", apiErr)
+	}
+
+	base := clientBase(t, f)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestPolicyFlipOverHTTP flips a live session across all four Table IV
+// configurations through the wire.
+func TestPolicyFlipOverHTTP(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	ctx := context.Background()
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{Policy: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"safe-vmin", "placement", "optimal", "baseline"} {
+		snap, err := c.SetPolicy(ctx, s.ID, policy)
+		if err != nil {
+			t.Fatalf("flip to %s: %v", policy, err)
+		}
+		if snap.Policy != policy {
+			t.Errorf("policy = %s, want %s", snap.Policy, policy)
+		}
+		res, err := c.Run(ctx, s.ID, 5)
+		if err != nil {
+			t.Fatalf("run under %s: %v", policy, err)
+		}
+		if res.Emergencies != 0 {
+			t.Errorf("%s: %d voltage emergencies", policy, res.Emergencies)
+		}
+	}
+}

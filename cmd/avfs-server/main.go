@@ -1,0 +1,105 @@
+// Command avfs-server hosts the AVFS fleet control plane: many independent
+// simulated (machine, daemon) sessions behind the HTTP/JSON v1 API — the
+// network surface of the paper's long-running system service (Sec. V),
+// scaled out to a fleet. See docs/API.md for the endpoint contract and
+// avfs/client for the Go consumer.
+//
+// Usage:
+//
+//	avfs-server [-addr :8080] [-max-sessions 256] [-ttl 15m]
+//	            [-workers N] [-queue M] [-chunk 1.0]
+//
+// Flags:
+//
+//	-addr          listen address (default :8080)
+//	-max-sessions  live-session cap; creation beyond it is 429 fleet_full
+//	-ttl           idle-session reaping deadline (default 15m)
+//	-workers       concurrent runs across all sessions (default GOMAXPROCS)
+//	-queue         admitted-but-waiting runs before 429 busy (default 4x)
+//	-chunk         simulated seconds a run holds its session lock for
+//
+// On SIGTERM/SIGINT the server drains gracefully: the listener stops, new
+// sessions and runs are rejected with 503 + Retry-After, and every
+// admitted run — including queued async jobs — finishes before exit. A
+// second signal forces shutdown, aborting in-flight runs at their next
+// tick-batch commit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"avfs/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 256, "live-session cap")
+	ttl := flag.Duration("ttl", 15*time.Minute, "idle-session reaping deadline")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "run admission queue depth (0 = 4x workers)")
+	chunk := flag.Float64("chunk", 1.0, "simulated seconds per session-lock hold")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain budget before forcing shutdown")
+	flag.Parse()
+
+	fleet := service.New(service.Config{
+		MaxSessions: *maxSessions,
+		SessionTTL:  *ttl,
+		Workers:     *workers,
+		Queue:       *queue,
+		RunChunk:    *chunk,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fleet.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "avfs-server: listening on %s (max %d sessions, ttl %v)\n",
+		*addr, *maxSessions, *ttl)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "avfs-server: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "avfs-server: %v: draining (again to force)\n", sig)
+	}
+
+	// Graceful drain: stop the listener, finish in-flight requests and
+	// admitted runs. A second signal (or the drain budget) forces exit.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "avfs-server: %v: forcing shutdown\n", sig)
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+
+	_ = srv.Shutdown(drainCtx)
+	if err := fleet.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "avfs-server: drain incomplete: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "avfs-server: drained cleanly")
+	}
+	fleet.Close()
+}

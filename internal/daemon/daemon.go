@@ -31,6 +31,7 @@ package daemon
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"avfs/internal/chip"
@@ -175,6 +176,12 @@ type Daemon struct {
 	// phase fires.
 	queue    []func()
 	cooldown int
+
+	// disabled suspends the daemon's decision loop (see SetEnabled): ticks
+	// only drain an in-flight staged transition — the fail-safe sequence
+	// always completes — and take no new decisions. The fleet service uses
+	// this to switch a live session between the Table IV policies.
+	disabled bool
 
 	stats Stats
 
@@ -331,12 +338,55 @@ func (d *Daemon) Attach() {
 // nextBoundary reports the next simulation time the daemon must observe a
 // tick-exact step. Any in-flight transition, dirty placement or pending
 // arrival needs per-tick processing (return a time already passed);
-// otherwise the daemon sleeps until its next monitoring poll.
+// otherwise the daemon sleeps until its next monitoring poll. A disabled
+// daemon with no staged transition left imposes no boundary at all.
 func (d *Daemon) nextBoundary() float64 {
-	if len(d.queue) > 0 || d.dirty || d.M.PendingCount() > 0 {
+	if len(d.queue) > 0 {
+		return 0
+	}
+	if d.disabled {
+		return math.Inf(1)
+	}
+	if d.dirty || d.M.PendingCount() > 0 {
 		return 0
 	}
 	return d.nextPoll
+}
+
+// SetEnabled suspends or resumes the daemon's decision loop. Disabling
+// never interrupts an in-flight staged transition — the fail-safe voltage
+// protocol runs to completion — but no new polls, classifications or
+// placements happen until re-enabled. Re-enabling marks the placement
+// dirty so the next tick replans immediately. A daemon starts enabled.
+func (d *Daemon) SetEnabled(on bool) {
+	if d.disabled == !on {
+		return
+	}
+	d.disabled = !on
+	if on {
+		d.dirty = true
+		d.nextPoll = d.M.Now()
+	}
+}
+
+// Enabled reports whether the decision loop is active.
+func (d *Daemon) Enabled() bool { return !d.disabled }
+
+// Reconfigure swaps the daemon's configuration at runtime (the service
+// layer's policy flips). It validates like New, refuses to interleave with
+// a staged transition, and marks the placement dirty so the next tick
+// replans — and re-settles the voltage — under the new policy.
+func (d *Daemon) Reconfigure(cfg Config) error {
+	if cfg.PollInterval <= 0 {
+		return fmt.Errorf("daemon: PollInterval must be positive")
+	}
+	if len(d.queue) > 0 {
+		return fmt.Errorf("daemon: transition in flight; retry after it settles")
+	}
+	d.Cfg = cfg
+	d.dirty = true
+	d.nextPoll = d.M.Now()
+	return nil
 }
 
 // tick is the daemon's end-of-commit entry point; ticks is how many
@@ -369,6 +419,10 @@ func (d *Daemon) tick(ticks int) {
 		d.queue = d.queue[1:]
 		step()
 		d.cooldown = d.Cfg.TransitionTicks
+		return
+	}
+	// A suspended daemon takes no new decisions (see SetEnabled).
+	if d.disabled {
 		return
 	}
 	// Arrivals: any pending process triggers the placement path.

@@ -349,6 +349,17 @@ func (l Fig5Line) SafeVmin() chip.Millivolts {
 	return safe
 }
 
+// SafeVminOrErr is SafeVmin with a typed failure: instead of the
+// NoSafeVmin sentinel value it returns an error wrapping vmin.ErrNoSafeVmin
+// (re-exported as avfs.ErrNoSafeVmin).
+func (l Fig5Line) SafeVminOrErr() (chip.Millivolts, error) {
+	if v := l.SafeVmin(); v != NoSafeVmin {
+		return v, nil
+	}
+	return 0, fmt.Errorf("%w: %dT %v averaged curve has no clean level",
+		vmin.ErrNoSafeVmin, l.Threads, l.Place)
+}
+
 // Fig5Result holds all configuration lines.
 type Fig5Result struct {
 	Lines []Fig5Line

@@ -163,6 +163,11 @@ func (g *Ondemand) Tick() {
 type Baseline struct {
 	Placer   *DefaultPlacer
 	Governor *Ondemand
+
+	// disabled suspends the stack without detaching its hooks; the fleet
+	// service flips it when switching a live session's policy between the
+	// baseline stack and the paper's daemon.
+	disabled bool
 }
 
 // NewBaseline wires the default stack onto a machine (voltage stays at
@@ -174,11 +179,18 @@ func NewBaseline(m *sim.Machine) *Baseline {
 		Governor: NewOndemand(m),
 	}
 	m.OnTickBounded(func(*sim.Machine, int) {
+		if b.disabled {
+			return
+		}
 		b.Placer.PlacePending()
 		b.Governor.Tick()
 	}, func() float64 {
-		// Pending work needs per-tick placement attempts; otherwise the
-		// stack next acts at the governor's sample instant.
+		// A suspended stack imposes no tick boundary; pending work needs
+		// per-tick placement attempts; otherwise the stack next acts at
+		// the governor's sample instant.
+		if b.disabled {
+			return math.Inf(1)
+		}
 		if m.PendingCount() > 0 {
 			return 0
 		}
@@ -186,3 +198,11 @@ func NewBaseline(m *sim.Machine) *Baseline {
 	})
 	return b
 }
+
+// SetEnabled suspends or resumes the placer and governor. The stack starts
+// enabled; suspended, its hooks are inert and never constrain the
+// simulator's tick coalescing.
+func (b *Baseline) SetEnabled(on bool) { b.disabled = !on }
+
+// Enabled reports whether the stack is active.
+func (b *Baseline) Enabled() bool { return !b.disabled }

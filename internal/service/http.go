@@ -1,0 +1,284 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"avfs/api"
+	"avfs/internal/sim"
+	"avfs/internal/telemetry"
+	"avfs/internal/telemetry/export"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// statusRule maps one error identity onto an HTTP status and a stable wire
+// code. First match wins; the table is ordered most-specific-first.
+type statusRule struct {
+	target error
+	status int
+	code   string
+	// retryAfterSec > 0 adds a Retry-After header (backpressure paths).
+	retryAfterSec int
+}
+
+// StatusClientClosed is the non-standard 499 (client closed request)
+// status used when the requester's context is cancelled mid-run; the
+// client is gone, the code is for the access log.
+const StatusClientClosed = 499
+
+// statusTable is the errors.Is mapping table between the library's typed
+// sentinels and the v1 wire contract. docs/API.md documents it.
+var statusTable = []statusRule{
+	{target: ErrSessionNotFound, status: http.StatusNotFound, code: api.CodeSessionNotFound},
+	{target: ErrJobNotFound, status: http.StatusNotFound, code: api.CodeJobNotFound},
+	{target: workload.ErrUnknownBenchmark, status: http.StatusNotFound, code: api.CodeUnknownBenchmark},
+	{target: ErrUnknownModel, status: http.StatusBadRequest, code: api.CodeUnknownModel},
+	{target: ErrUnknownPolicy, status: http.StatusBadRequest, code: api.CodeUnknownPolicy},
+	{target: ErrConflict, status: http.StatusConflict, code: api.CodeConflict},
+	{target: ErrBusy, status: http.StatusTooManyRequests, code: api.CodeBusy, retryAfterSec: 1},
+	{target: ErrFleetFull, status: http.StatusTooManyRequests, code: api.CodeFleetFull, retryAfterSec: 5},
+	{target: ErrDraining, status: http.StatusServiceUnavailable, code: api.CodeDraining, retryAfterSec: 5},
+	{target: vmin.ErrNoSafeVmin, status: http.StatusUnprocessableEntity, code: api.CodeNoSafeVmin},
+	{target: sim.ErrNotIdle, status: http.StatusUnprocessableEntity, code: api.CodeNotIdle},
+	{target: sim.ErrInvalidProcess, status: http.StatusBadRequest, code: api.CodeInvalidRequest},
+	{target: sim.ErrInvalidPlacement, status: http.StatusBadRequest, code: api.CodeInvalidRequest},
+	{target: ErrInvalidRequest, status: http.StatusBadRequest, code: api.CodeInvalidRequest},
+	{target: context.DeadlineExceeded, status: http.StatusGatewayTimeout, code: api.CodeDeadline},
+	{target: context.Canceled, status: StatusClientClosed, code: api.CodeCanceled},
+}
+
+// mapError resolves an error to (status, wire code).
+func mapError(err error) (int, string, int) {
+	for _, r := range statusTable {
+		if errors.Is(err, r.target) {
+			return r.status, r.code, r.retryAfterSec
+		}
+	}
+	return http.StatusInternalServerError, api.CodeInternal, 0
+}
+
+// wireError converts an error to its wire form (status filled for the
+// caller's convenience; it is not serialized).
+func wireError(err error) *api.Error {
+	status, code, _ := mapError(err)
+	return &api.Error{Code: code, Message: err.Error(), Status: status}
+}
+
+// Handler builds the v1 HTTP surface of a fleet:
+//
+//	POST   /v1/sessions                      create
+//	GET    /v1/sessions                      list
+//	GET    /v1/sessions/{id}                 session state
+//	DELETE /v1/sessions/{id}                 delete (aborts runs)
+//	POST   /v1/sessions/{id}/processes       submit a benchmark
+//	GET    /v1/sessions/{id}/processes       process list
+//	POST   /v1/sessions/{id}/run             advance time (sync or async)
+//	GET    /v1/sessions/{id}/jobs            async handles
+//	GET    /v1/sessions/{id}/jobs/{job}      poll one handle
+//	DELETE /v1/sessions/{id}/jobs/{job}      cancel one handle
+//	GET    /v1/sessions/{id}/energy          meter + breakdown
+//	PUT    /v1/sessions/{id}/policy          flip Table IV policy
+//	GET    /v1/sessions/{id}/trace?since=N   decision trace as JSONL
+//	GET    /v1/sessions/{id}/metrics         per-session Prometheus text
+//	GET    /metrics                          fleet Prometheus text
+//	GET    /healthz                          liveness + drain state
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CreateSessionRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		s, err := f.Create(req)
+		respond(w, http.StatusCreated, s, err)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, http.StatusOK, f.List(), nil)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := f.Get(r.PathValue("id"))
+		respond(w, http.StatusOK, s, err)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := f.Delete(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/processes", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SubmitRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		p, err := f.Submit(r.PathValue("id"), req)
+		respond(w, http.StatusCreated, p, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/processes", func(w http.ResponseWriter, r *http.Request) {
+		pl, err := f.Processes(r.PathValue("id"))
+		respond(w, http.StatusOK, pl, err)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/run", func(w http.ResponseWriter, r *http.Request) {
+		var req api.RunRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		id := r.PathValue("id")
+		if req.Async {
+			j, err := f.RunAsync(id, req)
+			respond(w, http.StatusAccepted, j, err)
+			return
+		}
+		res, err := f.RunSync(r.Context(), id, req)
+		respond(w, http.StatusOK, res, err)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jl, err := f.Jobs(r.PathValue("id"))
+		respond(w, http.StatusOK, jl, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := f.Job(r.PathValue("id"), r.PathValue("job"))
+		respond(w, http.StatusOK, j, err)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}/jobs/{job}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := f.CancelJob(r.PathValue("id"), r.PathValue("job"))
+		respond(w, http.StatusOK, j, err)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/energy", func(w http.ResponseWriter, r *http.Request) {
+		e, err := f.Energy(r.PathValue("id"))
+		respond(w, http.StatusOK, e, err)
+	})
+	mux.HandleFunc("PUT /v1/sessions/{id}/policy", func(w http.ResponseWriter, r *http.Request) {
+		var req api.PolicyRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		s, err := f.SetPolicy(r.PathValue("id"), req.Policy)
+		respond(w, http.StatusOK, s, err)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		since := 0
+		if q := r.URL.Query().Get("since"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("%w: since=%q", ErrInvalidRequest, q))
+				return
+			}
+			since = n
+		}
+		recs, next, err := f.TraceSince(r.PathValue("id"), since)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		w.Header().Set("X-Trace-Next", strconv.Itoa(next))
+		enc := json.NewEncoder(w)
+		for _, d := range recs {
+			if err := enc.Encode(d); err != nil {
+				return // client went away
+			}
+		}
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := f.SessionMetrics(r.PathValue("id"), &buf); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		servePrometheus(w, f.reg)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := "ok"
+		status := http.StatusOK
+		if f.Draining() {
+			state = "draining"
+			status = http.StatusServiceUnavailable
+		}
+		respond(w, status, map[string]string{"status": state}, nil)
+	})
+
+	return f.instrument(mux)
+}
+
+// instrument wraps the mux with fleet-level request accounting.
+func (f *Fleet) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if c := sw.status / 100; c >= 1 && c <= 5 {
+			f.mHTTP[c].Inc()
+		}
+	})
+}
+
+// statusWriter records the response status for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// servePrometheus renders a registry in Prometheus text format.
+func servePrometheus(w http.ResponseWriter, reg *telemetry.Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = export.Prometheus(w, reg)
+}
+
+// decodeJSON parses a request body, tolerating an empty body as the zero
+// request. It reports false after writing the error response.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(dst); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true // empty body = all defaults
+		}
+		writeError(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalidRequest, err))
+		return false
+	}
+	return true
+}
+
+// respond writes a JSON success body, or maps err onto the wire contract.
+func respond(w http.ResponseWriter, okStatus int, body any, err error) {
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(okStatus)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError maps err through the status table and writes the wire body.
+func writeError(w http.ResponseWriter, err error) {
+	status, code, retry := mapError(err)
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(&api.Error{Code: code, Message: err.Error()})
+}

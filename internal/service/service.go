@@ -1,0 +1,546 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"avfs/api"
+	"avfs/internal/experiments/runner"
+	"avfs/internal/telemetry"
+	"avfs/internal/telemetry/export"
+)
+
+// Config tunes a Fleet. The zero value selects production defaults.
+type Config struct {
+	// MaxSessions caps live sessions (default 256). Creation beyond it
+	// fails with ErrFleetFull (429).
+	MaxSessions int
+	// SessionTTL reaps sessions idle for this long with no run in flight
+	// (default 15 minutes; per-session override via the create request).
+	SessionTTL time.Duration
+	// Workers bounds concurrently executing runs across all sessions
+	// (default GOMAXPROCS); Queue bounds admitted-but-waiting runs
+	// (default 4x workers). A full queue is the ErrBusy backpressure path.
+	Workers int
+	Queue   int
+	// RunChunk is how much simulated time a run advances per lock hold
+	// (default 1 s): the granularity at which reads, submits and policy
+	// flips interleave with an in-flight run.
+	RunChunk float64
+	// Clock substitutes wall time in tests (default time.Now).
+	Clock func() time.Time
+	// ReapEvery is the background reaper period (default 5 s; <0 disables
+	// the goroutine — tests drive ReapNow directly).
+	ReapEvery time.Duration
+}
+
+// withDefaults resolves the zero value.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.RunChunk <= 0 {
+		c.RunChunk = 1.0
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.ReapEvery == 0 {
+		c.ReapEvery = 5 * time.Second
+	}
+	return c
+}
+
+// Fleet is the control plane: session registry, bounded run pool, TTL
+// reaper and drain choreography. Construct with New, serve with Handler
+// (http.go), stop with Drain then Close.
+type Fleet struct {
+	cfg  Config
+	pool *runner.Pool
+	reg  *telemetry.Registry
+
+	// baseCtx parents every session context; Close cancels it, aborting
+	// whatever Drain left behind.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	reapStop   chan struct{}
+	reapDone   chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextSess uint64
+	nextJob  uint64
+	draining bool
+
+	// Fleet-level telemetry (the /metrics surface).
+	mSessions *telemetry.Counter
+	mReaped   *telemetry.Counter
+	mRuns     *telemetry.Counter
+	mRejected *telemetry.Counter
+	// mHTTP[c] counts requests answered with a cxx status; registered here
+	// once so Handler stays idempotent.
+	mHTTP [6]*telemetry.Counter
+}
+
+// New starts a fleet.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:      cfg,
+		pool:     runner.NewPool(cfg.Workers, cfg.Queue, nil),
+		reg:      telemetry.NewRegistry(),
+		sessions: make(map[string]*session),
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	f.baseCtx, f.cancelBase = context.WithCancel(context.Background())
+	f.mSessions = f.reg.Counter("avfs_fleet_sessions_created_total", "Sessions created.")
+	f.mReaped = f.reg.Counter("avfs_fleet_sessions_reaped_total", "Sessions deleted by the TTL reaper.")
+	f.mRuns = f.reg.Counter("avfs_fleet_runs_total", "Time-advance operations admitted (sync and async).")
+	f.mRejected = f.reg.Counter("avfs_fleet_runs_rejected_total", "Runs rejected by pool backpressure.")
+	for i := 1; i <= 5; i++ {
+		f.mHTTP[i] = f.reg.Counter("avfs_http_requests_total",
+			"HTTP requests by status class.", telemetry.Labels("class", fmt.Sprintf("%dxx", i))...)
+	}
+	f.reg.Gauge("avfs_fleet_sessions_active", "Live sessions.", func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return float64(len(f.sessions))
+	})
+	f.reg.Gauge("avfs_fleet_runs_inflight", "Admitted runs not yet completed.", func() float64 {
+		return float64(f.pool.Pending())
+	})
+	if cfg.ReapEvery > 0 {
+		go f.reapLoop()
+	} else {
+		close(f.reapDone)
+	}
+	return f
+}
+
+// Registry exposes the fleet-level metric registry (the /metrics surface).
+func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
+
+// reapLoop ticks the TTL reaper until Close.
+func (f *Fleet) reapLoop() {
+	defer close(f.reapDone)
+	t := time.NewTicker(f.cfg.ReapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.ReapNow()
+		case <-f.reapStop:
+			return
+		}
+	}
+}
+
+// ReapNow deletes every session idle past its TTL with no run in flight,
+// returning how many it removed.
+func (f *Fleet) ReapNow() int {
+	now := f.cfg.Clock()
+	f.mu.Lock()
+	var doomed []*session
+	for id, s := range f.sessions {
+		if idle, busy, ttl := s.idleFor(now); !busy && idle >= ttl {
+			doomed = append(doomed, s)
+			delete(f.sessions, id)
+		}
+	}
+	f.mu.Unlock()
+	for _, s := range doomed {
+		s.cancel()
+		f.mReaped.Inc()
+	}
+	return len(doomed)
+}
+
+// Create opens a session.
+func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
+	now := f.cfg.Clock()
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return api.Session{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	}
+	if len(f.sessions) >= f.cfg.MaxSessions {
+		f.mu.Unlock()
+		return api.Session{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
+	}
+	f.nextSess++
+	id := fmt.Sprintf("s-%06d", f.nextSess)
+	f.mu.Unlock()
+
+	// Build outside the fleet lock (construction touches no shared state);
+	// publish under it, re-checking the race windows.
+	s, err := newSession(f.baseCtx, id, req, f.cfg.SessionTTL, now)
+	if err != nil {
+		return api.Session{}, err
+	}
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		s.cancel()
+		return api.Session{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	}
+	if len(f.sessions) >= f.cfg.MaxSessions {
+		f.mu.Unlock()
+		s.cancel()
+		return api.Session{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
+	}
+	f.sessions[id] = s
+	f.mu.Unlock()
+	f.mSessions.Inc()
+	return s.snapshot(now), nil
+}
+
+// lookup resolves a session ID.
+func (f *Fleet) lookup(id string) (*session, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.sessions[id]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+}
+
+// List snapshots every live session, ordered by ID.
+func (f *Fleet) List() api.SessionList {
+	now := f.cfg.Clock()
+	f.mu.Lock()
+	all := make([]*session, 0, len(f.sessions))
+	for _, s := range f.sessions {
+		all = append(all, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := api.SessionList{Sessions: make([]api.Session, 0, len(all))}
+	for _, s := range all {
+		out.Sessions = append(out.Sessions, s.snapshot(now))
+	}
+	return out
+}
+
+// Get snapshots one session.
+func (f *Fleet) Get(id string) (api.Session, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Session{}, err
+	}
+	return s.snapshot(f.cfg.Clock()), nil
+}
+
+// Delete removes a session, cancelling any in-flight run.
+func (f *Fleet) Delete(id string) error {
+	f.mu.Lock()
+	s, ok := f.sessions[id]
+	if ok {
+		delete(f.sessions, id)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	s.cancel()
+	return nil
+}
+
+// Submit queues a program on a session.
+func (f *Fleet) Submit(id string, req api.SubmitRequest) (api.Process, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Process{}, err
+	}
+	return s.submit(req, f.cfg.Clock())
+}
+
+// Processes lists a session's programs.
+func (f *Fleet) Processes(id string) (api.ProcessList, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.ProcessList{}, err
+	}
+	return s.processes(), nil
+}
+
+// Energy reads a session's meter/Vmin surface.
+func (f *Fleet) Energy(id string) (api.Energy, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Energy{}, err
+	}
+	return s.energy(), nil
+}
+
+// SetPolicy flips a live session between the Table IV configurations.
+func (f *Fleet) SetPolicy(id, policy string) (api.Session, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Session{}, err
+	}
+	now := f.cfg.Clock()
+	if err := s.setPolicy(policy, now); err != nil {
+		return api.Session{}, err
+	}
+	return s.snapshot(now), nil
+}
+
+// TraceSince returns a session's buffered decision records from an
+// absolute offset, plus the next offset to poll from.
+func (f *Fleet) TraceSince(id string, since int) ([]telemetry.Decision, int, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, next := s.traceSince(since)
+	return recs, next, nil
+}
+
+// SessionMetrics renders one session's private metric registry in
+// Prometheus text format. The session lock is held across the gather: the
+// machine-wired gauges read live simulator state.
+func (f *Fleet) SessionMetrics(id string, w io.Writer) error {
+	s, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return export.Prometheus(w, s.reg)
+}
+
+// admitGate rejects new runs while draining.
+func (f *Fleet) admitGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.draining {
+		return fmt.Errorf("%w: not accepting runs", ErrDraining)
+	}
+	return nil
+}
+
+// RunSync advances a session's simulated time on the worker pool, blocking
+// until the advance completes or ctx ends. Concurrent runs on one session
+// serialize on its actor lock; pool saturation fails fast with ErrBusy.
+func (f *Fleet) RunSync(ctx context.Context, id string, req api.RunRequest) (api.RunResult, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.RunResult{}, err
+	}
+	if err := f.admitGate(); err != nil {
+		return api.RunResult{}, err
+	}
+	s.mu.Lock()
+	s.activeJobs++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.activeJobs--
+		s.mu.Unlock()
+	}()
+	var res api.RunResult
+	err = f.pool.Do(ctx, func(jctx context.Context) error {
+		var runErr error
+		res, runErr = s.runChunked(jctx, req.Seconds, req.UntilIdle, f.cfg.RunChunk, f.cfg.Clock)
+		return runErr
+	})
+	switch {
+	case err == nil:
+		f.mRuns.Inc()
+		return res, nil
+	case errors.Is(err, ErrBusy) || errors.Is(err, runner.ErrPoolClosed):
+		f.mRejected.Inc()
+		return api.RunResult{}, err
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		// The caller gave up while the job was queued or running; the job
+		// itself aborts at its next commit (it observes the same ctx). res
+		// may still be written by the detached worker — don't read it.
+		return api.RunResult{}, err
+	default:
+		// The job completed with an error (delivered through the pool's
+		// done channel, so reading res is synchronized).
+		f.mRuns.Inc()
+		return res, err
+	}
+}
+
+// RunAsync admits a time advance and returns a pollable handle
+// immediately. The job's context derives from the session (not the
+// request), so it survives the request and is cancelled by session
+// deletion, CancelJob, or fleet Close — but not by graceful Drain, which
+// waits for it instead.
+func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Job{}, err
+	}
+	if err := f.admitGate(); err != nil {
+		return api.Job{}, err
+	}
+	if req.Seconds <= 0 {
+		return api.Job{}, fmt.Errorf("%w: run seconds must be positive", ErrInvalidRequest)
+	}
+	f.mu.Lock()
+	f.nextJob++
+	jid := fmt.Sprintf("j-%06d", f.nextJob)
+	f.mu.Unlock()
+
+	jctx, cancel := context.WithCancel(s.ctx)
+	j := &job{
+		id:        jid,
+		seconds:   req.Seconds,
+		untilIdle: req.UntilIdle,
+		status:    api.JobQueued,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.activeJobs++
+	s.mu.Unlock()
+
+	doneCh, err := f.pool.Go(jctx, func(ctx context.Context) error {
+		s.mu.Lock()
+		j.status = api.JobRunning
+		s.mu.Unlock()
+		res, runErr := s.runChunked(ctx, j.seconds, j.untilIdle, f.cfg.RunChunk, f.cfg.Clock)
+		s.mu.Lock()
+		j.result = res
+		j.err = runErr
+		switch {
+		case runErr == nil:
+			j.status = api.JobDone
+		case ctx.Err() != nil:
+			j.status = api.JobCanceled
+		default:
+			j.status = api.JobFailed
+		}
+		s.activeJobs--
+		s.mu.Unlock()
+		close(j.done)
+		return runErr
+	})
+	if err != nil {
+		// Admission failed: withdraw the handle (by identity — another
+		// request may have appended since).
+		s.mu.Lock()
+		for i, cand := range s.jobs {
+			if cand == j {
+				s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+				break
+			}
+		}
+		s.activeJobs--
+		s.mu.Unlock()
+		cancel()
+		f.mRejected.Inc()
+		return api.Job{}, err
+	}
+	// A job cancelled while still queued is retired by the pool without
+	// ever running its body; finalize the handle from the done channel.
+	go func() {
+		<-doneCh
+		s.mu.Lock()
+		if j.status == api.JobQueued {
+			j.status = api.JobCanceled
+			j.err = jctx.Err()
+			s.activeJobs--
+			s.mu.Unlock()
+			close(j.done)
+			return
+		}
+		s.mu.Unlock()
+	}()
+	f.mRuns.Inc()
+	return s.wireJob(j), nil
+}
+
+// Job polls an async handle.
+func (f *Fleet) Job(id, jobID string) (api.Job, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Job{}, err
+	}
+	j, err := s.lookupJob(jobID)
+	if err != nil {
+		return api.Job{}, err
+	}
+	return s.wireJob(j), nil
+}
+
+// Jobs lists a session's async handles.
+func (f *Fleet) Jobs(id string) (api.JobList, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.JobList{}, err
+	}
+	return s.jobList(), nil
+}
+
+// CancelJob aborts an in-flight async run (no-op on finished jobs). The
+// simulation stops at the next tick-batch commit; the job reports
+// canceled with the state it reached.
+func (f *Fleet) CancelJob(id, jobID string) (api.Job, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Job{}, err
+	}
+	j, err := s.lookupJob(jobID)
+	if err != nil {
+		return api.Job{}, err
+	}
+	j.cancel()
+	return s.wireJob(j), nil
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (f *Fleet) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
+// Drain begins graceful shutdown: new sessions and runs are rejected with
+// ErrDraining (503 + Retry-After), while every admitted run — including
+// queued async jobs — completes normally. It returns when the pool is
+// empty or ctx ends.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+	return f.pool.Drain(ctx)
+}
+
+// Close force-stops the fleet: cancels every session context (aborting
+// whatever Drain left in flight at its next tick-batch commit), stops the
+// reaper and releases the pool workers. Call Drain first for graceful
+// shutdown.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+	f.cancelBase()
+	select {
+	case <-f.reapStop:
+	default:
+		close(f.reapStop)
+	}
+	<-f.reapDone
+	f.pool.Close()
+}

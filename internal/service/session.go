@@ -1,0 +1,478 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"avfs/api"
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/daemon"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+	"avfs/internal/telemetry"
+	"avfs/internal/vmin"
+	"avfs/internal/workload"
+)
+
+// Policy names the four Table IV system configurations on the wire.
+const (
+	PolicyBaseline  = "baseline"
+	PolicySafeVmin  = "safe-vmin"
+	PolicyPlacement = "placement"
+	PolicyOptimal   = "optimal"
+)
+
+// parsePolicy canonicalizes a wire policy name ("" defaults to optimal).
+func parsePolicy(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", PolicyOptimal:
+		return PolicyOptimal, nil
+	case PolicyBaseline:
+		return PolicyBaseline, nil
+	case PolicySafeVmin, "safevmin", "safe_vmin":
+		return PolicySafeVmin, nil
+	case PolicyPlacement:
+		return PolicyPlacement, nil
+	}
+	return "", fmt.Errorf("%w: %q (want baseline, safe-vmin, placement or optimal)", ErrUnknownPolicy, s)
+}
+
+// parseModel resolves a wire model name ("" defaults to xgene3).
+func parseModel(s string) (*chip.Spec, string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "xgene3", "x-gene3", "xgene-3":
+		return chip.XGene3Spec(), "xgene3", nil
+	case "xgene2", "x-gene2", "xgene-2":
+		return chip.XGene2Spec(), "xgene2", nil
+	}
+	return nil, "", fmt.Errorf("%w: %q (want xgene2 or xgene3)", ErrUnknownModel, s)
+}
+
+// session is one fleet tenant: a simulated machine plus both control
+// stacks (the Linux-like baseline and the paper's daemon), of which
+// exactly one is enabled at a time according to the selected policy.
+//
+// session is the single-writer actor of the concurrency model: every
+// field below mu is touched only while holding it. Long runs release and
+// re-take the lock between chunks of simulated time (see run), so reads
+// and submits interleave with an in-flight run.
+type session struct {
+	id      string
+	model   string
+	created time.Time
+
+	// ctx is cancelled when the session is deleted (or the fleet is
+	// force-closed); async jobs derive from it, so deletion aborts them.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// reg/tracer are this session's private telemetry: per-session
+	// registries keep metric names collision-free across tenants.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	mu        sync.Mutex
+	m         *sim.Machine
+	d         *daemon.Daemon
+	base      *sched.Baseline
+	policy    string
+	ttl       time.Duration
+	lastTouch time.Time
+	// traceBuf is the bounded decision-trace ring the JSONL endpoint
+	// serves; traceBase is the absolute index of traceBuf[0].
+	traceBuf  []telemetry.Decision
+	traceBase int
+	// jobs holds every async run ever admitted for the session (they are
+	// few and tiny; reaping the session drops them all).
+	jobs []*job
+	// activeJobs counts admitted-but-unfinished runs (sync and async), so
+	// the TTL reaper never deletes a session that is still computing.
+	activeJobs int
+}
+
+// job is the handle of one asynchronous time advance.
+type job struct {
+	id        string
+	seconds   float64
+	untilIdle bool
+	status    string // api.JobQueued/Running/Done/Failed/Canceled
+	result    api.RunResult
+	err       error
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// traceCap bounds the per-session decision ring. A full hour of the
+// Optimal daemon on the paper's workload emits a few thousand decisions;
+// the ring holds the recent window and reports how much it dropped.
+const traceCap = 4096
+
+// newSession builds a machine under the requested policy. Caller supplies
+// the fleet-derived context and defaults.
+func newSession(parent context.Context, id string, req api.CreateSessionRequest,
+	defaultTTL time.Duration, now time.Time) (*session, error) {
+
+	spec, model, err := parseModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if req.TickSeconds < 0 || req.PollSeconds < 0 || req.TTLSeconds < 0 {
+		return nil, fmt.Errorf("%w: negative duration", ErrInvalidRequest)
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	s := &session{
+		id:        id,
+		model:     model,
+		created:   now,
+		ctx:       ctx,
+		cancel:    cancel,
+		reg:       telemetry.NewRegistry(),
+		tracer:    telemetry.NewTracer(),
+		policy:    policy,
+		ttl:       defaultTTL,
+		lastTouch: now,
+	}
+	if req.TTLSeconds > 0 {
+		s.ttl = time.Duration(req.TTLSeconds * float64(time.Second))
+	}
+
+	s.m = sim.New(spec)
+	if req.TickSeconds > 0 {
+		s.m.Tick = req.TickSeconds
+	}
+	if req.Coalescing != nil {
+		s.m.SetCoalescing(*req.Coalescing)
+	}
+	s.tracer.Subscribe(s.appendTrace)
+	telemetry.WireMachine(s.m, s.reg, s.tracer)
+
+	// Both stacks attach up front; policy selection enables exactly one.
+	// A disabled stack's hooks are inert and impose no tick boundary, so
+	// it costs nothing while the other runs (and nothing blocks the
+	// simulator's steady-state coalescing).
+	s.base = sched.NewBaseline(s.m)
+	cfg := daemon.DefaultConfig()
+	if req.PollSeconds > 0 {
+		cfg.PollInterval = req.PollSeconds
+	}
+	s.d = daemon.New(s.m, cfg)
+	s.d.Instrument(s.reg, s.tracer)
+	s.d.Attach()
+	s.applyPolicyLocked(policy)
+	return s, nil
+}
+
+// applyPolicyLocked flips the enabled stack and electrical state to the
+// given (already canonicalized) policy. mu must be held (or the session
+// not yet published).
+func (s *session) applyPolicyLocked(policy string) {
+	spec := s.m.Spec
+	switch policy {
+	case PolicyBaseline, PolicySafeVmin:
+		s.d.SetEnabled(false)
+		// The default stack owns frequency (ondemand) and assumes a fixed
+		// voltage: nominal for Baseline, the worst-case static undervolt
+		// envelope for Safe Vmin (Sec. VI-B).
+		s.m.Chip.SetAllFreq(spec.MaxFreq)
+		if policy == PolicySafeVmin {
+			s.m.Chip.SetVoltage(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) +
+				daemon.DefaultConfig().GuardMV)
+		} else {
+			s.m.Chip.SetVoltage(spec.NominalMV)
+		}
+		s.base.SetEnabled(true)
+	case PolicyPlacement, PolicyOptimal:
+		s.base.SetEnabled(false)
+		cfg := s.d.Cfg
+		if policy == PolicyPlacement {
+			poCfg := daemon.PlacementOnlyConfig()
+			poCfg.PollInterval = cfg.PollInterval
+			cfg = poCfg
+		} else {
+			optCfg := daemon.DefaultConfig()
+			optCfg.PollInterval = cfg.PollInterval
+			cfg = optCfg
+		}
+		if policy == PolicyPlacement {
+			// The Placement configuration holds the voltage at nominal.
+			s.m.Chip.SetVoltage(spec.NominalMV)
+		}
+		// Reconfigure cannot fail here: the caller verified no transition
+		// is in flight, and the poll interval is inherited (positive).
+		_ = s.d.Reconfigure(cfg)
+		s.d.SetEnabled(true)
+	}
+	s.policy = policy
+}
+
+// setPolicy flips a live session between the Table IV configurations.
+func (s *session) setPolicy(wire string, now time.Time) error {
+	policy, err := parsePolicy(wire)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastTouch = now
+	if policy == s.policy {
+		return nil
+	}
+	if s.d.TransitionInFlight() {
+		return fmt.Errorf("%w: fail-safe voltage transition draining; retry", ErrConflict)
+	}
+	s.applyPolicyLocked(policy)
+	return nil
+}
+
+// submit queues a program on the machine. It takes effect immediately when
+// the session is idle, or at the next chunk boundary of an in-flight run.
+func (s *session) submit(req api.SubmitRequest, now time.Time) (api.Process, error) {
+	b, err := workload.ByName(req.Benchmark)
+	if err != nil {
+		return api.Process{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastTouch = now
+	p, err := s.m.Submit(b, req.Threads)
+	if err != nil {
+		return api.Process{}, err
+	}
+	return s.wireProcessLocked(p), nil
+}
+
+// runChunked advances the machine by seconds of simulated time (or until
+// idle within that budget), holding the lock one chunk at a time so other
+// requests interleave. ctx aborts between tick batches.
+func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle bool, chunk float64, clk func() time.Time) (api.RunResult, error) {
+	if seconds <= 0 {
+		return api.RunResult{}, fmt.Errorf("%w: run seconds must be positive", ErrInvalidRequest)
+	}
+	if chunk <= 0 {
+		chunk = 1.0
+	}
+	var runErr error
+	remaining := seconds
+	for remaining > 1e-9 {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		step := chunk
+		if step > remaining {
+			step = remaining
+		}
+		s.mu.Lock()
+		if untilIdle && s.m.RunningCount() == 0 && s.m.PendingCount() == 0 {
+			s.mu.Unlock()
+			remaining = 0
+			break
+		}
+		err := s.m.RunForContext(ctx, step)
+		s.lastTouch = clk()
+		s.mu.Unlock()
+		if err != nil {
+			runErr = err
+			break
+		}
+		remaining -= step
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if runErr == nil && untilIdle && (s.m.RunningCount() > 0 || s.m.PendingCount() > 0) {
+		runErr = fmt.Errorf("%w after %.0fs (running=%d pending=%d)",
+			sim.ErrNotIdle, seconds, s.m.RunningCount(), s.m.PendingCount())
+	}
+	return s.runResultLocked(), runErr
+}
+
+// runResultLocked snapshots the run read surface. mu must be held.
+func (s *session) runResultLocked() api.RunResult {
+	return api.RunResult{
+		Now:         s.m.Now(),
+		Ticks:       s.m.Ticks(),
+		EnergyJ:     s.m.Meter.Energy(),
+		Emergencies: len(s.m.Emergencies()),
+	}
+}
+
+// snapshot builds the session's public state.
+func (s *session) snapshot(now time.Time) api.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return api.Session{
+		ID:             s.id,
+		Model:          s.model,
+		Policy:         s.policy,
+		Now:            s.m.Now(),
+		Ticks:          s.m.Ticks(),
+		Running:        s.m.RunningCount(),
+		Pending:        s.m.PendingCount(),
+		Done:           len(s.m.Finished()),
+		VoltageMV:      int(s.m.Chip.Voltage()),
+		RequiredVminMV: int(s.m.RequiredSafeVmin()),
+		EnergyJ:        s.m.Meter.Energy(),
+		AvgPowerW:      s.m.Meter.AveragePower(),
+		PeakPowerW:     s.m.Meter.Peak(),
+		Emergencies:    len(s.m.Emergencies()),
+		UtilizedPMDs:   s.m.UtilizedPMDCount(),
+		IdleSeconds:    now.Sub(s.lastTouch).Seconds(),
+	}
+}
+
+// energy builds the meter/Vmin read surface with the component breakdown.
+func (s *session) energy() api.Energy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bd := s.m.EnergyBreakdown()
+	return api.Energy{
+		Seconds:        s.m.Meter.Seconds(),
+		EnergyJ:        s.m.Meter.Energy(),
+		AvgPowerW:      s.m.Meter.AveragePower(),
+		PeakPowerW:     s.m.Meter.Peak(),
+		VoltageMV:      int(s.m.Chip.Voltage()),
+		RequiredVminMV: int(s.m.RequiredSafeVmin()),
+		Emergencies:    len(s.m.Emergencies()),
+		Breakdown: map[string]float64{
+			"core_dynamic": bd.CoreDynamic,
+			"pmd_uncore":   bd.PMDUncore,
+			"l3_fabric":    bd.L3Fabric,
+			"mem_ctl":      bd.MemCtl,
+			"leakage":      bd.Leakage,
+		},
+	}
+}
+
+// processes lists every process the session has seen, pending first.
+func (s *session) processes() api.ProcessList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := api.ProcessList{Processes: []api.Process{}}
+	for _, set := range [][]*sim.Process{s.m.Pending(), s.m.Running(), s.m.Finished()} {
+		for _, p := range set {
+			out.Processes = append(out.Processes, s.wireProcessLocked(p))
+		}
+	}
+	return out
+}
+
+// wireProcessLocked converts one simulator process. mu must be held.
+func (s *session) wireProcessLocked(p *sim.Process) api.Process {
+	wp := api.Process{
+		ID:          p.ID,
+		Benchmark:   p.Bench.Name,
+		Threads:     len(p.Threads),
+		State:       p.State.String(),
+		Submitted:   p.Submitted,
+		CoreEnergyJ: p.CoreEnergy(),
+	}
+	for _, c := range p.Cores() {
+		wp.Cores = append(wp.Cores, int(c))
+	}
+	var prog float64
+	for _, t := range p.Threads {
+		prog += t.Progress()
+	}
+	wp.Progress = prog / float64(len(p.Threads))
+	switch {
+	case p.Completed >= 0:
+		wp.Runtime = p.Completed - p.Started
+	case p.Started >= 0:
+		wp.Runtime = s.m.Now() - p.Started
+	}
+	return wp
+}
+
+// appendTrace feeds the decision ring (called under mu: the tracer only
+// emits while the machine steps, and the machine only steps under mu).
+func (s *session) appendTrace(d telemetry.Decision) {
+	if len(s.traceBuf) == traceCap {
+		n := copy(s.traceBuf, s.traceBuf[1:])
+		s.traceBuf = s.traceBuf[:n]
+		s.traceBase++
+	}
+	s.traceBuf = append(s.traceBuf, d)
+}
+
+// traceSince returns the buffered decisions with absolute index >= since,
+// plus the next offset to poll from.
+func (s *session) traceSince(since int) (recs []telemetry.Decision, next int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < s.traceBase {
+		since = s.traceBase
+	}
+	if rel := since - s.traceBase; rel < len(s.traceBuf) {
+		recs = append(recs, s.traceBuf[rel:]...)
+	}
+	return recs, s.traceBase + len(s.traceBuf)
+}
+
+// lookupJob finds an async handle by ID.
+func (s *session) lookupJob(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.id == id {
+			return j, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%s", ErrJobNotFound, s.id, id)
+}
+
+// wireJob converts one handle. mu must be held by the caller chain (it
+// locks internally for safe standalone use).
+func (s *session) wireJob(j *job) api.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wireJobLocked(j)
+}
+
+func (s *session) wireJobLocked(j *job) api.Job {
+	wj := api.Job{
+		ID:      j.id,
+		Session: s.id,
+		Status:  j.status,
+		Seconds: j.seconds,
+	}
+	switch j.status {
+	case api.JobDone:
+		r := j.result
+		wj.Result = &r
+	case api.JobFailed, api.JobCanceled:
+		if j.err != nil {
+			wj.Error = wireError(j.err)
+		}
+		r := j.result
+		wj.Result = &r
+	}
+	return wj
+}
+
+// jobList lists the session's async handles in admission order.
+func (s *session) jobList() api.JobList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := api.JobList{Jobs: []api.Job{}}
+	for _, j := range s.jobs {
+		out.Jobs = append(out.Jobs, s.wireJobLocked(j))
+	}
+	return out
+}
+
+// idleFor reports how long the session has been untouched, and whether a
+// run is still in flight (which blocks reaping regardless of idleness).
+func (s *session) idleFor(now time.Time) (idle time.Duration, busy bool, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.lastTouch), s.activeJobs > 0, s.ttl
+}

@@ -333,10 +333,10 @@ func (m *Machine) startRunning(p *Process) {
 // core per thread, in order) and starts it.
 func (m *Machine) Place(p *Process, cores []chip.CoreID) error {
 	if p.State != Pending {
-		return fmt.Errorf("sim: process %d is %v, not pending", p.ID, p.State)
+		return fmt.Errorf("%w: process %d is %v, not pending", ErrInvalidPlacement, p.ID, p.State)
 	}
 	if len(cores) != len(p.Threads) {
-		return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+		return fmt.Errorf("%w: process %d has %d threads but %d cores given", ErrInvalidPlacement, p.ID, len(p.Threads), len(cores))
 	}
 	if err := m.checkFree(cores, nil); err != nil {
 		return err
@@ -366,10 +366,10 @@ func (m *Machine) stallTicks() uint64 {
 // rejected; the process's own current cores may be reused.
 func (m *Machine) Migrate(p *Process, cores []chip.CoreID) error {
 	if p.State != Running {
-		return fmt.Errorf("sim: process %d is %v, not running", p.ID, p.State)
+		return fmt.Errorf("%w: process %d is %v, not running", ErrInvalidPlacement, p.ID, p.State)
 	}
 	if len(cores) != len(p.Threads) {
-		return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+		return fmt.Errorf("%w: process %d has %d threads but %d cores given", ErrInvalidPlacement, p.ID, len(p.Threads), len(cores))
 	}
 	if err := m.checkFree(cores, p); err != nil {
 		return err
@@ -401,17 +401,17 @@ func (m *Machine) Reassign(assign map[*Process][]chip.CoreID) error {
 	seen := map[chip.CoreID]*Process{}
 	for p, cores := range assign {
 		if p.State == Finished {
-			return fmt.Errorf("sim: process %d already finished", p.ID)
+			return fmt.Errorf("%w: process %d already finished", ErrInvalidPlacement, p.ID)
 		}
 		if len(cores) != len(p.Threads) {
-			return fmt.Errorf("sim: process %d has %d threads but %d cores given", p.ID, len(p.Threads), len(cores))
+			return fmt.Errorf("%w: process %d has %d threads but %d cores given", ErrInvalidPlacement, p.ID, len(p.Threads), len(cores))
 		}
 		for _, c := range cores {
 			if !m.Spec.ValidCore(c) {
-				return fmt.Errorf("sim: core %d out of range", c)
+				return fmt.Errorf("%w: core %d out of range", ErrInvalidPlacement, c)
 			}
 			if other, dup := seen[c]; dup {
-				return fmt.Errorf("sim: core %d assigned to both process %d and %d", c, other.ID, p.ID)
+				return fmt.Errorf("%w: core %d assigned to both process %d and %d", ErrInvalidPlacement, c, other.ID, p.ID)
 			}
 			seen[c] = p
 		}
@@ -420,7 +420,7 @@ func (m *Machine) Reassign(assign map[*Process][]chip.CoreID) error {
 	for c := range seen {
 		if t := m.coreThr[c]; t != nil {
 			if _, inPlan := assign[t.Proc]; !inPlan {
-				return fmt.Errorf("sim: core %d occupied by process %d outside the reassignment", c, t.Proc.ID)
+				return fmt.Errorf("%w: core %d occupied by process %d outside the reassignment", ErrInvalidPlacement, c, t.Proc.ID)
 			}
 		}
 	}
@@ -478,14 +478,14 @@ func (m *Machine) checkFree(cores []chip.CoreID, owner *Process) error {
 	seen := map[chip.CoreID]bool{}
 	for _, c := range cores {
 		if !m.Spec.ValidCore(c) {
-			return fmt.Errorf("sim: core %d out of range", c)
+			return fmt.Errorf("%w: core %d out of range", ErrInvalidPlacement, c)
 		}
 		if seen[c] {
-			return fmt.Errorf("sim: core %d assigned twice", c)
+			return fmt.Errorf("%w: core %d assigned twice", ErrInvalidPlacement, c)
 		}
 		seen[c] = true
 		if t := m.coreThr[c]; t != nil && t.Proc != owner {
-			return fmt.Errorf("sim: core %d already occupied by process %d", c, t.Proc.ID)
+			return fmt.Errorf("%w: core %d already occupied by process %d", ErrInvalidPlacement, c, t.Proc.ID)
 		}
 	}
 	return nil
@@ -1177,8 +1177,8 @@ func (m *Machine) RunUntilIdle(maxSeconds float64) error {
 		m.advance(m.ticksUntil(deadline))
 	}
 	if len(m.running) != 0 || m.pendingN != 0 {
-		return fmt.Errorf("sim: machine not idle after %.0fs (running=%d pending=%d)",
-			maxSeconds, len(m.running), m.pendingN)
+		return fmt.Errorf("%w after %.0fs (running=%d pending=%d)",
+			ErrNotIdle, maxSeconds, len(m.running), m.pendingN)
 	}
 	return nil
 }

@@ -111,10 +111,10 @@ func (p *Process) CoreEnergy() float64 { return p.coreEnergyJ }
 // of the parallel work; every other thread carries a parallel share.
 func newProcess(id int, b *workload.Benchmark, nThreads int, now float64) (*Process, error) {
 	if nThreads < 1 {
-		return nil, fmt.Errorf("sim: process needs at least one thread")
+		return nil, fmt.Errorf("%w: needs at least one thread", ErrInvalidProcess)
 	}
 	if !b.Parallel && nThreads != 1 {
-		return nil, fmt.Errorf("sim: %s is single-threaded; submit multiple copies instead of %d threads", b.Name, nThreads)
+		return nil, fmt.Errorf("%w: %s is single-threaded; submit multiple copies instead of %d threads", ErrInvalidProcess, b.Name, nThreads)
 	}
 	p := &Process{
 		ID:        id,

@@ -1,12 +1,19 @@
 package vmin
 
 import (
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sort"
 
 	"avfs/internal/chip"
 )
+
+// ErrNoSafeVmin is the typed failure of a voltage sweep that found no
+// clean operating point (nominal itself failed the safe-run criterion).
+// The public facade re-exports it as avfs.ErrNoSafeVmin.
+var ErrNoSafeVmin = errors.New("vmin: no safe undervolt point")
 
 // Characterization parameters from Sec. III-A of the paper.
 const (
@@ -55,6 +62,17 @@ type Characterization struct {
 	Levels []LevelResult
 	// TotalRuns is the number of simulated executions spent.
 	TotalRuns int
+}
+
+// SafeVminOrErr returns the discovered safe Vmin, or an error wrapping
+// ErrNoSafeVmin when the sweep found no clean level — the typed-error
+// alternative to checking SafeFound by hand.
+func (c *Characterization) SafeVminOrErr() (chip.Millivolts, error) {
+	if !c.SafeFound {
+		return 0, fmt.Errorf("%w: %s %dT at %v", ErrNoSafeVmin,
+			c.Config.Bench.Name, len(c.Config.Cores), c.Config.FreqClass)
+	}
+	return c.SafeVmin, nil
 }
 
 // seedFor derives a stable RNG seed from the configuration identity so

@@ -25,6 +25,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -274,11 +275,17 @@ func init() {
 	register(def{"GemsFDTD", SPECFP, false, 0.98, 8600, 0.75, 0.75, 0, 55, 0.56, 0, 86})
 }
 
-// ByName returns the model of a program, or an error for unknown names.
+// ErrUnknownBenchmark is the sentinel behind every failed catalog lookup;
+// the public facade re-exports it as avfs.ErrUnknownBenchmark and the
+// HTTP service maps it to 404.
+var ErrUnknownBenchmark = errors.New("workload: unknown benchmark")
+
+// ByName returns the model of a program, or an error wrapping
+// ErrUnknownBenchmark for unknown names.
 func ByName(name string) (*Benchmark, error) {
 	b, ok := catalog[name]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBenchmark, name)
 	}
 	return b, nil
 }

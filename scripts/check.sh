@@ -1,10 +1,11 @@
 #!/bin/sh
 # Full repository check: vet, build, race-enabled tests, the
-# telemetry-overhead benchmark, the simulator hot-path benchmark, and the
-# experiment-runner speedup gate. The benchmarks' JSON summaries are
-# written to BENCH_telemetry.json, BENCH_sim.json and
-# BENCH_experiments.json at the repository root (see docs/OBSERVABILITY.md,
-# docs/PERFORMANCE.md and EXPERIMENTS.md).
+# telemetry-overhead benchmark, the simulator hot-path benchmark, the
+# experiment-runner speedup gate, and the control-plane throughput gate.
+# The benchmarks' JSON summaries are written to BENCH_telemetry.json,
+# BENCH_sim.json, BENCH_experiments.json and BENCH_service.json at the
+# repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
+# EXPERIMENTS.md and docs/API.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,5 +39,12 @@ AVFS_BENCH_EXPERIMENTS_OUT="$(pwd)/BENCH_experiments.json" \
 
 echo "==> BENCH_experiments.json"
 cat BENCH_experiments.json
+
+echo "==> control-plane throughput benchmark (session read path over HTTP)"
+AVFS_BENCH_SERVICE_OUT="$(pwd)/BENCH_service.json" \
+	go test ./internal/service -run TestServiceThroughputBudget -count=1 -v
+
+echo "==> BENCH_service.json"
+cat BENCH_service.json
 
 echo "OK"
