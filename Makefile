@@ -1,9 +1,10 @@
 # Convenience targets; `make check` is the full gate (vet + build +
 # race-enabled tests + the telemetry-overhead benchmark + the simulator
 # hot-path benchmark + the experiment-runner speedup benchmark + the
-# control-plane throughput benchmark, which record their JSON summaries
-# in BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json and
-# BENCH_service.json).
+# characterization-store memoization benchmark + the control-plane
+# throughput benchmark, which record their JSON summaries in
+# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
+# BENCH_cache.json and BENCH_service.json).
 
 GO ?= go
 
@@ -33,6 +34,8 @@ bench:
 		$(GO) test ./internal/sim -run TestSimSteadyStateBudget -count=1 -v
 	AVFS_BENCH_EXPERIMENTS_OUT=$(CURDIR)/BENCH_experiments.json \
 		$(GO) test ./internal/experiments -run TestFigure3ParallelBudget -count=1 -v
+	AVFS_BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json \
+		$(GO) test ./internal/experiments -run TestCharacterizeCacheBudget -count=1 -v
 	AVFS_BENCH_SERVICE_OUT=$(CURDIR)/BENCH_service.json \
 		$(GO) test ./internal/service -run TestServiceThroughputBudget -count=1 -v
 

@@ -202,3 +202,53 @@ type JobList struct {
 type PolicyRequest struct {
 	Policy string `json:"policy"`
 }
+
+// CharacterizeRequest asks for the safe-Vmin characterization of one
+// configuration on a session's chip (the paper's Sec. III-A methodology:
+// safe-point search plus unsafe-region sweep). Characterizations are
+// immutable derived data and are memoized in a process-wide
+// content-addressed store: identical requests — across sessions — share
+// one dataset, and concurrent identical requests share one computation.
+type CharacterizeRequest struct {
+	// FreqMHz is the operating frequency (default: the chip's maximum).
+	FreqMHz int `json:"freq_mhz,omitempty"`
+	// Threads is how many cores run the workload (default: every core).
+	Threads int `json:"threads,omitempty"`
+	// Placement allocates the cores: "clustered" (default) packs both
+	// cores of each PMD first, "spreaded" uses one core per PMD.
+	Placement string `json:"placement,omitempty"`
+	// Benchmark selects the characterized workload; "" characterizes the
+	// configuration class envelope (worst case over workloads).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Trials overrides the per-level run counts (0 = the paper's 1000-run
+	// safe criterion and 60-run sweeps; negative values are rejected).
+	Trials int `json:"trials,omitempty"`
+	// Salt perturbs the derived seeds; 0 is the canonical dataset.
+	Salt int64 `json:"salt,omitempty"`
+}
+
+// CharacterizeLevel summarizes the runs at one voltage level of a sweep.
+type CharacterizeLevel struct {
+	VoltageMV int `json:"voltage_mv"`
+	Runs      int `json:"runs"`
+	Fails     int `json:"fails"`
+}
+
+// Characterization is the response of POST /v1/sessions/{id}/characterize:
+// the discovered safe Vmin plus the unsafe-sweep levels below it.
+type Characterization struct {
+	Model     string `json:"model"`
+	FreqMHz   int    `json:"freq_mhz"`
+	Threads   int    `json:"threads"`
+	Placement string `json:"placement"`
+	Benchmark string `json:"benchmark,omitempty"`
+	// SafeVminMV is meaningful only when SafeFound is true; SafeFound
+	// false means even the nominal voltage failed the safe criterion.
+	SafeVminMV int  `json:"safe_vmin_mv"`
+	SafeFound  bool `json:"safe_found"`
+	TotalRuns  int  `json:"total_runs"`
+	// Source reports which store tier served the dataset: "computed"
+	// (simulated now), "memory" or "disk".
+	Source string              `json:"source"`
+	Levels []CharacterizeLevel `json:"levels,omitempty"`
+}

@@ -38,6 +38,14 @@ type Characterizer = vmin.Characterizer
 // Characterization is the outcome of one configuration's voltage sweep.
 type Characterization = vmin.Characterization
 
+// PFailPoint is one point of a cumulative fail-probability curve, as
+// returned by Characterization.CumulativePFail (the Fig. 5 y-axis).
+type PFailPoint = vmin.PFailPoint
+
+// FaultTally counts faults by kind with fixed storage (indexed by
+// FaultKind; no map allocation on the sweep hot path).
+type FaultTally = vmin.FaultTally
+
 // FaultKind classifies abnormal outcomes in the unsafe region.
 type FaultKind = vmin.FaultKind
 

@@ -237,6 +237,16 @@ func (c *Client) SetPolicy(ctx context.Context, id, policy string) (api.Session,
 	return s, err
 }
 
+// Characterize runs (or fetches from the server's process-wide store) the
+// safe-Vmin characterization of one configuration on the session's chip.
+// The response's Source field reports whether the dataset was simulated
+// now ("computed") or served from the "memory" or "disk" tier.
+func (c *Client) Characterize(ctx context.Context, id string, req api.CharacterizeRequest) (api.Characterization, error) {
+	var cz api.Characterization
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/characterize", req, &cz)
+	return cz, err
+}
+
 // Trace fetches a session's decision trace as raw JSONL lines from an
 // absolute offset, returning the next offset to poll from.
 func (c *Client) Trace(ctx context.Context, id string, since int) (lines []string, next int, err error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -428,6 +429,66 @@ func TestPolicyFlipOverHTTP(t *testing.T) {
 		}
 		if res.Emergencies != 0 {
 			t.Errorf("%s: %d voltage emergencies", policy, res.Emergencies)
+		}
+	}
+}
+
+// TestCharacterizeOverHTTP drives the characterize endpoint end to end:
+// two sessions requesting the identical cell share one dataset through the
+// fleet-wide store, and the store's counters show up on fleet /metrics.
+func TestCharacterizeOverHTTP(t *testing.T) {
+	f, c := newServer(t, service.Config{})
+	ctx := context.Background()
+	a, err := c.CreateSession(ctx, api.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.CreateSession(ctx, api.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := api.CharacterizeRequest{Threads: 4, Placement: "spreaded", Benchmark: "CG", Trials: 40}
+	first, err := c.Characterize(ctx, a.ID, req)
+	if err != nil {
+		t.Fatalf("Characterize(a): %v", err)
+	}
+	if first.Source != "computed" || !first.SafeFound || len(first.Levels) == 0 {
+		t.Errorf("first characterization implausible: %+v", first)
+	}
+	second, err := c.Characterize(ctx, b.ID, req)
+	if err != nil {
+		t.Fatalf("Characterize(b): %v", err)
+	}
+	if second.Source != "memory" {
+		t.Errorf("second session Source = %q, want memory", second.Source)
+	}
+	if second.SafeVminMV != first.SafeVminMV || second.TotalRuns != first.TotalRuns {
+		t.Errorf("cache-served dataset diverges: %+v vs %+v", second, first)
+	}
+
+	if _, err := c.Characterize(ctx, a.ID, api.CharacterizeRequest{Trials: -1}); !errors.Is(err, api.ErrInvalidRequest) {
+		t.Errorf("negative trials over HTTP = %v, want ErrInvalidRequest", err)
+	}
+	if _, err := c.Characterize(ctx, a.ID, api.CharacterizeRequest{Benchmark: "doom", Trials: 10}); !errors.Is(err, api.ErrUnknownBenchmark) {
+		t.Errorf("unknown benchmark over HTTP = %v, want ErrUnknownBenchmark", err)
+	}
+
+	resp, err := http.Get(clientBase(t, f) + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		`avfs_characterize_cache_hits_total{tier="memory"} 1`,
+		"avfs_characterize_cache_misses_total 1",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("fleet /metrics missing %q", metric)
 		}
 	}
 }

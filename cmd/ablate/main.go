@@ -11,11 +11,13 @@
 //	ablate [-study threshold|guard|poll|hysteresis|memfreq|relaxed|
 //	        protocol|aging|migration|capping|all]
 //	       [-chip xgene2|xgene3] [-duration 900] [-seed 42] [-j N]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -j sets the worker-pool width used to run a sweep's variants in
-// parallel; results are identical for any width. -cpuprofile and
-// -memprofile write pprof profiles covering the whole run.
+// parallel; results are identical for any width. -cache-dir persists any
+// Monte Carlo characterization datasets the studies request (see
+// EXPERIMENTS.md). -cpuprofile and -memprofile write pprof profiles
+// covering the whole run.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
 	"avfs/internal/profiling"
+	"avfs/internal/vmin/store"
 )
 
 // main defers to run so profile flushing (and any other deferred cleanup)
@@ -42,6 +45,7 @@ func run() int {
 	duration := flag.Float64("duration", 900, "workload duration in seconds")
 	seed := flag.Int64("seed", 42, "workload seed")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers per sweep")
+	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -69,7 +73,7 @@ func run() int {
 	}()
 
 	ctx := context.Background()
-	cam := experiments.Campaign{Workers: *jobs}
+	cam := experiments.Campaign{Workers: *jobs, Store: store.New(*cacheDir)}
 
 	type studyFn func() (experiments.AblationResult, error)
 	studies := []struct {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	avfs-server [-addr :8080] [-max-sessions 256] [-ttl 15m]
-//	            [-workers N] [-queue M] [-chunk 1.0]
+//	            [-workers N] [-queue M] [-chunk 1.0] [-cache-dir DIR]
 //
 // Flags:
 //
@@ -17,6 +17,8 @@
 //	-workers       concurrent runs across all sessions (default GOMAXPROCS)
 //	-queue         admitted-but-waiting runs before 429 busy (default 4x)
 //	-chunk         simulated seconds a run holds its session lock for
+//	-cache-dir     persist characterization datasets under this directory,
+//	               so the fleet's content-addressed store survives restarts
 //
 // On SIGTERM/SIGINT the server drains gracefully: the listener stops, new
 // sessions and runs are rejected with 503 + Retry-After, and every
@@ -46,6 +48,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "run admission queue depth (0 = 4x workers)")
 	chunk := flag.Float64("chunk", 1.0, "simulated seconds per session-lock hold")
+	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain budget before forcing shutdown")
 	flag.Parse()
 
@@ -55,6 +58,7 @@ func main() {
 		Workers:     *workers,
 		Queue:       *queue,
 		RunChunk:    *chunk,
+		CacheDir:    *cacheDir,
 	})
 
 	srv := &http.Server{

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	characterize [-experiment fig3|fig4|fig5|fig10|table1|fleet|all]
-//	             [-trials N] [-j N] [-progress] [-metrics FILE]
+//	             [-trials N] [-j N] [-cache-dir DIR] [-progress] [-metrics FILE]
 //
 // -trials reduces the per-level run count from the paper's 1000 for faster
 // exploration (the discovered Vmin values are identical in practice: the
@@ -18,6 +18,12 @@
 // for any width. -progress prints periodic campaign progress to stderr,
 // and -metrics writes a Prometheus snapshot of the runner telemetry after
 // the experiments finish.
+//
+// -cache-dir enables the on-disk tier of the characterization store:
+// datasets are persisted under the directory and reruns with identical
+// parameters are served from disk instead of resimulated (identical
+// output, see EXPERIMENTS.md). Within one invocation the in-process tier
+// memoizes across experiments regardless of the flag.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"avfs/internal/experiments/runner"
 	"avfs/internal/telemetry"
 	"avfs/internal/telemetry/export"
+	"avfs/internal/vmin/store"
 )
 
 func main() {
@@ -40,6 +47,7 @@ func main() {
 	trials := flag.Int("trials", 0, "runs per voltage level (0 = the paper's 1000)")
 	dies := flag.Int("dies", 100, "sampled dies for the fleet study")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the characterization campaigns")
+	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	progress := flag.Bool("progress", false, "print campaign progress to stderr")
 	metricsFile := flag.String("metrics", "", "write a Prometheus snapshot of the runner telemetry to this file")
 	flag.Parse()
@@ -47,7 +55,9 @@ func main() {
 	st := runner.NewStats()
 	reg := telemetry.NewRegistry()
 	st.Instrument(reg)
-	cam := experiments.Campaign{Workers: *jobs, Stats: st}
+	cache := store.New(*cacheDir)
+	cache.Instrument(reg)
+	cam := experiments.Campaign{Workers: *jobs, Stats: st, Store: cache}
 	ctx := context.Background()
 	if *progress {
 		stop := st.StartProgress(os.Stderr, 2*time.Second)

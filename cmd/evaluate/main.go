@@ -7,12 +7,13 @@
 //
 //	evaluate [-chip xgene2|xgene3|both] [-duration 3600] [-seed 42]
 //	         [-fig14] [-fig15] [-seeds N] [-csv DIR] [-j N]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -j sets the worker-pool width: the four configuration replays (or the
 // seeds of the robustness study) run in parallel, with results identical
-// for any width. -cpuprofile and -memprofile write pprof profiles covering
-// the whole campaign.
+// for any width. -cache-dir persists any Monte Carlo characterization
+// datasets the campaign requests (see EXPERIMENTS.md). -cpuprofile and
+// -memprofile write pprof profiles covering the whole campaign.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"avfs/internal/experiments"
 	"avfs/internal/export"
 	"avfs/internal/profiling"
+	"avfs/internal/vmin/store"
 	"avfs/internal/wlgen"
 )
 
@@ -51,6 +53,7 @@ func run() int {
 	seeds := flag.Int("seeds", 0, "run the multi-seed robustness study over N seeds instead of the table")
 	csvDir := flag.String("csv", "", "also export summary and timelines as CSV files into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the configuration replays")
+	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -67,7 +70,7 @@ func run() int {
 	}()
 
 	ctx := context.Background()
-	cam := experiments.Campaign{Workers: *jobs}
+	cam := experiments.Campaign{Workers: *jobs, Store: store.New(*cacheDir)}
 	specs, err := chipsFor(*chipFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

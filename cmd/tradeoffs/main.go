@@ -6,10 +6,11 @@
 // Usage:
 //
 //	tradeoffs [-experiment fig7|fig11|fig12|all] [-chip xgene2|xgene3|both]
-//	          [-placement clustered|spreaded] [-j N]
+//	          [-placement clustered|spreaded] [-j N] [-cache-dir DIR]
 //
 // -j sets the worker-pool width for the measurement campaigns; results
-// are identical for any width.
+// are identical for any width. -cache-dir persists any Monte Carlo
+// characterization datasets the campaigns request (see EXPERIMENTS.md).
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
 	"avfs/internal/sim"
+	"avfs/internal/vmin/store"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	chipFlag := flag.String("chip", "both", "chip: xgene2, xgene3 or both")
 	placeFlag := flag.String("placement", "clustered", "allocation for fig11/fig12: clustered or spreaded")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the measurement campaigns")
+	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	flag.Parse()
 
 	var specs []*chip.Spec
@@ -49,7 +52,7 @@ func main() {
 	}
 
 	ctx := context.Background()
-	cam := experiments.Campaign{Workers: *jobs}
+	cam := experiments.Campaign{Workers: *jobs, Store: store.New(*cacheDir)}
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "tradeoffs %s: %v\n", name, err)
 		os.Exit(1)

@@ -54,7 +54,7 @@ func main() {
 		for _, lvl := range cz.Levels {
 			fmt.Printf("    %v  pfail %5.1f%%  faults:", lvl.Voltage, 100*lvl.PFail())
 			for _, kind := range []avfs.FaultKind{avfs.FaultSDC, avfs.FaultTimeout, avfs.FaultHang, avfs.FaultCrash} {
-				if n := lvl.ByKind[kind]; n > 0 {
+				if n := lvl.ByKind.Count(kind); n > 0 {
 					fmt.Printf(" %v=%d", kind, n)
 				}
 			}

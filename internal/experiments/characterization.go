@@ -112,8 +112,7 @@ func Figure3Context(ctx context.Context, cam Campaign, trials int) (Fig3Result, 
 		}
 	}
 	entries, err := runCells(ctx, cam, cells, func(_ context.Context, c fig3Cell) (Fig3Entry, error) {
-		cz := ch.Characterize(c.cfg)
-		cam.Stats.AddRuns(cz.TotalRuns)
+		cz := cam.characterize(ch, c.cfg)
 		return Fig3Entry{Bench: c.bench, SafeVmin: cz.SafeVmin, SafeFound: cz.SafeFound}, nil
 	})
 	if err != nil {
@@ -215,8 +214,7 @@ func Figure4Context(ctx context.Context, cam Campaign, trials int) (Fig4Result, 
 		}
 	}
 	vmins, err := runCells(ctx, cam, cells, func(_ context.Context, c fig4Cell) (chip.Millivolts, error) {
-		cz := ch.Characterize(c.cfg)
-		cam.Stats.AddRuns(cz.TotalRuns)
+		cz := cam.characterize(ch, c.cfg)
 		return cz.SafeVmin, nil
 	})
 	if err != nil {
@@ -433,8 +431,7 @@ func Figure5Context(ctx context.Context, cam Campaign, trials int) (Fig5Result, 
 		}
 	}
 	curves, err := runCells(ctx, cam, cells, func(_ context.Context, c fig5Cell) (fig5Curve, error) {
-		cz := ch.Characterize(c.cfg)
-		cam.Stats.AddRuns(cz.TotalRuns)
+		cz := cam.characterize(ch, c.cfg)
 		cv := fig5Curve{pts: map[chip.Millivolts]float64{}, safe: cz.SafeVmin, hasSafe: cz.SafeFound}
 		for i, pt := range cz.CumulativePFail() {
 			cv.pts[pt.Voltage] = pt.PFail

@@ -175,9 +175,20 @@ func TestStatsCountsAndNilSafety(t *testing.T) {
 		t.Errorf("runs = %d, want 300", st.Runs())
 	}
 
+	st.AddCached(1000)
+	st.AddCached(60)
+	if st.CachedCells() != 2 || st.CachedRuns() != 1060 {
+		t.Errorf("cached = %d cells / %d runs, want 2/1060", st.CachedCells(), st.CachedRuns())
+	}
+	if st.Runs() != 300 {
+		t.Error("cached cells must not count as simulated runs")
+	}
+
 	var nilStats *Stats
-	nilStats.AddRuns(5) // must not panic
-	if nilStats.Planned() != 0 || nilStats.Completed() != 0 || nilStats.InFlight() != 0 || nilStats.Runs() != 0 {
+	nilStats.AddRuns(5)   // must not panic
+	nilStats.AddCached(5) // must not panic
+	if nilStats.Planned() != 0 || nilStats.Completed() != 0 || nilStats.InFlight() != 0 ||
+		nilStats.Runs() != 0 || nilStats.CachedCells() != 0 || nilStats.CachedRuns() != 0 {
 		t.Error("nil Stats accessors must return zero")
 	}
 	if _, err := RunStats(context.Background(), jobs, 2, nil, func(_ context.Context, _ int) (int, error) {
@@ -197,11 +208,14 @@ func TestStatsInstrument(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	st.AddCached(40)
 	for name, want := range map[string]float64{
 		MetricCellsPlanned:   12,
 		MetricCellsCompleted: 12,
 		MetricCellsInFlight:  0,
 		MetricSimRuns:        24,
+		MetricCachedCells:    1,
+		MetricCachedRuns:     40,
 	} {
 		got, ok := reg.Value(name)
 		if !ok {

@@ -22,6 +22,12 @@ const (
 	// MetricSimRuns counts simulated executions reported via AddRuns —
 	// the paper-methodology cost unit (1000 safe runs + 60-run sweeps).
 	MetricSimRuns = "avfs_runner_sim_runs_total"
+	// MetricCachedCells counts cells served from the characterization
+	// store instead of being simulated (see internal/vmin/store).
+	MetricCachedCells = "avfs_runner_cells_cached_total"
+	// MetricCachedRuns counts the simulated executions those cached cells
+	// would have cost — the work the store saved.
+	MetricCachedRuns = "avfs_runner_cached_runs_total"
 )
 
 // Stats aggregates the progress of one campaign across every Run call that
@@ -30,10 +36,12 @@ const (
 // concurrent use and safe on a nil receiver, so experiment code can update
 // an optional sink unconditionally.
 type Stats struct {
-	planned   atomic.Int64
-	completed atomic.Int64
-	inflight  atomic.Int64
-	runs      atomic.Int64
+	planned     atomic.Int64
+	completed   atomic.Int64
+	inflight    atomic.Int64
+	runs        atomic.Int64
+	cachedCells atomic.Int64
+	cachedRuns  atomic.Int64
 }
 
 // NewStats returns an empty progress sink.
@@ -71,6 +79,21 @@ func (s *Stats) AddRuns(n int) {
 	s.runs.Add(int64(n))
 }
 
+// AddCached records one cell served from the characterization store
+// instead of being simulated; runs is the simulated-execution count the
+// cached dataset represents (the cost the store saved). Cached cells are
+// deliberately kept out of Runs so a campaign's reported simulation cost
+// stays the work it actually performed.
+func (s *Stats) AddCached(runs int) {
+	if s == nil {
+		return
+	}
+	s.cachedCells.Add(1)
+	if runs > 0 {
+		s.cachedRuns.Add(int64(runs))
+	}
+}
+
 // Planned returns the number of cells enqueued so far.
 func (s *Stats) Planned() int64 {
 	if s == nil {
@@ -103,6 +126,22 @@ func (s *Stats) Runs() int64 {
 	return s.runs.Load()
 }
 
+// CachedCells returns the cells served from the characterization store.
+func (s *Stats) CachedCells() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.cachedCells.Load()
+}
+
+// CachedRuns returns the simulated executions the store saved.
+func (s *Stats) CachedRuns() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.cachedRuns.Load()
+}
+
 // Instrument registers the campaign-progress metrics on a telemetry
 // registry: planned and in-flight cells as gauges, completed cells and
 // simulated runs as counters. The gauges read the atomics at gather time,
@@ -116,6 +155,10 @@ func (s *Stats) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(s.InFlight()) })
 	reg.CounterFunc(MetricSimRuns, "simulated executions performed inside runner cells",
 		func() float64 { return float64(s.Runs()) })
+	reg.CounterFunc(MetricCachedCells, "cells served from the characterization store",
+		func() float64 { return float64(s.CachedCells()) })
+	reg.CounterFunc(MetricCachedRuns, "simulated executions saved by the characterization store",
+		func() float64 { return float64(s.CachedRuns()) })
 }
 
 // StartProgress prints a one-line progress summary to w every interval
@@ -133,8 +176,12 @@ func (s *Stats) StartProgress(w io.Writer, interval time.Duration) (stop func())
 			case <-done:
 				return
 			case <-t.C:
-				fmt.Fprintf(w, "runner: %d/%d cells done, %d in flight, %d simulated runs\n",
+				line := fmt.Sprintf("runner: %d/%d cells done, %d in flight, %d simulated runs",
 					s.Completed(), s.Planned(), s.InFlight(), s.Runs())
+				if c := s.CachedCells(); c > 0 {
+					line += fmt.Sprintf(" (%d cells cached, %d runs saved)", c, s.CachedRuns())
+				}
+				fmt.Fprintln(w, line)
 			}
 		}
 	}()

@@ -84,6 +84,7 @@ func wireError(err error) *api.Error {
 //	GET    /v1/sessions/{id}/jobs/{job}      poll one handle
 //	DELETE /v1/sessions/{id}/jobs/{job}      cancel one handle
 //	GET    /v1/sessions/{id}/energy          meter + breakdown
+//	POST   /v1/sessions/{id}/characterize    safe-Vmin characterization (store-memoized)
 //	PUT    /v1/sessions/{id}/policy          flip Table IV policy
 //	GET    /v1/sessions/{id}/trace?since=N   decision trace as JSONL
 //	GET    /v1/sessions/{id}/metrics         per-session Prometheus text
@@ -159,6 +160,14 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/energy", func(w http.ResponseWriter, r *http.Request) {
 		e, err := f.Energy(r.PathValue("id"))
 		respond(w, http.StatusOK, e, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/characterize", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CharacterizeRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		cz, err := f.Characterize(r.PathValue("id"), req)
+		respond(w, http.StatusOK, cz, err)
 	})
 	mux.HandleFunc("PUT /v1/sessions/{id}/policy", func(w http.ResponseWriter, r *http.Request) {
 		var req api.PolicyRequest

@@ -14,6 +14,7 @@ import (
 	"avfs/internal/experiments/runner"
 	"avfs/internal/telemetry"
 	"avfs/internal/telemetry/export"
+	"avfs/internal/vmin/store"
 )
 
 // Config tunes a Fleet. The zero value selects production defaults.
@@ -33,6 +34,12 @@ type Config struct {
 	// (default 1 s): the granularity at which reads, submits and policy
 	// flips interleave with an in-flight run.
 	RunChunk float64
+	// CacheDir enables the on-disk tier of the fleet's characterization
+	// store: datasets persist there across server restarts. "" (default)
+	// keeps the store in-process only. Either way the store is shared by
+	// every session, so identical characterize requests from different
+	// tenants are served from cache (see internal/vmin/store).
+	CacheDir string
 	// Clock substitutes wall time in tests (default time.Now).
 	Clock func() time.Time
 	// ReapEvery is the background reaper period (default 5 s; <0 disables
@@ -73,6 +80,10 @@ type Fleet struct {
 	cfg  Config
 	pool *runner.Pool
 	reg  *telemetry.Registry
+	// store memoizes characterization datasets process-wide: one instance
+	// across every session, so tenants share cells and concurrent
+	// identical requests collapse onto one computation.
+	store *store.Store
 
 	// baseCtx parents every session context; Close cancels it, aborting
 	// whatever Drain left behind.
@@ -104,11 +115,13 @@ func New(cfg Config) *Fleet {
 		cfg:      cfg,
 		pool:     runner.NewPool(cfg.Workers, cfg.Queue, nil),
 		reg:      telemetry.NewRegistry(),
+		store:    store.New(cfg.CacheDir),
 		sessions: make(map[string]*session),
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
 	f.baseCtx, f.cancelBase = context.WithCancel(context.Background())
+	f.store.Instrument(f.reg)
 	f.mSessions = f.reg.Counter("avfs_fleet_sessions_created_total", "Sessions created.")
 	f.mReaped = f.reg.Counter("avfs_fleet_sessions_reaped_total", "Sessions deleted by the TTL reaper.")
 	f.mRuns = f.reg.Counter("avfs_fleet_runs_total", "Time-advance operations admitted (sync and async).")
@@ -286,6 +299,35 @@ func (f *Fleet) Energy(id string) (api.Energy, error) {
 		return api.Energy{}, err
 	}
 	return s.energy(), nil
+}
+
+// Characterize resolves one characterization cell for a session through
+// the fleet's process-wide store: a cell is simulated at most once per
+// (configuration, salt, trial-count, model-version) identity no matter how
+// many sessions — or concurrent requests — ask for it, and persists across
+// restarts when Config.CacheDir is set. The store's hit/miss counters are
+// part of the /metrics surface.
+func (f *Fleet) Characterize(id string, req api.CharacterizeRequest) (api.Characterization, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Characterization{}, err
+	}
+	ch, cfg, out, err := s.characterizeCell(req)
+	if err != nil {
+		return api.Characterization{}, err
+	}
+	cz, src := f.store.Get(ch, cfg)
+	s.touch(f.cfg.Clock())
+	out.SafeVminMV = int(cz.SafeVmin)
+	out.SafeFound = cz.SafeFound
+	out.TotalRuns = cz.TotalRuns
+	out.Source = src.String()
+	for _, l := range cz.Levels {
+		out.Levels = append(out.Levels, api.CharacterizeLevel{
+			VoltageMV: int(l.Voltage), Runs: l.Runs, Fails: l.Fails,
+		})
+	}
+	return out, nil
 }
 
 // SetPolicy flips a live session between the Table IV configurations.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"avfs/api"
 	"avfs/internal/sim"
+	"avfs/internal/workload"
 )
 
 // testFleet builds a fleet with the background reaper off and a
@@ -643,5 +645,117 @@ func TestReapLoopRuns(t *testing.T) {
 	}
 	if !reaped.Load() {
 		t.Fatal("background reaper never collected the idle session")
+	}
+}
+
+// TestCharacterizeSharedAcrossSessions proves the characterization store
+// is fleet-wide: two sessions issuing the identical request share one
+// dataset — the first simulates ("computed"), the second is served from
+// the in-process tier ("memory") — and the store counters land on the
+// fleet /metrics registry.
+func TestCharacterizeSharedAcrossSessions(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	a := mustCreate(t, f, api.CreateSessionRequest{})
+	b := mustCreate(t, f, api.CreateSessionRequest{})
+	req := api.CharacterizeRequest{Threads: 4, Benchmark: "CG", Trials: 40}
+
+	first, err := f.Characterize(a.ID, req)
+	if err != nil {
+		t.Fatalf("Characterize(a): %v", err)
+	}
+	if first.Source != "computed" {
+		t.Errorf("first request Source = %q, want computed", first.Source)
+	}
+	if !first.SafeFound || first.TotalRuns == 0 || len(first.Levels) == 0 {
+		t.Errorf("implausible characterization: %+v", first)
+	}
+
+	second, err := f.Characterize(b.ID, req)
+	if err != nil {
+		t.Fatalf("Characterize(b): %v", err)
+	}
+	if second.Source != "memory" {
+		t.Errorf("second session's identical request Source = %q, want memory", second.Source)
+	}
+	second.Source = first.Source
+	if !reflect.DeepEqual(second, first) {
+		t.Errorf("cache-served dataset diverges:\n got %+v\nwant %+v", second, first)
+	}
+
+	if v, ok := f.Registry().Value(`avfs_characterize_cache_hits_total{tier="memory"}`); !ok || v != 1 {
+		t.Errorf("memory-hit counter = %v, %v — want 1", v, ok)
+	}
+	if v, ok := f.Registry().Value("avfs_characterize_cache_misses_total"); !ok || v != 1 {
+		t.Errorf("miss counter = %v, %v — want 1", v, ok)
+	}
+}
+
+// TestCharacterizeValidation: malformed characterize requests map to the
+// same sentinels (and therefore HTTP statuses) as the rest of the API.
+func TestCharacterizeValidation(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	s := mustCreate(t, f, api.CreateSessionRequest{})
+	cases := []struct {
+		name string
+		req  api.CharacterizeRequest
+		want error
+	}{
+		{"negative freq", api.CharacterizeRequest{FreqMHz: -5}, ErrInvalidRequest},
+		{"freq above max", api.CharacterizeRequest{FreqMHz: 10_000}, ErrInvalidRequest},
+		{"bad placement", api.CharacterizeRequest{Placement: "diagonal"}, ErrInvalidRequest},
+		{"too many threads", api.CharacterizeRequest{Threads: 999}, ErrInvalidRequest},
+		{"negative trials", api.CharacterizeRequest{Trials: -1}, ErrInvalidRequest},
+		{"unknown benchmark", api.CharacterizeRequest{Benchmark: "LINPACK"}, workload.ErrUnknownBenchmark},
+	}
+	for _, tc := range cases {
+		if _, err := f.Characterize(s.ID, tc.req); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, err := f.Characterize("ghost", api.CharacterizeRequest{Trials: 10}); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("unknown session: err = %v, want ErrSessionNotFound", err)
+	}
+}
+
+// TestCharacterizeConcurrentSingleflight: many sessions racing on the same
+// cell produce one computation; everyone gets the identical dataset. Run
+// under -race this also exercises the store's locking from the service.
+func TestCharacterizeConcurrentSingleflight(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	const n = 8
+	req := api.CharacterizeRequest{Threads: 2, Benchmark: "EP", Trials: 60}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = mustCreate(t, f, api.CreateSessionRequest{}).ID
+	}
+	out := make([]api.Characterization, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cz, err := f.Characterize(ids[i], req)
+			if err != nil {
+				t.Errorf("Characterize: %v", err)
+				return
+			}
+			out[i] = cz
+		}(i)
+	}
+	wg.Wait()
+	var computed int
+	for i := range out {
+		if out[i].Source == "computed" {
+			computed++
+		}
+		out[i].Source = ""
+	}
+	if computed != 1 {
+		t.Errorf("%d concurrent identical requests computed %d times, want exactly 1", n, computed)
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(out[i], out[0]) {
+			t.Fatalf("racer %d got a different dataset", i)
+		}
 	}
 }

@@ -41,6 +41,18 @@ func parsePolicy(s string) (string, error) {
 	return "", fmt.Errorf("%w: %q (want baseline, safe-vmin, placement or optimal)", ErrUnknownPolicy, s)
 }
 
+// parsePlacement resolves a wire placement name ("" defaults to
+// clustered), returning the canonical name alongside.
+func parsePlacement(s string) (sim.Placement, string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "clustered", "cluster":
+		return sim.Clustered, "clustered", nil
+	case "spreaded", "spread":
+		return sim.Spreaded, "spreaded", nil
+	}
+	return sim.Clustered, "", fmt.Errorf("%w: placement %q (want clustered or spreaded)", ErrInvalidRequest, s)
+}
+
 // parseModel resolves a wire model name ("" defaults to xgene3).
 func parseModel(s string) (*chip.Spec, string, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
@@ -248,6 +260,64 @@ func (s *session) submit(req api.SubmitRequest, now time.Time) (api.Process, err
 		return api.Process{}, err
 	}
 	return s.wireProcessLocked(p), nil
+}
+
+// touch refreshes the TTL clock: the session was just used.
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastTouch = now
+	s.mu.Unlock()
+}
+
+// characterizeCell validates a characterize request against the session's
+// chip and resolves it to the (characterizer, configuration) identity the
+// fleet's store is keyed on, plus the identity half of the wire response.
+// It touches no mutable session state: the chip spec is immutable and the
+// characterization runs on a model copy, never on the live machine.
+func (s *session) characterizeCell(req api.CharacterizeRequest) (*vmin.Characterizer, *vmin.Config, api.Characterization, error) {
+	fail := func(err error) (*vmin.Characterizer, *vmin.Config, api.Characterization, error) {
+		return nil, nil, api.Characterization{}, err
+	}
+	spec := s.m.Spec
+	freq := spec.MaxFreq
+	if req.FreqMHz != 0 {
+		freq = chip.MHz(req.FreqMHz)
+	}
+	if freq <= 0 || freq > spec.MaxFreq {
+		return fail(fmt.Errorf("%w: freq_mhz %d outside (0, %d]",
+			ErrInvalidRequest, req.FreqMHz, int(spec.MaxFreq)))
+	}
+	threads := req.Threads
+	if threads == 0 {
+		threads = spec.Cores
+	}
+	place, placeName, err := parsePlacement(req.Placement)
+	if err != nil {
+		return fail(err)
+	}
+	cores, err := sim.CoresFor(spec, place, threads)
+	if err != nil {
+		return fail(fmt.Errorf("%w: %v", ErrInvalidRequest, err))
+	}
+	if req.Trials < 0 {
+		return fail(fmt.Errorf("%w: trials must be >= 0, got %d", ErrInvalidRequest, req.Trials))
+	}
+	cfg := &vmin.Config{Spec: spec, FreqClass: clock.ClassOf(spec, freq), Cores: cores}
+	if req.Benchmark != "" {
+		b, err := workload.ByName(req.Benchmark)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Bench = b
+	}
+	ch := &vmin.Characterizer{Salt: req.Salt, SafeTrials: req.Trials, UnsafeTrials: req.Trials}
+	return ch, cfg, api.Characterization{
+		Model:     s.model,
+		FreqMHz:   int(freq),
+		Threads:   threads,
+		Placement: placeName,
+		Benchmark: req.Benchmark,
+	}, nil
 }
 
 // runChunked advances the machine by seconds of simulated time (or until

@@ -27,13 +27,55 @@ const (
 	StepMV chip.Millivolts = 10
 )
 
+// FaultTally counts abnormal outcomes per FaultKind in a fixed array:
+// index k-1 holds the count for kind k (None is never tallied). The flat
+// array replaces the map[FaultKind]int this package used to expose, which
+// cost one heap allocation per voltage level on the characterization hot
+// path; it also makes LevelResult comparable and trivially serializable.
+type FaultTally [4]int
+
+// add tallies one abnormal outcome. k must not be None.
+func (t *FaultTally) add(k FaultKind) { t[k-1]++ }
+
+// Count returns the number of runs that failed with kind k (0 for None
+// and out-of-range kinds).
+func (t FaultTally) Count(k FaultKind) int {
+	if k <= None || int(k) > len(t) {
+		return 0
+	}
+	return t[k-1]
+}
+
+// Total returns the tallied failures summed across all fault kinds.
+func (t FaultTally) Total() int {
+	n := 0
+	for _, c := range t {
+		n += c
+	}
+	return n
+}
+
+// Map materializes the tally as the map the pre-store API exposed; kinds
+// with a zero count are omitted. Intended for rendering and tests, not for
+// hot paths (it allocates).
+func (t FaultTally) Map() map[FaultKind]int {
+	m := map[FaultKind]int{}
+	for i, c := range t {
+		if c > 0 {
+			m[FaultKind(i+1)] = c
+		}
+	}
+	return m
+}
+
 // LevelResult summarizes the runs performed at one voltage level.
 type LevelResult struct {
 	Voltage chip.Millivolts
 	Runs    int
 	Fails   int
-	// ByKind counts failures per fault type (SDC/timeout/hang/crash).
-	ByKind map[FaultKind]int
+	// ByKind counts failures per fault type (SDC/timeout/hang/crash);
+	// use ByKind.Count(kind) or ByKind.Map() to read it.
+	ByKind FaultTally
 }
 
 // PFail returns the observed failure fraction at the level.
@@ -102,40 +144,65 @@ func seedFor(c *Config, salt int64) int64 {
 type Characterizer struct {
 	// Salt perturbs the derived seeds; zero is the canonical dataset.
 	Salt int64
-	// SafeTrials and UnsafeTrials override SafeRuns/SweepRuns when >0
-	// (used by tests and benchmarks to trade fidelity for speed).
+	// SafeTrials and UnsafeTrials override SafeRuns/SweepRuns (used by
+	// tests and benchmarks to trade fidelity for speed). Sentinel
+	// semantics: 0 means "use the paper default", positive values
+	// override it, and negative values are rejected — Characterize (via
+	// TrialCounts) panics instead of silently selecting the default.
 	SafeTrials   int
 	UnsafeTrials int
 }
 
-func (ch *Characterizer) safeTrials() int {
+// TrialCounts resolves the effective per-level run counts of the sweep:
+// SafeTrials and UnsafeTrials override the paper's SafeRuns/SweepRuns when
+// positive, zero selects the defaults, and negative values panic — a
+// negative count is always a caller bug, and the old `> 0` check masked it
+// by quietly falling back to the defaults. The resolved counts are part of
+// a characterization's content-addressed cache identity (see the store
+// package), which is why they are exported.
+func (ch *Characterizer) TrialCounts() (safe, unsafe int) {
+	if ch.SafeTrials < 0 || ch.UnsafeTrials < 0 {
+		panic(fmt.Sprintf("vmin: negative trial counts (SafeTrials=%d, UnsafeTrials=%d)",
+			ch.SafeTrials, ch.UnsafeTrials))
+	}
+	safe, unsafe = SafeRuns, SweepRuns
 	if ch.SafeTrials > 0 {
-		return ch.SafeTrials
+		safe = ch.SafeTrials
 	}
-	return SafeRuns
-}
-
-func (ch *Characterizer) unsafeTrials() int {
 	if ch.UnsafeTrials > 0 {
-		return ch.UnsafeTrials
+		unsafe = ch.UnsafeTrials
 	}
-	return SweepRuns
+	return safe, unsafe
 }
 
-// runLevel executes n runs at voltage v and tallies the outcomes.
-// earlyStop aborts as soon as one failure is observed (the safe-point
-// search only needs to know whether the level is clean).
-func runLevel(c *Config, v chip.Millivolts, n int, rng *rand.Rand, earlyStop bool) LevelResult {
-	res := LevelResult{Voltage: v, ByKind: map[FaultKind]int{}}
+// runLevel executes n runs at voltage v and tallies the outcomes. The
+// caller hoists the configuration's model safe point so each run skips
+// re-validating the configuration; the RNG stream is identical to calling
+// RunOnce n times. earlyStop aborts as soon as one failure is observed
+// (the safe-point search only needs to know whether the level is clean).
+//
+// Fast path: at or above the safe point pfail is exactly 0 and RunOnce
+// consumes no randomness on that branch, so a clean LevelResult for n
+// untouched runs is bit-identical to performing them — the safe-region
+// walk costs O(1) per level instead of O(n). docs/PERFORMANCE.md has the
+// numbers.
+func runLevel(safe, v chip.Millivolts, n int, rng *rand.Rand, earlyStop bool) LevelResult {
+	res := LevelResult{Voltage: v}
+	p := pfailBelow(safe, v)
+	if p == 0 {
+		res.Runs = n
+		return res
+	}
+	depth := float64(safe - v)
 	for i := 0; i < n; i++ {
 		res.Runs++
-		out := RunOnce(c, v, rng)
-		if out.Fault != None {
-			res.Fails++
-			res.ByKind[out.Fault]++
-			if earlyStop {
-				return res
-			}
+		if rng.Float64() >= p {
+			continue
+		}
+		res.Fails++
+		res.ByKind.add(faultDraw(depth, rng))
+		if earlyStop {
+			return res
 		}
 	}
 	return res
@@ -146,6 +213,8 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
+	safeTrials, unsafeTrials := ch.TrialCounts()
+	modelSafe := SafeVmin(c)
 	rng := rand.New(rand.NewSource(seedFor(c, ch.Salt)))
 	out := Characterization{Config: c}
 
@@ -157,7 +226,7 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 	var safe chip.Millivolts
 	found := false
 	for v := c.Spec.NominalMV; v >= c.Spec.MinSafeMV; v -= StepMV {
-		lvl := runLevel(c, v, ch.safeTrials(), rng, true)
+		lvl := runLevel(modelSafe, v, safeTrials, rng, true)
 		out.TotalRuns += lvl.Runs
 		if lvl.Fails > 0 {
 			out.Levels = append(out.Levels, lvl)
@@ -177,7 +246,7 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 		start = c.Spec.NominalMV
 	}
 	for v := start; v >= c.Spec.MinSafeMV; v -= StepMV {
-		lvl := runLevel(c, v, ch.unsafeTrials(), rng, false)
+		lvl := runLevel(modelSafe, v, unsafeTrials, rng, false)
 		out.TotalRuns += lvl.Runs
 		// Replace the early-stopped probe of phase 1 if it covered
 		// the same level.
@@ -193,30 +262,28 @@ func (ch *Characterizer) Characterize(c *Config) Characterization {
 	return out
 }
 
+// PFailPoint is one (voltage, observed pfail) sample of a cumulative
+// failure-probability curve — the named element type of
+// Characterization.CumulativePFail, so callers can store and pass the
+// Fig. 5 data around (the previous anonymous struct was unnameable
+// outside this package).
+type PFailPoint struct {
+	Voltage chip.Millivolts
+	PFail   float64
+}
+
 // CumulativePFail returns the (voltage, pfail) points of the unsafe sweep
 // ordered from the safe point downwards, prepending the safe point itself
 // with pfail 0 — the data behind each line of Fig. 5. When no safe level
 // was found there is no clean point to prepend: the curve holds only the
 // measured (all unsafe) levels.
-func (cz Characterization) CumulativePFail() []struct {
-	Voltage chip.Millivolts
-	PFail   float64
-} {
-	pts := make([]struct {
-		Voltage chip.Millivolts
-		PFail   float64
-	}, 0, len(cz.Levels)+1)
+func (cz Characterization) CumulativePFail() []PFailPoint {
+	pts := make([]PFailPoint, 0, len(cz.Levels)+1)
 	if cz.SafeFound {
-		pts = append(pts, struct {
-			Voltage chip.Millivolts
-			PFail   float64
-		}{cz.SafeVmin, 0})
+		pts = append(pts, PFailPoint{cz.SafeVmin, 0})
 	}
 	for _, l := range cz.Levels {
-		pts = append(pts, struct {
-			Voltage chip.Millivolts
-			PFail   float64
-		}{l.Voltage, l.PFail()})
+		pts = append(pts, PFailPoint{l.Voltage, l.PFail()})
 	}
 	return pts
 }

@@ -76,7 +76,7 @@ func TestSweepRecordsFaultKinds(t *testing.T) {
 	cz := fastCh.Characterize(cfg)
 	kinds := map[FaultKind]int{}
 	for _, l := range cz.Levels {
-		for k, n := range l.ByKind {
+		for k, n := range l.ByKind.Map() {
 			kinds[k] += n
 		}
 	}
@@ -161,8 +161,8 @@ func TestCharacterizeReportsNoSafeLevel(t *testing.T) {
 	}
 	// The nominal level is re-measured at full sweep resolution, not left
 	// as the early-stopped phase-1 probe.
-	if cz.Levels[0].Runs != fastCh.unsafeTrials() {
-		t.Errorf("nominal level has %d runs, want the %d-run sweep", cz.Levels[0].Runs, fastCh.unsafeTrials())
+	if _, unsafeRuns := fastCh.TrialCounts(); cz.Levels[0].Runs != unsafeRuns {
+		t.Errorf("nominal level has %d runs, want the %d-run sweep", cz.Levels[0].Runs, unsafeRuns)
 	}
 	pts := cz.CumulativePFail()
 	if len(pts) == 0 || pts[0].PFail == 0 {
@@ -205,7 +205,53 @@ func TestLevelResultPFail(t *testing.T) {
 
 func TestDefaultTrialCounts(t *testing.T) {
 	var ch Characterizer
-	if ch.safeTrials() != SafeRuns || ch.unsafeTrials() != SweepRuns {
-		t.Errorf("defaults = %d/%d, want %d/%d", ch.safeTrials(), ch.unsafeTrials(), SafeRuns, SweepRuns)
+	safe, unsafe := ch.TrialCounts()
+	if safe != SafeRuns || unsafe != SweepRuns {
+		t.Errorf("defaults = %d/%d, want %d/%d", safe, unsafe, SafeRuns, SweepRuns)
+	}
+	over := Characterizer{SafeTrials: 7, UnsafeTrials: 9}
+	if safe, unsafe := over.TrialCounts(); safe != 7 || unsafe != 9 {
+		t.Errorf("overrides = %d/%d, want 7/9", safe, unsafe)
+	}
+}
+
+func TestNegativeTrialCountsPanic(t *testing.T) {
+	// Negative trial counts used to fall back to the paper defaults via
+	// the `> 0` check, silently masking caller bugs; now they panic.
+	s := chip.XGene2Spec()
+	cfg := &Config{Spec: s, FreqClass: clock.FullSpeed, Cores: cores(4)}
+	for _, ch := range []*Characterizer{
+		{SafeTrials: -1},
+		{UnsafeTrials: -5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Characterize(%+v) did not panic on negative trials", ch)
+				}
+			}()
+			ch.Characterize(cfg)
+		}()
+	}
+}
+
+func TestFaultTally(t *testing.T) {
+	var tal FaultTally
+	tal.add(SDC)
+	tal.add(SDC)
+	tal.add(Crash)
+	if tal.Count(SDC) != 2 || tal.Count(Crash) != 1 || tal.Count(Hang) != 0 {
+		t.Errorf("counts = %v", tal)
+	}
+	if tal.Count(None) != 0 || tal.Count(FaultKind(99)) != 0 {
+		t.Error("out-of-range kinds must count 0")
+	}
+	if tal.Total() != 3 {
+		t.Errorf("Total = %d, want 3", tal.Total())
+	}
+	want := map[FaultKind]int{SDC: 2, Crash: 1}
+	got := tal.Map()
+	if len(got) != len(want) || got[SDC] != 2 || got[Crash] != 1 {
+		t.Errorf("Map = %v, want %v", got, want)
 	}
 }

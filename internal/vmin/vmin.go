@@ -229,13 +229,29 @@ func SafeVmin(c *Config) chip.Millivolts {
 // reaches 1 this many millivolts below the safe point.
 const pfailWindowMV = 45.0
 
+// ModelVersion identifies the Vmin model and characterization methodology
+// for content-addressed caching (see internal/vmin/store). Any change that
+// alters characterization output for a fixed configuration and salt — the
+// class tables, static offsets, workload damping, the PFail window or
+// curve shape, the faultMix split, the default trial counts, the seed
+// derivation, or the sweep loop's RNG consumption — MUST bump this
+// constant, otherwise persisted datasets would replay stale physics as
+// fresh results.
+const ModelVersion = "vmin-v1"
+
 // PFail returns the probability that one execution of the configuration
 // fails (SDC, crash, hang or timeout) at voltage v: exactly 0 at and above
 // the safe Vmin, rising quadratically to 1 over the pfail window below it
 // (the Fig. 5 shape — identical for configurations that share a frequency
 // and allocation class).
 func PFail(c *Config, v chip.Millivolts) float64 {
-	safe := SafeVmin(c)
+	return pfailBelow(SafeVmin(c), v)
+}
+
+// pfailBelow is PFail with the configuration's safe point precomputed, so
+// sweep loops can evaluate the curve without re-validating the
+// configuration at every run.
+func pfailBelow(safe, v chip.Millivolts) float64 {
 	if v >= safe {
 		return 0
 	}
@@ -304,23 +320,31 @@ type Outcome struct {
 
 // RunOnce simulates a single execution of configuration c at voltage v
 // using rng for the failure draw, mirroring one iteration of the paper's
-// characterization loop.
+// characterization loop. At or above the safe point (pfail exactly 0) no
+// randomness is consumed — the sweep fast path in Characterize relies on
+// that to skip clean levels without perturbing the RNG stream.
 func RunOnce(c *Config, v chip.Millivolts, rng *rand.Rand) Outcome {
-	p := PFail(c, v)
+	safe := SafeVmin(c)
+	p := pfailBelow(safe, v)
 	if p == 0 || rng.Float64() >= p {
 		return Outcome{Fault: None}
 	}
-	depth := float64(SafeVmin(c) - v)
-	sdc, timeout, hang, _ := faultMix(depth)
+	return Outcome{Fault: faultDraw(float64(safe-v), rng)}
+}
+
+// faultDraw picks the fault kind of a failed run from the depth-dependent
+// mix, consuming exactly one rng draw.
+func faultDraw(depthMV float64, rng *rand.Rand) FaultKind {
+	sdc, timeout, hang, _ := faultMix(depthMV)
 	r := rng.Float64()
 	switch {
 	case r < sdc:
-		return Outcome{Fault: SDC}
+		return SDC
 	case r < sdc+timeout:
-		return Outcome{Fault: Timeout}
+		return Timeout
 	case r < sdc+timeout+hang:
-		return Outcome{Fault: Hang}
+		return Hang
 	default:
-		return Outcome{Fault: Crash}
+		return Crash
 	}
 }

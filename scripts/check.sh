@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full repository check: vet, build, race-enabled tests, the
 # telemetry-overhead benchmark, the simulator hot-path benchmark, the
-# experiment-runner speedup gate, and the control-plane throughput gate.
-# The benchmarks' JSON summaries are written to BENCH_telemetry.json,
-# BENCH_sim.json, BENCH_experiments.json and BENCH_service.json at the
+# experiment-runner speedup gate, the characterization-store memoization
+# gate, and the control-plane throughput gate. The benchmarks' JSON
+# summaries are written to BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json and BENCH_service.json at the
 # repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
 # EXPERIMENTS.md and docs/API.md).
 set -eu
@@ -39,6 +40,13 @@ AVFS_BENCH_EXPERIMENTS_OUT="$(pwd)/BENCH_experiments.json" \
 
 echo "==> BENCH_experiments.json"
 cat BENCH_experiments.json
+
+echo "==> characterization-store memoization benchmark (cold vs warm Figure 3)"
+AVFS_BENCH_CACHE_OUT="$(pwd)/BENCH_cache.json" \
+	go test ./internal/experiments -run TestCharacterizeCacheBudget -count=1 -v
+
+echo "==> BENCH_cache.json"
+cat BENCH_cache.json
 
 echo "==> control-plane throughput benchmark (session read path over HTTP)"
 AVFS_BENCH_SERVICE_OUT="$(pwd)/BENCH_service.json" \
