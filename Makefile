@@ -2,9 +2,10 @@
 # race-enabled tests + the telemetry-overhead benchmark + the simulator
 # hot-path benchmark + the experiment-runner speedup benchmark + the
 # characterization-store memoization benchmark + the control-plane
-# throughput benchmark, which record their JSON summaries in
-# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
-# BENCH_cache.json and BENCH_service.json).
+# throughput benchmark + the request-tracing overhead benchmark, which
+# record their JSON summaries in BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json and
+# BENCH_trace.json).
 
 GO ?= go
 
@@ -38,6 +39,8 @@ bench:
 		$(GO) test ./internal/experiments -run TestCharacterizeCacheBudget -count=1 -v
 	AVFS_BENCH_SERVICE_OUT=$(CURDIR)/BENCH_service.json \
 		$(GO) test ./internal/service -run TestServiceThroughputBudget -count=1 -v
+	AVFS_BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json \
+		$(GO) test ./internal/service -run TestTraceOverheadBudget -count=1 -v
 
 clean:
 	$(GO) clean ./...

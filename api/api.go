@@ -203,6 +203,52 @@ type PolicyRequest struct {
 	Policy string `json:"policy"`
 }
 
+// Span is one completed operation of a request trace, streamed as JSONL
+// by GET /v1/sessions/{id}/spans?since=N. ID/Parent link spans into a
+// tree; RequestID/Session/Job are the correlation identities; StartNs is
+// monotonic nanoseconds since the session's trace epoch.
+type Span struct {
+	ID         int64  `json:"id"`
+	Parent     int64  `json:"parent,omitempty"`
+	RequestID  string `json:"request_id,omitempty"`
+	Session    string `json:"session,omitempty"`
+	Job        string `json:"job,omitempty"`
+	Name       string `json:"name"`
+	StartNs    int64  `json:"start_ns"`
+	DurationNs int64  `json:"duration_ns"`
+	Ticks      uint64 `json:"ticks,omitempty"`
+	Status     string `json:"status,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// QuantileSet summarizes one latency distribution: observation and error
+// counts plus seconds-valued quantiles (each within 1% relative error of
+// the exact order statistic).
+type QuantileSet struct {
+	Count       int64   `json:"count"`
+	Errors      int64   `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50         float64 `json:"p50_seconds"`
+	P90         float64 `json:"p90_seconds"`
+	P99         float64 `json:"p99_seconds"`
+	P999        float64 `json:"p999_seconds"`
+}
+
+// SLO is the response of GET /v1/sessions/{id}/slo: request- and
+// advance-chunk-latency distributions, all-time and over the rolling
+// window.
+type SLO struct {
+	Session       string      `json:"session"`
+	WindowSeconds float64     `json:"window_seconds"`
+	Requests      QuantileSet `json:"requests"`
+	Advance       QuantileSet `json:"advance"`
+	// WindowRequests/WindowAdvance cover only the rolling window (between
+	// one and two windows of recent observations).
+	WindowRequests QuantileSet `json:"window_requests"`
+	WindowAdvance  QuantileSet `json:"window_advance"`
+}
+
 // CharacterizeRequest asks for the safe-Vmin characterization of one
 // configuration on a session's chip (the paper's Sec. III-A methodology:
 // safe-point search plus unsafe-region sweep). Characterizations are

@@ -276,6 +276,60 @@ func (c *Client) Trace(ctx context.Context, id string, since int) (lines []strin
 	return lines, next, nil
 }
 
+// SLO reads a session's tail-latency SLO surface: request- and
+// advance-latency quantiles plus error rates, all-time and over the
+// server's rolling window.
+func (c *Client) SLO(ctx context.Context, id string) (api.SLO, error) {
+	var s api.SLO
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/slo", nil, &s)
+	return s, err
+}
+
+// Spans fetches a session's completed request spans from an absolute
+// cursor, returning the decoded spans, the next cursor to poll from, and
+// whether the cursor had fallen behind the server's retained window
+// (spans were dropped — the caller missed data).
+func (c *Client) Spans(ctx context.Context, id string, since int64) (spans []api.Span, next int64, truncated bool, err error) {
+	path := fmt.Sprintf("/v1/sessions/%s/spans?since=%d", url.PathEscape(id), since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("client: GET spans: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, 0, false, decodeError(resp)
+	}
+	next, _ = strconv.ParseInt(resp.Header.Get("X-Span-Next"), 10, 64)
+	truncated = resp.Header.Get("X-Span-Truncated") == "true"
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var sp api.Span
+		if err := dec.Decode(&sp); err != nil {
+			if err == io.EOF {
+				return spans, next, truncated, nil
+			}
+			return spans, next, truncated, fmt.Errorf("client: decode spans: %w", err)
+		}
+		spans = append(spans, sp)
+	}
+}
+
+// Healthz reports process liveness (200 even while draining); Readyz
+// reports routability (an *api.Error with Status 503 once Drain begins).
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz reports whether the server accepts new work; a draining server
+// returns an *api.Error with Status 503.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
 // Metrics fetches a Prometheus text-format snapshot: the fleet's with
 // id == "", or one session's.
 func (c *Client) Metrics(ctx context.Context, id string) (string, error) {

@@ -392,14 +392,39 @@ func TestDrainOverHTTP(t *testing.T) {
 		t.Errorf("draining rejection lacks Retry-After: %+v", apiErr)
 	}
 
+	// Liveness vs. readiness split: the draining process is still alive
+	// (healthz 200, orchestrators must not restart it) but no longer
+	// routable (readyz 503, load balancers stop sending traffic).
 	base := clientBase(t, f)
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz while draining = %d, want 200 (liveness)", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("healthz body %q should report the draining state", body)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("Healthz while draining = %v, want nil", err)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != 503 {
-		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("readyz 503 should carry Retry-After")
+	}
+	err = c.Readyz(ctx)
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Errorf("Readyz while draining = %v, want *api.Error with 503", err)
 	}
 }
 

@@ -8,6 +8,8 @@
 //
 //	avfs-server [-addr :8080] [-max-sessions 256] [-ttl 15m]
 //	            [-workers N] [-queue M] [-chunk 1.0] [-cache-dir DIR]
+//	            [-access-log PATH] [-slow-ms 1000] [-slo-window 1m]
+//	            [-pprof-addr ADDR] [-no-trace]
 //
 // Flags:
 //
@@ -19,6 +21,15 @@
 //	-chunk         simulated seconds a run holds its session lock for
 //	-cache-dir     persist characterization datasets under this directory,
 //	               so the fleet's content-addressed store survives restarts
+//	-access-log    JSONL access log: a file path, or "-" for stderr
+//	-slow-ms       slow-request threshold in milliseconds; slow requests
+//	               are flagged in the access log and mirrored to stderr
+//	-slo-window    rolling window for /v1/sessions/{id}/slo quantiles
+//	-pprof-addr    serve net/http/pprof on a SEPARATE listener (e.g.
+//	               localhost:6060); off unless set, and deliberately not
+//	               mounted on the public API address
+//	-no-trace      disable spans and SLO tracking (the metrics registry
+//	               and access log stay on)
 //
 // On SIGTERM/SIGINT the server drains gracefully: the listener stops, new
 // sessions and runs are rejected with 503 + Retry-After, and every
@@ -32,7 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,7 +63,27 @@ func main() {
 	chunk := flag.Float64("chunk", 1.0, "simulated seconds per session-lock hold")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain budget before forcing shutdown")
+	accessLog := flag.String("access-log", "", `JSONL access log path ("-" = stderr, "" = off)`)
+	slowMS := flag.Int("slow-ms", 1000, "slow-request threshold in milliseconds")
+	sloWindow := flag.Duration("slo-window", time.Minute, "rolling window for session SLO quantiles")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
+	noTrace := flag.Bool("no-trace", false, "disable request spans and SLO tracking")
 	flag.Parse()
+
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		lf, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfs-server: access log: %v\n", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		accessW = lf
+	}
 
 	fleet := service.New(service.Config{
 		MaxSessions: *maxSessions,
@@ -59,7 +92,31 @@ func main() {
 		Queue:       *queue,
 		RunChunk:    *chunk,
 		CacheDir:    *cacheDir,
+		AccessLog:   accessW,
+		SlowLog:     os.Stderr,
+		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
+		SLOWindow:   *sloWindow,
+		NoTrace:     *noTrace,
 	})
+
+	if *pprofAddr != "" {
+		// Profiling stays off the public API listener: the pprof surface
+		// exposes heap contents and must only bind somewhere private.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			fmt.Fprintf(os.Stderr, "avfs-server: pprof on %s\n", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "avfs-server: pprof: %v\n", err)
+			}
+		}()
+		defer psrv.Close()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrSaturated is returned by Pool.Do/Go when every worker is busy and the
@@ -28,6 +29,7 @@ var ErrPoolClosed = errors.New("runner: pool closed")
 type Pool struct {
 	jobs    chan poolJob
 	st      *Stats
+	hooks   atomic.Pointer[Hooks]
 	wg      sync.WaitGroup // workers
 	pending atomic.Int64   // admitted but not yet completed
 	idle    chan struct{}  // signalled (best-effort) when pending hits 0
@@ -36,11 +38,26 @@ type Pool struct {
 	closed bool
 }
 
+// Hooks observe the pool's scheduling behaviour: QueueWait fires when a
+// worker picks a job up (how long it sat admitted-but-unstarted — the
+// saturation signal), JobDone when the job's function returns (how long
+// the worker was held). Either may be nil. Hooks run on worker
+// goroutines and must be cheap and non-blocking.
+type Hooks struct {
+	QueueWait func(time.Duration)
+	JobDone   func(time.Duration)
+}
+
+// SetHooks installs (or, with nil, removes) the observation hooks.
+// Safe to call concurrently with running work.
+func (p *Pool) SetHooks(h *Hooks) { p.hooks.Store(h) }
+
 // poolJob is one admitted unit of work.
 type poolJob struct {
-	ctx  context.Context
-	fn   func(context.Context) error
-	done chan error // buffered(1); receives exactly one result
+	ctx      context.Context
+	fn       func(context.Context) error
+	done     chan error // buffered(1); receives exactly one result
+	admitted time.Time
 }
 
 // NewPool starts a pool of width workers with a queue-deep admission
@@ -75,8 +92,15 @@ func (p *Pool) worker() {
 			p.finish(j, err)
 			continue
 		}
+		if h := p.hooks.Load(); h != nil && h.QueueWait != nil && !j.admitted.IsZero() {
+			h.QueueWait(time.Since(j.admitted))
+		}
 		p.st.begin()
+		started := time.Now()
 		err := p.runOne(j)
+		if h := p.hooks.Load(); h != nil && h.JobDone != nil {
+			h.JobDone(time.Since(started))
+		}
 		p.st.end()
 		p.finish(j, err)
 	}
@@ -113,7 +137,7 @@ func (p *Pool) Go(ctx context.Context, fn func(context.Context) error) (<-chan e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1), admitted: time.Now()}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"avfs/api"
 	"avfs/internal/sim"
@@ -87,11 +88,31 @@ func wireError(err error) *api.Error {
 //	POST   /v1/sessions/{id}/characterize    safe-Vmin characterization (store-memoized)
 //	PUT    /v1/sessions/{id}/policy          flip Table IV policy
 //	GET    /v1/sessions/{id}/trace?since=N   decision trace as JSONL
+//	GET    /v1/sessions/{id}/spans?since=N   request spans as JSONL
+//	GET    /v1/sessions/{id}/slo             tail-latency SLO quantiles
 //	GET    /v1/sessions/{id}/metrics         per-session Prometheus text
 //	GET    /metrics                          fleet Prometheus text
-//	GET    /healthz                          liveness + drain state
+//	GET    /healthz                          liveness (always 200 while the process serves)
+//	GET    /readyz                           readiness (503 once Drain begins)
+//
+// Every response carries an X-Request-ID header (echoed from the request
+// when the client supplied one); the same ID correlates the access-log
+// line and the request's span tree.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
+
+	// sess tags the request's trace metadata with the session ID before
+	// the handler runs: the outer middleware cannot read PathValue itself
+	// (the mux routes on its own copy of the request), so session-scoped
+	// routes record it here.
+	sess := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if m := metaFrom(r.Context()); m != nil {
+				m.session = r.PathValue("id")
+			}
+			h(w, r)
+		}
+	}
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req api.CreateSessionRequest
@@ -104,81 +125,81 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		respond(w, http.StatusOK, f.List(), nil)
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}", sess(func(w http.ResponseWriter, r *http.Request) {
 		s, err := f.Get(r.PathValue("id"))
 		respond(w, http.StatusOK, s, err)
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", sess(func(w http.ResponseWriter, r *http.Request) {
 		if err := f.Delete(r.PathValue("id")); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/sessions/{id}/processes", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/sessions/{id}/processes", sess(func(w http.ResponseWriter, r *http.Request) {
 		var req api.SubmitRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		p, err := f.Submit(r.PathValue("id"), req)
 		respond(w, http.StatusCreated, p, err)
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}/processes", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/processes", sess(func(w http.ResponseWriter, r *http.Request) {
 		pl, err := f.Processes(r.PathValue("id"))
 		respond(w, http.StatusOK, pl, err)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/sessions/{id}/run", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/sessions/{id}/run", sess(func(w http.ResponseWriter, r *http.Request) {
 		var req api.RunRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		id := r.PathValue("id")
 		if req.Async {
-			j, err := f.RunAsync(id, req)
+			j, err := f.RunAsync(r.Context(), id, req)
 			respond(w, http.StatusAccepted, j, err)
 			return
 		}
 		res, err := f.RunSync(r.Context(), id, req)
 		respond(w, http.StatusOK, res, err)
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/jobs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}/jobs", sess(func(w http.ResponseWriter, r *http.Request) {
 		jl, err := f.Jobs(r.PathValue("id"))
 		respond(w, http.StatusOK, jl, err)
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", sess(func(w http.ResponseWriter, r *http.Request) {
 		j, err := f.Job(r.PathValue("id"), r.PathValue("job"))
 		respond(w, http.StatusOK, j, err)
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}/jobs/{job}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}/jobs/{job}", sess(func(w http.ResponseWriter, r *http.Request) {
 		j, err := f.CancelJob(r.PathValue("id"), r.PathValue("job"))
 		respond(w, http.StatusOK, j, err)
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/energy", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}/energy", sess(func(w http.ResponseWriter, r *http.Request) {
 		e, err := f.Energy(r.PathValue("id"))
 		respond(w, http.StatusOK, e, err)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/characterize", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/characterize", sess(func(w http.ResponseWriter, r *http.Request) {
 		var req api.CharacterizeRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		cz, err := f.Characterize(r.PathValue("id"), req)
 		respond(w, http.StatusOK, cz, err)
-	})
-	mux.HandleFunc("PUT /v1/sessions/{id}/policy", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("PUT /v1/sessions/{id}/policy", sess(func(w http.ResponseWriter, r *http.Request) {
 		var req api.PolicyRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		s, err := f.SetPolicy(r.PathValue("id"), req.Policy)
 		respond(w, http.StatusOK, s, err)
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", sess(func(w http.ResponseWriter, r *http.Request) {
 		since := 0
 		if q := r.URL.Query().Get("since"); q != "" {
 			n, err := strconv.Atoi(q)
@@ -188,21 +209,51 @@ func (f *Fleet) Handler() http.Handler {
 			}
 			since = n
 		}
-		recs, next, err := f.TraceSince(r.PathValue("id"), since)
+		recs, next, truncated, err := f.TraceSince(r.PathValue("id"), since)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		w.Header().Set("X-Trace-Next", strconv.Itoa(next))
+		w.Header().Set("X-Trace-Truncated", strconv.FormatBool(truncated))
 		enc := json.NewEncoder(w)
 		for _, d := range recs {
 			if err := enc.Encode(d); err != nil {
 				return // client went away
 			}
 		}
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/spans", sess(func(w http.ResponseWriter, r *http.Request) {
+		var since int64
+		if q := r.URL.Query().Get("since"); q != "" {
+			n, err := strconv.ParseInt(q, 10, 64)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("%w: since=%q", ErrInvalidRequest, q))
+				return
+			}
+			since = n
+		}
+		spans, next, truncated, err := f.Spans(r.PathValue("id"), since)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		w.Header().Set("X-Span-Next", strconv.FormatInt(next, 10))
+		w.Header().Set("X-Span-Truncated", strconv.FormatBool(truncated))
+		enc := json.NewEncoder(w)
+		for _, sp := range spans {
+			if err := enc.Encode(sp); err != nil {
+				return // client went away
+			}
+		}
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/slo", sess(func(w http.ResponseWriter, r *http.Request) {
+		slo, err := f.SLO(r.PathValue("id"))
+		respond(w, http.StatusOK, slo, err)
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", sess(func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		if err := f.SessionMetrics(r.PathValue("id"), &buf); err != nil {
 			writeError(w, err)
@@ -210,44 +261,163 @@ func (f *Fleet) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write(buf.Bytes())
-	})
+	}))
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		servePrometheus(w, f.reg)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: a draining process is still alive (and still serving
+		// reads); orchestrators must not restart it. Routability is
+		// /readyz's job.
 		state := "ok"
-		status := http.StatusOK
 		if f.Draining() {
 			state = "draining"
-			status = http.StatusServiceUnavailable
 		}
-		respond(w, status, map[string]string{"status": state}, nil)
+		respond(w, http.StatusOK, map[string]string{"status": state}, nil)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: once Drain begins, tell load balancers to stop
+		// routing here (new sessions and runs are rejected anyway).
+		if f.Draining() {
+			w.Header().Set("Retry-After", "5")
+			respond(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"}, nil)
+			return
+		}
+		respond(w, http.StatusOK, map[string]string{"status": "ok"}, nil)
 	})
 
 	return f.instrument(mux)
 }
 
-// instrument wraps the mux with fleet-level request accounting.
+// reqMeta is the per-request trace carrier: the middleware mints the
+// request ID and pre-allocates the root span ID before routing (so
+// handler-side spans can parent under a root that is appended only when
+// the request finishes); session-scoped routes fill in the session.
+type reqMeta struct {
+	id      string
+	root    int64
+	session string
+}
+
+// metaKey keys reqMeta in a request context.
+type metaKey struct{}
+
+// metaFrom extracts the request's trace carrier (nil outside the
+// middleware, e.g. library-level callers of RunSync).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey{}).(*reqMeta)
+	return m
+}
+
+// nextRequestID mints a process-unique request ID.
+func (f *Fleet) nextRequestID() string {
+	f.mu.Lock()
+	f.nextReq++
+	n := f.nextReq
+	f.mu.Unlock()
+	return fmt.Sprintf("r-%08d", n)
+}
+
+// accessRecord is one JSONL access-log line. The slow-request log reuses
+// the shape with "slow":true.
+type accessRecord struct {
+	Time       string  `json:"time"`
+	RequestID  string  `json:"request_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Bytes      int64   `json:"bytes"`
+	Session    string  `json:"session,omitempty"`
+	Slow       bool    `json:"slow,omitempty"`
+}
+
+// instrument is the edge middleware: it mints/echoes the request ID,
+// carries the trace metadata through the handler, then accounts the
+// request — status-class counters, fleet and per-session latency SLOs,
+// the per-session root span, the access log, and the slow-request log.
 func (f *Fleet) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m := &reqMeta{id: r.Header.Get("X-Request-ID")}
+		if m.id == "" {
+			m.id = f.nextRequestID()
+		}
+		if !f.cfg.NoTrace {
+			m.root = telemetry.NextSpanID()
+		}
+		w.Header().Set("X-Request-ID", m.id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), metaKey{}, m)))
+		dur := time.Since(start)
+
 		if c := sw.status / 100; c >= 1 && c <= 5 {
 			f.mHTTP[c].Inc()
+		}
+		failed := sw.status >= 500
+		now := f.cfg.Clock()
+		f.reqSLO.Observe(dur, failed, now)
+		if m.session != "" {
+			if s, err := f.lookup(m.session); err == nil {
+				s.reqSLO.Observe(dur, failed, now)
+				if s.spans != nil {
+					sp := telemetry.Span{
+						ID: m.root, Request: m.id, Session: m.session,
+						Name: "http.request", StartNs: s.spans.Stamp(start),
+						DurationNs: dur.Nanoseconds(),
+						Detail:     r.Method + " " + r.URL.Path,
+					}
+					if failed {
+						sp.Status = "error"
+					}
+					s.spans.Append(sp)
+				}
+			}
+		}
+		rec := accessRecord{
+			Time:       now.UTC().Format(time.RFC3339Nano),
+			RequestID:  m.id,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     sw.status,
+			DurationMS: float64(dur.Nanoseconds()) / 1e6,
+			Bytes:      sw.bytes,
+			Session:    m.session,
+			Slow:       dur >= f.cfg.SlowRequest,
+		}
+		if f.cfg.AccessLog != nil {
+			f.writeLog(f.cfg.AccessLog, rec)
+		}
+		if rec.Slow && f.cfg.SlowLog != nil {
+			f.writeLog(f.cfg.SlowLog, rec)
 		}
 	})
 }
 
-// statusWriter records the response status for accounting.
+// writeLog appends one JSONL record to a log writer under the log mutex.
+func (f *Fleet) writeLog(w io.Writer, rec accessRecord) {
+	f.logMu.Lock()
+	defer f.logMu.Unlock()
+	_ = json.NewEncoder(w).Encode(rec)
+}
+
+// statusWriter records the response status and body size for accounting.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // servePrometheus renders a registry in Prometheus text format.

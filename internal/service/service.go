@@ -45,6 +45,23 @@ type Config struct {
 	// ReapEvery is the background reaper period (default 5 s; <0 disables
 	// the goroutine — tests drive ReapNow directly).
 	ReapEvery time.Duration
+
+	// AccessLog receives one JSONL record per HTTP request (nil disables).
+	AccessLog io.Writer
+	// SlowLog receives a JSONL record for requests slower than SlowRequest
+	// (nil disables; default threshold 1 s).
+	SlowLog io.Writer
+	// SlowRequest is the slow-request log threshold (default 1 s).
+	SlowRequest time.Duration
+	// SpanCap bounds each session's span ring (default
+	// telemetry.DefaultSpanCap).
+	SpanCap int
+	// SLOWindow is the rolling window of the /slo surfaces (default
+	// telemetry.DefaultSLOWindow).
+	SLOWindow time.Duration
+	// NoTrace disables the span/SLO layer entirely — the tracing-off
+	// baseline of the overhead gate. Access and slow logs still work.
+	NoTrace bool
 }
 
 // withDefaults resolves the zero value.
@@ -69,6 +86,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReapEvery == 0 {
 		c.ReapEvery = 5 * time.Second
+	}
+	if c.SlowRequest <= 0 {
+		c.SlowRequest = time.Second
+	}
+	if c.SpanCap <= 0 {
+		c.SpanCap = telemetry.DefaultSpanCap
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = telemetry.DefaultSLOWindow
 	}
 	return c
 }
@@ -96,6 +122,7 @@ type Fleet struct {
 	sessions map[string]*session
 	nextSess uint64
 	nextJob  uint64
+	nextReq  uint64
 	draining bool
 
 	// Fleet-level telemetry (the /metrics surface).
@@ -106,6 +133,38 @@ type Fleet struct {
 	// mHTTP[c] counts requests answered with a cxx status; registered here
 	// once so Handler stays idempotent.
 	mHTTP [6]*telemetry.Counter
+
+	// reqSLO tracks fleet-wide request latency (nil when NoTrace).
+	reqSLO *telemetry.SLOTracker
+	// hPoolWait/hPoolRun observe the worker pool's queue-wait and
+	// run-duration through runner.Hooks.
+	hPoolWait *telemetry.Histogram
+	hPoolRun  *telemetry.Histogram
+	// rtStats caches runtime.ReadMemStats for the Go runtime gauges: one
+	// stop-the-world read serves all of them per scrape.
+	rtStats memStatsCache
+
+	// logMu serializes the access/slow log writers.
+	logMu sync.Mutex
+}
+
+// memStatsCache amortizes runtime.ReadMemStats across the runtime gauges
+// of one Gather (and across scrapes closer together than its TTL).
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+// read returns cached stats no older than one second.
+func (c *memStatsCache) read() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > time.Second {
+		runtime.ReadMemStats(&c.ms)
+		c.at = now
+	}
+	return &c.ms
 }
 
 // New starts a fleet.
@@ -138,6 +197,41 @@ func New(cfg Config) *Fleet {
 	f.reg.Gauge("avfs_fleet_runs_inflight", "Admitted runs not yet completed.", func() float64 {
 		return float64(f.pool.Pending())
 	})
+
+	// Go runtime health (goroutines, heap, GC) — the per-node signals a
+	// fleet coordinator aggregates.
+	f.reg.Gauge("go_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	f.reg.Gauge("go_heap_alloc_bytes", "Heap bytes allocated and in use.", func() float64 {
+		return float64(f.rtStats.read().HeapAlloc)
+	})
+	f.reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(f.rtStats.read().NumGC)
+	})
+	f.reg.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", func() float64 {
+		return float64(f.rtStats.read().PauseTotalNs) / 1e9
+	})
+
+	// Worker-pool scheduling behaviour, observed through runner.Hooks.
+	poolBounds := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	f.hPoolWait = f.reg.Histogram("avfs_pool_queue_wait_seconds",
+		"Time runs sat admitted before a worker picked them up.", poolBounds)
+	f.hPoolRun = f.reg.Histogram("avfs_pool_run_seconds",
+		"Time a worker was held by one run.", poolBounds)
+	f.pool.SetHooks(&runner.Hooks{
+		QueueWait: func(d time.Duration) { f.hPoolWait.Observe(d.Seconds()) },
+		JobDone:   func(d time.Duration) { f.hPoolRun.Observe(d.Seconds()) },
+	})
+
+	if !cfg.NoTrace {
+		f.reqSLO = telemetry.NewSLOTracker(cfg.SLOWindow)
+		f.reg.Gauge("avfs_http_request_seconds",
+			"Fleet-wide rolling-window request latency.", func() float64 {
+				snap, _, _ := f.reqSLO.Windowed(f.cfg.Clock())
+				return snap.Quantile(0.99) / 1e9
+			}, telemetry.Labels("quantile", "0.99")...)
+	}
 	if cfg.ReapEvery > 0 {
 		go f.reapLoop()
 	} else {
@@ -202,7 +296,9 @@ func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 
 	// Build outside the fleet lock (construction touches no shared state);
 	// publish under it, re-checking the race windows.
-	s, err := newSession(f.baseCtx, id, req, f.cfg.SessionTTL, now)
+	s, err := newSession(f.baseCtx, id, req, f.cfg.SessionTTL, now, obsConfig{
+		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
+	})
 	if err != nil {
 		return api.Session{}, err
 	}
@@ -344,14 +440,68 @@ func (f *Fleet) SetPolicy(id, policy string) (api.Session, error) {
 }
 
 // TraceSince returns a session's buffered decision records from an
-// absolute offset, plus the next offset to poll from.
-func (f *Fleet) TraceSince(id string, since int) ([]telemetry.Decision, int, error) {
+// absolute offset, plus the next offset to poll from and whether the
+// offset had fallen behind the ring (records were dropped).
+func (f *Fleet) TraceSince(id string, since int) ([]telemetry.Decision, int, bool, error) {
 	s, err := f.lookup(id)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	recs, next := s.traceSince(since)
-	return recs, next, nil
+	recs, next, truncated := s.traceSince(since)
+	return recs, next, truncated, nil
+}
+
+// Spans returns a session's completed spans from an absolute cursor,
+// the next cursor to poll from, and whether the cursor had fallen behind
+// the ring's retained window.
+func (f *Fleet) Spans(id string, since int64) ([]telemetry.Span, int64, bool, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if s.spans == nil {
+		return nil, 0, false, fmt.Errorf("%w: tracing disabled", ErrInvalidRequest)
+	}
+	spans, next, truncated := s.spans.Since(since)
+	return spans, next, truncated, nil
+}
+
+// SLO reports a session's request- and advance-latency quantiles plus
+// error rates, all-time and over the rolling window.
+func (f *Fleet) SLO(id string) (api.SLO, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.SLO{}, err
+	}
+	if s.reqSLO == nil {
+		return api.SLO{}, fmt.Errorf("%w: tracing disabled", ErrInvalidRequest)
+	}
+	now := f.cfg.Clock()
+	out := api.SLO{Session: id, WindowSeconds: s.reqSLO.Window().Seconds()}
+	out.Requests = wireQuantiles(s.reqSLO.Totals())
+	out.Advance = wireQuantiles(s.advSLO.Totals())
+	rs, re, _ := s.reqSLO.Windowed(now)
+	out.WindowRequests = wireQuantiles(rs, re)
+	as, ae, _ := s.advSLO.Windowed(now)
+	out.WindowAdvance = wireQuantiles(as, ae)
+	return out, nil
+}
+
+// wireQuantiles converts one latency snapshot + error count to the wire.
+func wireQuantiles(snap telemetry.LatencySnapshot, errs int64) api.QuantileSet {
+	q := api.QuantileSet{
+		Count:       snap.Count(),
+		Errors:      errs,
+		MeanSeconds: snap.MeanNs() / 1e9,
+		P50:         snap.Quantile(0.5) / 1e9,
+		P90:         snap.Quantile(0.9) / 1e9,
+		P99:         snap.Quantile(0.99) / 1e9,
+		P999:        snap.Quantile(0.999) / 1e9,
+	}
+	if q.Count > 0 {
+		q.ErrorRate = float64(errs) / float64(q.Count)
+	}
+	return q
 }
 
 // SessionMetrics renders one session's private metric registry in
@@ -396,10 +546,13 @@ func (f *Fleet) RunSync(ctx context.Context, id string, req api.RunRequest) (api
 		s.activeJobs--
 		s.mu.Unlock()
 	}()
+	rm := s.runMetaFrom(ctx)
+	admitted := time.Now()
 	var res api.RunResult
 	err = f.pool.Do(ctx, func(jctx context.Context) error {
+		s.queueSpan(admitted, rm)
 		var runErr error
-		res, runErr = s.runChunked(jctx, req.Seconds, req.UntilIdle, f.cfg.RunChunk, f.cfg.Clock)
+		res, runErr = s.runChunked(jctx, req.Seconds, req.UntilIdle, f.cfg.RunChunk, f.cfg.Clock, rm)
 		return runErr
 	})
 	switch {
@@ -426,8 +579,9 @@ func (f *Fleet) RunSync(ctx context.Context, id string, req api.RunRequest) (api
 // immediately. The job's context derives from the session (not the
 // request), so it survives the request and is cancelled by session
 // deletion, CancelJob, or fleet Close — but not by graceful Drain, which
-// waits for it instead.
-func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
+// waits for it instead. ctx only carries the request's correlation
+// identity for the job's trace; it does not bound the job's lifetime.
+func (f *Fleet) RunAsync(ctx context.Context, id string, req api.RunRequest) (api.Job, error) {
 	s, err := f.lookup(id)
 	if err != nil {
 		return api.Job{}, err
@@ -457,11 +611,19 @@ func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
 	s.activeJobs++
 	s.mu.Unlock()
 
+	// The job span covers the whole lifecycle — admission through
+	// completion — and parents the runner.cell span; it outlives the
+	// request that submitted it, keeping its request ID.
+	rm := s.runMetaFrom(ctx)
+	jobSpan := s.startJobSpan(jid, &rm)
+	admitted := time.Now()
+
 	doneCh, err := f.pool.Go(jctx, func(ctx context.Context) error {
+		s.queueSpan(admitted, rm)
 		s.mu.Lock()
 		j.status = api.JobRunning
 		s.mu.Unlock()
-		res, runErr := s.runChunked(ctx, j.seconds, j.untilIdle, f.cfg.RunChunk, f.cfg.Clock)
+		res, runErr := s.runChunked(ctx, j.seconds, j.untilIdle, f.cfg.RunChunk, f.cfg.Clock, rm)
 		s.mu.Lock()
 		j.result = res
 		j.err = runErr
@@ -470,11 +632,14 @@ func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
 			j.status = api.JobDone
 		case ctx.Err() != nil:
 			j.status = api.JobCanceled
+			jobSpan.SetStatus("canceled", "")
 		default:
 			j.status = api.JobFailed
+			jobSpan.SetStatus("error", runErr.Error())
 		}
 		s.activeJobs--
 		s.mu.Unlock()
+		jobSpan.End()
 		close(j.done)
 		return runErr
 	})
@@ -491,6 +656,8 @@ func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
 		s.activeJobs--
 		s.mu.Unlock()
 		cancel()
+		jobSpan.SetStatus("error", err.Error())
+		jobSpan.End()
 		f.mRejected.Inc()
 		return api.Job{}, err
 	}
@@ -504,6 +671,8 @@ func (f *Fleet) RunAsync(id string, req api.RunRequest) (api.Job, error) {
 			j.err = jctx.Err()
 			s.activeJobs--
 			s.mu.Unlock()
+			jobSpan.SetStatus("canceled", "retired while queued")
+			jobSpan.End()
 			close(j.done)
 			return
 		}

@@ -196,7 +196,7 @@ func TestReadsInterleaveWithRun(t *testing.T) {
 	if _, err := f.Submit(s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
 		t.Fatal(err)
 	}
-	j, err := f.RunAsync(s.ID, api.RunRequest{Seconds: 3600})
+	j, err := f.RunAsync(context.Background(), s.ID, api.RunRequest{Seconds: 3600})
 	if err != nil {
 		t.Fatalf("RunAsync: %v", err)
 	}
@@ -250,7 +250,7 @@ func TestAsyncJobLifecycle(t *testing.T) {
 	if _, err := f.Submit(s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 4}); err != nil {
 		t.Fatal(err)
 	}
-	j, err := f.RunAsync(s.ID, api.RunRequest{Seconds: 60})
+	j, err := f.RunAsync(context.Background(), s.ID, api.RunRequest{Seconds: 60})
 	if err != nil {
 		t.Fatalf("RunAsync: %v", err)
 	}
@@ -282,7 +282,7 @@ func TestCancelJobMidRun(t *testing.T) {
 	}
 	// A simulated day with per-tick stepping takes long enough on any
 	// hardware that the cancel below lands mid-run.
-	j, err := f.RunAsync(s.ID, api.RunRequest{Seconds: 86400})
+	j, err := f.RunAsync(context.Background(), s.ID, api.RunRequest{Seconds: 86400})
 	if err != nil {
 		t.Fatalf("RunAsync: %v", err)
 	}
@@ -439,7 +439,7 @@ func TestDrainFinishesInFlightRuns(t *testing.T) {
 	if _, err := f.Submit(s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
 		t.Fatal(err)
 	}
-	j, err := f.RunAsync(s.ID, api.RunRequest{Seconds: 1800})
+	j, err := f.RunAsync(context.Background(), s.ID, api.RunRequest{Seconds: 1800})
 	if err != nil {
 		t.Fatalf("RunAsync: %v", err)
 	}
@@ -480,7 +480,7 @@ func TestBackpressureWhenPoolSaturated(t *testing.T) {
 		}
 	}
 	// Occupy the single worker...
-	j0, err := f.RunAsync(sess[0].ID, api.RunRequest{Seconds: 86400})
+	j0, err := f.RunAsync(context.Background(), sess[0].ID, api.RunRequest{Seconds: 86400})
 	if err != nil {
 		t.Fatalf("first run: %v", err)
 	}
@@ -500,11 +500,11 @@ func TestBackpressureWhenPoolSaturated(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// Fill the admission queue.
-	if _, err := f.RunAsync(sess[1].ID, api.RunRequest{Seconds: 1}); err != nil {
+	if _, err := f.RunAsync(context.Background(), sess[1].ID, api.RunRequest{Seconds: 1}); err != nil {
 		t.Fatalf("queued run: %v", err)
 	}
 	// Saturated: the third admit must fail fast with the 429 signal.
-	_, err = f.RunAsync(sess[2].ID, api.RunRequest{Seconds: 1})
+	_, err = f.RunAsync(context.Background(), sess[2].ID, api.RunRequest{Seconds: 1})
 	if !errors.Is(err, ErrBusy) {
 		t.Fatalf("saturated admit = %v, want ErrBusy", err)
 	}
@@ -525,7 +525,7 @@ func TestDeleteAbortsInFlightRun(t *testing.T) {
 	if _, err := f.Submit(s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.RunAsync(s.ID, api.RunRequest{Seconds: 86400}); err != nil {
+	if _, err := f.RunAsync(context.Background(), s.ID, api.RunRequest{Seconds: 86400}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Delete(s.ID); err != nil {
@@ -548,15 +548,18 @@ func TestTraceStream(t *testing.T) {
 	if _, err := f.RunSync(context.Background(), s.ID, api.RunRequest{Seconds: 30}); err != nil {
 		t.Fatal(err)
 	}
-	recs, next, err := f.TraceSince(s.ID, 0)
+	recs, next, truncated, err := f.TraceSince(s.ID, 0)
 	if err != nil {
 		t.Fatalf("TraceSince: %v", err)
+	}
+	if truncated {
+		t.Error("fresh trace from offset 0 must not be truncated")
 	}
 	if len(recs) == 0 || next != len(recs) {
 		t.Fatalf("trace: %d records, next=%d", len(recs), next)
 	}
 	// Incremental poll from the returned offset yields nothing new.
-	more, next2, err := f.TraceSince(s.ID, next)
+	more, next2, _, err := f.TraceSince(s.ID, next)
 	if err != nil || len(more) != 0 || next2 != next {
 		t.Errorf("incremental trace = %d recs, next %d->%d, %v", len(more), next, next2, err)
 	}

@@ -87,6 +87,17 @@ type session struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 
+	// Observability plane (all nil when the fleet runs with NoTrace):
+	// spans is the session's bounded span ring; reqSLO/advSLO track
+	// request- and advance-chunk latency for the /slo surface;
+	// hLockWait/hLockHold split the actor mailbox into queue-wait
+	// (acquiring the actor lock) vs. hold-time (simulating under it).
+	spans     *telemetry.SpanRing
+	reqSLO    *telemetry.SLOTracker
+	advSLO    *telemetry.SLOTracker
+	hLockWait *telemetry.Histogram
+	hLockHold *telemetry.Histogram
+
 	mu        sync.Mutex
 	m         *sim.Machine
 	d         *daemon.Daemon
@@ -123,10 +134,26 @@ type job struct {
 // the ring holds the recent window and reports how much it dropped.
 const traceCap = 4096
 
+// obsConfig carries the fleet's observability settings into a session.
+type obsConfig struct {
+	enabled bool
+	spanCap int
+	window  time.Duration
+}
+
+// runMeta is the correlation identity a run carries from the HTTP edge
+// into the actor: the request ID, the span to parent under, and (async)
+// the job handle. The zero value means "untraced".
+type runMeta struct {
+	request string
+	parent  int64
+	job     string
+}
+
 // newSession builds a machine under the requested policy. Caller supplies
 // the fleet-derived context and defaults.
 func newSession(parent context.Context, id string, req api.CreateSessionRequest,
-	defaultTTL time.Duration, now time.Time) (*session, error) {
+	defaultTTL time.Duration, now time.Time, obs obsConfig) (*session, error) {
 
 	spec, model, err := parseModel(req.Model)
 	if err != nil {
@@ -155,6 +182,16 @@ func newSession(parent context.Context, id string, req api.CreateSessionRequest,
 	}
 	if req.TTLSeconds > 0 {
 		s.ttl = time.Duration(req.TTLSeconds * float64(time.Second))
+	}
+	if obs.enabled {
+		s.spans = telemetry.NewSpanRing(obs.spanCap)
+		s.reqSLO = telemetry.NewSLOTracker(obs.window)
+		s.advSLO = telemetry.NewSLOTracker(obs.window)
+		lockBounds := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+		s.hLockWait = s.reg.Histogram("avfs_session_lock_wait_seconds",
+			"Actor mailbox queue-wait: time spent acquiring the session lock per run chunk.", lockBounds)
+		s.hLockHold = s.reg.Histogram("avfs_session_lock_hold_seconds",
+			"Actor hold-time: time the session lock was held per run chunk.", lockBounds)
 	}
 
 	s.m = sim.New(spec)
@@ -320,16 +357,77 @@ func (s *session) characterizeCell(req api.CharacterizeRequest) (*vmin.Character
 	}, nil
 }
 
+// runMetaFrom extracts the request's correlation identity from ctx. When
+// the session's tracing plane is disabled it returns the zero meta, so
+// every downstream span call is a nil no-op.
+func (s *session) runMetaFrom(ctx context.Context) runMeta {
+	if s.spans == nil {
+		return runMeta{}
+	}
+	if m := metaFrom(ctx); m != nil {
+		return runMeta{request: m.id, parent: m.root}
+	}
+	return runMeta{}
+}
+
+// queueSpan records the actor-mailbox wait of one run: the gap between
+// pool admission and a worker picking the job up.
+func (s *session) queueSpan(admitted time.Time, rm runMeta) {
+	if s.spans == nil {
+		return
+	}
+	s.spans.Append(telemetry.Span{
+		Parent:     rm.parent,
+		Request:    rm.request,
+		Session:    s.id,
+		Job:        rm.job,
+		Name:       "actor.queue",
+		StartNs:    s.spans.Stamp(admitted),
+		DurationNs: time.Since(admitted).Nanoseconds(),
+	})
+}
+
+// startJobSpan opens the lifecycle span of an async job and reparents
+// rm under it, so the runner.cell span nests inside the job.
+func (s *session) startJobSpan(jid string, rm *runMeta) *telemetry.SpanHandle {
+	rm.job = jid
+	h := s.spans.Start("job", rm.parent, rm.request)
+	if h == nil {
+		return nil
+	}
+	h.SetSession(s.id)
+	h.SetJob(jid)
+	rm.parent = h.ID()
+	return h
+}
+
+// chunkSpanBudget caps per-chunk "sim.advance" spans per run: beyond it
+// the remaining chunks collapse into one aggregate span, so a week-long
+// advance cannot flood the ring (or pay per-chunk span cost forever).
+const chunkSpanBudget = 64
+
 // runChunked advances the machine by seconds of simulated time (or until
 // idle within that budget), holding the lock one chunk at a time so other
-// requests interleave. ctx aborts between tick batches.
-func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle bool, chunk float64, clk func() time.Time) (api.RunResult, error) {
+// requests interleave. ctx aborts between tick batches. rm carries the
+// request's correlation identity; the run emits one "runner.cell" span
+// with per-chunk "sim.advance" children (budgeted) and feeds the
+// advance-latency SLO and the lock wait/hold histograms.
+func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle bool, chunk float64, clk func() time.Time, rm runMeta) (api.RunResult, error) {
 	if seconds <= 0 {
 		return api.RunResult{}, fmt.Errorf("%w: run seconds must be positive", ErrInvalidRequest)
 	}
 	if chunk <= 0 {
 		chunk = 1.0
 	}
+	cell := s.spans.Start("runner.cell", rm.parent, rm.request)
+	cell.SetSession(s.id)
+	cell.SetJob(rm.job)
+	var (
+		chunkSpans int
+		aggStart   time.Time // first chunk past the budget
+		aggTicks   uint64
+		aggChunks  int
+	)
 	var runErr error
 	remaining := seconds
 	for remaining > 1e-9 {
@@ -341,20 +439,62 @@ func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle boo
 		if step > remaining {
 			step = remaining
 		}
+		lockStart := time.Now()
 		s.mu.Lock()
+		holdStart := time.Now()
+		if s.hLockWait != nil {
+			s.hLockWait.Observe(holdStart.Sub(lockStart).Seconds())
+		}
 		if untilIdle && s.m.RunningCount() == 0 && s.m.PendingCount() == 0 {
 			s.mu.Unlock()
 			remaining = 0
 			break
 		}
+		ticksBefore := s.m.Ticks()
 		err := s.m.RunForContext(ctx, step)
+		ticks := s.m.Ticks() - ticksBefore
 		s.lastTouch = clk()
 		s.mu.Unlock()
+		held := time.Since(holdStart)
+		if s.hLockHold != nil {
+			s.hLockHold.Observe(held.Seconds())
+		}
+		s.advSLO.Observe(held, err != nil, s.lastTouch)
+		cell.AddTicks(ticks)
+		if s.spans != nil {
+			if chunkSpans < chunkSpanBudget {
+				chunkSpans++
+				sp := telemetry.Span{
+					Parent: cell.ID(), Request: rm.request, Session: s.id, Job: rm.job,
+					Name: "sim.advance", StartNs: s.spans.Stamp(holdStart),
+					DurationNs: held.Nanoseconds(), Ticks: ticks,
+				}
+				if err != nil {
+					sp.Status = "error"
+					sp.Detail = err.Error()
+				}
+				s.spans.Append(sp)
+			} else {
+				if aggChunks == 0 {
+					aggStart = holdStart
+				}
+				aggChunks++
+				aggTicks += ticks
+			}
+		}
 		if err != nil {
 			runErr = err
 			break
 		}
 		remaining -= step
+	}
+	if aggChunks > 0 {
+		s.spans.Append(telemetry.Span{
+			Parent: cell.ID(), Request: rm.request, Session: s.id, Job: rm.job,
+			Name: "sim.advance", StartNs: s.spans.Stamp(aggStart),
+			DurationNs: time.Since(aggStart).Nanoseconds(), Ticks: aggTicks,
+			Detail: fmt.Sprintf("aggregated %d chunks past the %d-span budget", aggChunks, chunkSpanBudget),
+		})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -362,6 +502,14 @@ func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle boo
 		runErr = fmt.Errorf("%w after %.0fs (running=%d pending=%d)",
 			sim.ErrNotIdle, seconds, s.m.RunningCount(), s.m.PendingCount())
 	}
+	if runErr != nil {
+		status := "error"
+		if ctx.Err() != nil {
+			status = "canceled"
+		}
+		cell.SetStatus(status, runErr.Error())
+	}
+	cell.End()
 	return s.runResultLocked(), runErr
 }
 
@@ -474,17 +622,21 @@ func (s *session) appendTrace(d telemetry.Decision) {
 }
 
 // traceSince returns the buffered decisions with absolute index >= since,
-// plus the next offset to poll from.
-func (s *session) traceSince(since int) (recs []telemetry.Decision, next int) {
+// plus the next offset to poll from and whether the offset had fallen
+// behind the ring (decisions between it and the oldest retained record
+// were dropped — the caller must know it missed data rather than
+// silently resuming).
+func (s *session) traceSince(since int) (recs []telemetry.Decision, next int, truncated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if since < s.traceBase {
+		truncated = true
 		since = s.traceBase
 	}
 	if rel := since - s.traceBase; rel < len(s.traceBuf) {
 		recs = append(recs, s.traceBuf[rel:]...)
 	}
-	return recs, s.traceBase + len(s.traceBuf)
+	return recs, s.traceBase + len(s.traceBuf), truncated
 }
 
 // lookupJob finds an async handle by ID.

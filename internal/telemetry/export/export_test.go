@@ -68,6 +68,74 @@ func TestPrometheusSingleTypeHeaderPerFamily(t *testing.T) {
 	}
 }
 
+// TestPrometheusLabelEscapingRoundTrip pushes hostile label values —
+// backslashes, quotes, newlines — through the exporter and back through
+// the validating parser: the values must survive exactly, and nothing in
+// the output may break line framing.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	r := telemetry.NewRegistry()
+	hostile := map[string]string{
+		"quoted":  `say "hi"`,
+		"slashed": `C:\temp\x`,
+		"newline": "line1\nline2",
+		"mixed":   "a\\\"b\nc",
+	}
+	for k, v := range hostile {
+		r.Counter("avfs_escape_total", "escape test", telemetry.Label{Key: "case", Value: v},
+			telemetry.Label{Key: "name", Value: k}).Add(1)
+	}
+	var buf bytes.Buffer
+	if err := Prometheus(&buf, r); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	ms, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped export does not parse:\n%s\nerror: %v", buf.String(), err)
+	}
+	for k, v := range hostile {
+		m, ok := Find(ms, "avfs_escape_total", map[string]string{"name": k})
+		if !ok {
+			t.Errorf("case %s missing from parsed export", k)
+			continue
+		}
+		if m.Labels["case"] != v {
+			t.Errorf("case %s: round-tripped %q, want %q", k, m.Labels["case"], v)
+		}
+	}
+}
+
+// TestPrometheusApproxQuantiles checks the derived _approx_quantile
+// gauge family: present, typed, one series per requested quantile, and
+// consistent with BucketQuantile on the same data.
+func TestPrometheusApproxQuantiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Prometheus(&buf, testRegistry()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE avfs_test_latency_seconds_approx_quantile gauge"); n != 1 {
+		t.Fatalf("quantile family TYPE line appears %d times, want 1:\n%s", n, out)
+	}
+	ms, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("export does not parse: %v", err)
+	}
+	// testRegistry's histogram: 0.005, 0.05, 5 over bounds {0.01, 0.1, 1}.
+	want := telemetry.BucketQuantile([]float64{0.01, 0.1, 1}, []int64{1, 1, 0, 1}, 0.5)
+	m, ok := Find(ms, "avfs_test_latency_seconds_approx_quantile", map[string]string{"quantile": "0.5"})
+	if !ok {
+		t.Fatal("missing approx-quantile series for quantile=0.5")
+	}
+	if math.Abs(m.Value-want) > 1e-9 {
+		t.Errorf("exported p50 = %v, want %v", m.Value, want)
+	}
+	for _, q := range []string{"0.9", "0.99", "0.999"} {
+		if _, ok := Find(ms, "avfs_test_latency_seconds_approx_quantile", map[string]string{"quantile": q}); !ok {
+			t.Errorf("missing approx-quantile series for quantile=%s", q)
+		}
+	}
+}
+
 func TestParsePrometheusRejectsGarbage(t *testing.T) {
 	bad := []string{
 		"no_value_metric\n",

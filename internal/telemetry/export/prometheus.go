@@ -36,7 +36,32 @@ func Prometheus(w io.Writer, reg *telemetry.Registry) error {
 			writeHistogram(bw, s)
 			continue
 		}
-		fmt.Fprintf(bw, "%s %s\n", s.Full, formatValue(s.Value))
+		fmt.Fprintf(bw, "%s %s\n", telemetryName(s.Name, s.Labels), formatValue(s.Value))
+	}
+	// Derived approximate quantiles for every histogram family, emitted
+	// after the main loop so each _approx_quantile family stays contiguous
+	// under a single TYPE line even when the source family has many label
+	// sets.
+	quantileDone := map[string]bool{}
+	for _, s := range samples {
+		if s.Kind != telemetry.KindHistogram {
+			continue
+		}
+		qname := s.Name + "_approx_quantile"
+		if !quantileDone[qname] {
+			quantileDone[qname] = true
+			fmt.Fprintf(bw, "# HELP %s Approximate quantiles of %s (linear interpolation within fixed buckets).\n", qname, s.Name)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", qname)
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			v := telemetry.BucketQuantile(s.Bounds, s.Buckets, q.q)
+			labels := append(append([]telemetry.Label(nil), s.Labels...),
+				telemetry.Label{Key: "quantile", Value: q.label})
+			fmt.Fprintf(bw, "%s %s\n", telemetryName(qname, labels), formatValue(v))
+		}
 	}
 	return bw.Flush()
 }
@@ -57,7 +82,7 @@ func writeHistogram(w io.Writer, s telemetry.Sample) {
 	fmt.Fprintf(w, "%s %d\n", telemetryName(s.Name+"_count", s.Labels), cum)
 }
 
-// telemetryName renders name{labels} for derived series.
+// telemetryName renders name{labels} with exposition-format escaping.
 func telemetryName(name string, labels []telemetry.Label) string {
 	if len(labels) == 0 {
 		return name
@@ -69,9 +94,38 @@ func telemetryName(name string, labels []telemetry.Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: exactly backslash, double-quote and newline — and
+// nothing else. Go's %q is close but wrong: it escapes other control and
+// non-ASCII characters with \x/\u sequences the format does not define,
+// which scrapers reject or mis-decode.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }
 

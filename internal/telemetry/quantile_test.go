@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileInterpolation checks the linear-interpolation
+// estimator on a hand-computable distribution.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "", []float64{1, 2, 4})
+	// 10 observations uniform in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Median: rank 10 of 20 is the last observation of the first bucket
+	// (0,1] — interpolates to the bucket's upper bound.
+	if got := h.Quantile(0.5); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.0", got)
+	}
+	// rank 15 is 5/10 through bucket (1,2] -> 1.5.
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+	// First observation interpolates 1/10 into (0,1].
+	if got := h.Quantile(0); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("p0 = %v, want 0.1", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("p100 = %v, want 2.0", got)
+	}
+}
+
+// TestHistogramQuantileEdges covers the empty, +Inf-bucket and clamping
+// contracts.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_edge", "", []float64{1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf
+	// +Inf bucket clamps to the last finite bound.
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("+Inf-bucket quantile = %v, want last bound 10", got)
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Errorf("q>1 must clamp to q=1")
+	}
+	if got := BucketQuantile(nil, []int64{5}, 0.5); got != 0 {
+		t.Errorf("boundless histogram quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed operation of a causal request trace: what ran,
+// how long it took, and the links that stitch the operations of one
+// request into a tree. Spans carry three correlation identities — the
+// request ID minted by the HTTP middleware, the session the work belongs
+// to, and the async job handle (when the work outlived its request) — so
+// a single request can be followed from the HTTP edge through the actor
+// mailbox, the worker pool and the simulator's tick-batch commits.
+//
+// Timestamps are monotonic: StartNs is nanoseconds since the owning
+// ring's epoch (never wall time, so spans order correctly across clock
+// adjustments), DurationNs is the span's measured length.
+type Span struct {
+	// ID is process-unique (NextSpanID); Parent links the span into its
+	// request tree, 0 marks a root.
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"`
+	// Request/Session/Job are the correlation identities (any may be
+	// empty: library callers have no request ID, sync runs no job).
+	Request string `json:"request_id,omitempty"`
+	Session string `json:"session,omitempty"`
+	Job     string `json:"job,omitempty"`
+	// Name classifies the operation ("http.request", "actor.queue",
+	// "job", "runner.cell", "sim.advance").
+	Name string `json:"name"`
+	// StartNs is monotonic nanoseconds since the ring epoch.
+	StartNs    int64 `json:"start_ns"`
+	DurationNs int64 `json:"duration_ns"`
+	// Ticks counts simulator tick commits covered by the span (advance
+	// spans only).
+	Ticks uint64 `json:"ticks,omitempty"`
+	// Status is "" for success, "error" or "canceled" otherwise.
+	Status string `json:"status,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// spanIDs allocates process-unique span IDs. A process-wide allocator —
+// rather than per-ring — lets a span's ID be minted before the owning
+// session (and therefore ring) is known, which is exactly the HTTP
+// middleware's situation.
+var spanIDs atomic.Int64
+
+// NextSpanID returns a fresh process-unique span ID (first ID is 1; 0
+// always means "no span").
+func NextSpanID() int64 { return spanIDs.Add(1) }
+
+// spanRec stamps a stored span with its absolute ring index, so readers
+// can detect a slot that was overwritten underneath their cursor.
+type spanRec struct {
+	abs int64
+	sp  Span
+}
+
+// SpanRing is a bounded lock-free ring of completed spans with an
+// absolute-index cursor, the span analogue of the session decision-trace
+// ring: writers never block (an atomic fetch-add claims a slot, an atomic
+// pointer store publishes the record), the newest capacity records are
+// retained, and Since reports — rather than silently skips — a cursor
+// that has fallen off the retained window.
+type SpanRing struct {
+	epoch time.Time
+	slots []atomic.Pointer[spanRec]
+	head  atomic.Int64 // absolute index of the next record to be written
+}
+
+// DefaultSpanCap is the default per-session ring capacity. A request
+// produces a handful of spans and a long run a few dozen (chunk spans are
+// budgeted, see the service layer), so 4096 holds the recent window of
+// even a busy session.
+const DefaultSpanCap = 4096
+
+// NewSpanRing creates a ring retaining the newest capacity spans
+// (<= 0 selects DefaultSpanCap).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanRing{epoch: time.Now(), slots: make([]atomic.Pointer[spanRec], capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Now returns monotonic nanoseconds since the ring epoch — the StartNs
+// timebase.
+func (r *SpanRing) Now() int64 { return time.Since(r.epoch).Nanoseconds() }
+
+// Stamp converts a time.Time captured by the caller into the ring's
+// monotonic StartNs timebase.
+func (r *SpanRing) Stamp(t time.Time) int64 { return t.Sub(r.epoch).Nanoseconds() }
+
+// Append publishes one completed span. A zero ID is filled from
+// NextSpanID. Safe for concurrent use; a nil ring drops the span (the
+// tracing-off path costs one nil check).
+func (r *SpanRing) Append(sp Span) {
+	if r == nil {
+		return
+	}
+	if sp.ID == 0 {
+		sp.ID = NextSpanID()
+	}
+	idx := r.head.Add(1) - 1
+	r.slots[idx%int64(len(r.slots))].Store(&spanRec{abs: idx, sp: sp})
+}
+
+// Len returns how many spans have ever been appended (the next cursor).
+func (r *SpanRing) Len() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Since returns the retained spans with absolute index >= cursor in
+// append order, the next cursor to poll from, and whether the cursor had
+// fallen behind the retained window (records between the cursor and the
+// oldest retained span were dropped — the caller must know it missed
+// data rather than silently resuming).
+func (r *SpanRing) Since(cursor int64) (spans []Span, next int64, truncated bool) {
+	if r == nil {
+		return nil, 0, false
+	}
+	head := r.head.Load()
+	oldest := head - int64(len(r.slots))
+	if oldest < 0 {
+		oldest = 0
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor < oldest {
+		truncated = true
+		cursor = oldest
+	}
+	for i := cursor; i < head; i++ {
+		rec := r.slots[i%int64(len(r.slots))].Load()
+		if rec == nil || rec.abs != i {
+			// nil / stale: a writer claimed the slot but has not published
+			// yet; newer: the record was overwritten after we read head.
+			if rec != nil && rec.abs > i {
+				truncated = true
+			}
+			continue
+		}
+		spans = append(spans, rec.sp)
+	}
+	return spans, head, truncated
+}
+
+// SpanHandle is an in-flight span: Start stamps the begin time, End
+// measures the duration and publishes to the ring. Every method is
+// nil-safe so call sites need no tracing-enabled branches.
+type SpanHandle struct {
+	ring  *SpanRing
+	start time.Time
+	sp    Span
+}
+
+// Start opens a span on the ring. parent is the enclosing span's ID (0
+// for a root); request is the correlation ID. Returns nil on a nil ring.
+func (r *SpanRing) Start(name string, parent int64, request string) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	return &SpanHandle{
+		ring:  r,
+		start: now,
+		sp: Span{
+			ID:      NextSpanID(),
+			Parent:  parent,
+			Request: request,
+			Name:    name,
+			StartNs: r.Stamp(now),
+		},
+	}
+}
+
+// ID returns the span's ID (0 on a nil handle), for parenting children.
+func (h *SpanHandle) ID() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sp.ID
+}
+
+// SetSession attaches the session correlation identity.
+func (h *SpanHandle) SetSession(id string) {
+	if h != nil {
+		h.sp.Session = id
+	}
+}
+
+// SetJob attaches the async-job correlation identity.
+func (h *SpanHandle) SetJob(id string) {
+	if h != nil {
+		h.sp.Job = id
+	}
+}
+
+// SetStatus records the outcome ("" = ok) and an optional detail.
+func (h *SpanHandle) SetStatus(status, detail string) {
+	if h != nil {
+		h.sp.Status = status
+		h.sp.Detail = detail
+	}
+}
+
+// AddTicks accumulates simulator tick commits covered by the span.
+func (h *SpanHandle) AddTicks(n uint64) {
+	if h != nil {
+		h.sp.Ticks += n
+	}
+}
+
+// End stamps the duration and publishes the span.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.sp.DurationNs = time.Since(h.start).Nanoseconds()
+	h.ring.Append(h.sp)
+}

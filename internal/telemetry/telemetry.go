@@ -172,6 +172,65 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// Quantile returns an approximate q-quantile of the observed
+// distribution by linear interpolation within the bucket the exact rank
+// falls in (the classic Prometheus histogram_quantile estimator). The
+// error is bounded by the width of that bucket: exact only if
+// observations are uniform within it. Observations above the last finite
+// bound clamp to that bound (the +Inf bucket has no width to interpolate
+// over). q is clamped to [0,1]; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return BucketQuantile(h.bounds, h.BucketCounts(), q)
+}
+
+// BucketQuantile is Histogram.Quantile over raw gathered data: bounds
+// are ascending upper bounds and buckets the per-bucket non-cumulative
+// counts with the +Inf bucket last (the Sample.Bounds/Sample.Buckets
+// layout), so exporters and offline analysis can compute quantiles from
+// a snapshot without the live histogram.
+func BucketQuantile(bounds []float64, buckets []int64, q float64) float64 {
+	var n int64
+	for _, c := range buckets {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := math.Ceil(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		// Position of the rank within this bucket's count.
+		into := rank - float64(cum-c)
+		return lo + (hi-lo)*into/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Sample is one gathered metric value. For histograms Value holds the
 // observation count and the distribution fields are populated.
 type Sample struct {

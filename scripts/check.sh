@@ -2,9 +2,10 @@
 # Full repository check: vet, build, race-enabled tests, the
 # telemetry-overhead benchmark, the simulator hot-path benchmark, the
 # experiment-runner speedup gate, the characterization-store memoization
-# gate, and the control-plane throughput gate. The benchmarks' JSON
-# summaries are written to BENCH_telemetry.json, BENCH_sim.json,
-# BENCH_experiments.json, BENCH_cache.json and BENCH_service.json at the
+# gate, the control-plane throughput gate, and the request-tracing
+# overhead gate. The benchmarks' JSON summaries are written to
+# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
+# BENCH_cache.json, BENCH_service.json and BENCH_trace.json at the
 # repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
 # EXPERIMENTS.md and docs/API.md).
 set -eu
@@ -54,5 +55,12 @@ AVFS_BENCH_SERVICE_OUT="$(pwd)/BENCH_service.json" \
 
 echo "==> BENCH_service.json"
 cat BENCH_service.json
+
+echo "==> request-tracing overhead benchmark (RunSync traced vs untraced)"
+AVFS_BENCH_TRACE_OUT="$(pwd)/BENCH_trace.json" \
+	go test ./internal/service -run TestTraceOverheadBudget -count=1 -v
+
+echo "==> BENCH_trace.json"
+cat BENCH_trace.json
 
 echo "OK"
