@@ -2,10 +2,11 @@
 # race-enabled tests + the telemetry-overhead benchmark + the simulator
 # hot-path benchmark + the experiment-runner speedup benchmark + the
 # characterization-store memoization benchmark + the control-plane
-# throughput benchmark + the request-tracing overhead benchmark, which
-# record their JSON summaries in BENCH_telemetry.json, BENCH_sim.json,
-# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json and
-# BENCH_trace.json).
+# throughput benchmark + the request-tracing overhead benchmark + the
+# snapshot restore-and-replay benchmark, which record their JSON
+# summaries in BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
+# BENCH_trace.json and BENCH_snapshot.json).
 
 GO ?= go
 
@@ -41,6 +42,8 @@ bench:
 		$(GO) test ./internal/service -run TestServiceThroughputBudget -count=1 -v
 	AVFS_BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json \
 		$(GO) test ./internal/service -run TestTraceOverheadBudget -count=1 -v
+	AVFS_BENCH_SNAPSHOT_OUT=$(CURDIR)/BENCH_snapshot.json \
+		$(GO) test ./internal/sim -run TestSnapshotRestoreBudget -count=1 -v
 
 clean:
 	$(GO) clean ./...

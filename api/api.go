@@ -22,6 +22,7 @@ const (
 	CodeSessionNotFound  = "session_not_found"
 	CodeJobNotFound      = "job_not_found"
 	CodeConflict         = "conflict"
+	CodeSnapshotNotFound = "snapshot_not_found"
 	CodeNoSafeVmin       = "no_safe_vmin"
 	CodeNotIdle          = "not_idle"
 	CodeBusy             = "busy"
@@ -66,6 +67,7 @@ var (
 	ErrSessionNotFound  = &Error{Code: CodeSessionNotFound}
 	ErrJobNotFound      = &Error{Code: CodeJobNotFound}
 	ErrConflict         = &Error{Code: CodeConflict}
+	ErrSnapshotNotFound = &Error{Code: CodeSnapshotNotFound}
 	ErrNoSafeVmin       = &Error{Code: CodeNoSafeVmin}
 	ErrBusy             = &Error{Code: CodeBusy}
 	ErrFleetFull        = &Error{Code: CodeFleetFull}
@@ -297,4 +299,129 @@ type Characterization struct {
 	// (simulated now), "memory" or "disk".
 	Source string              `json:"source"`
 	Levels []CharacterizeLevel `json:"levels,omitempty"`
+}
+
+// Snapshot is the response of POST /v1/sessions/{id}/snapshot: the
+// content address of the captured state plus the identity needed to know
+// what was captured. The ID is the sha256 of the serialized state, so
+// identical states dedupe to one snapshot and a stored snapshot cannot be
+// silently altered.
+type Snapshot struct {
+	ID      string  `json:"id"`
+	Session string  `json:"session"`
+	Model   string  `json:"model"`
+	Policy  string  `json:"policy"`
+	Now     float64 `json:"now_seconds"`
+	Ticks   uint64  `json:"ticks"`
+	EnergyJ float64 `json:"energy_joules"`
+	// Processes counts every process the snapshot carries (pending,
+	// running and finished).
+	Processes int `json:"processes"`
+}
+
+// ForkRequest branches a new session off a snapshot:
+// POST /v1/sessions/{id}/fork. With SnapshotID empty the server captures
+// the session's current state first (snapshot + fork in one call).
+type ForkRequest struct {
+	// SnapshotID names a previously captured snapshot; "" snapshots now.
+	SnapshotID string `json:"snapshot_id,omitempty"`
+	// Policy optionally flips the child to a different Table IV
+	// configuration at birth; "" inherits the snapshot's policy.
+	Policy string `json:"policy,omitempty"`
+	// TTLSeconds overrides the child's idle-reaping deadline; 0 inherits
+	// the fleet default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// Fork is the response of POST /v1/sessions/{id}/fork: the snapshot the
+// child was built from plus the child's public state.
+type Fork struct {
+	SnapshotID string  `json:"snapshot_id"`
+	Session    Session `json:"session"`
+}
+
+// WhatIfBranchSpec configures one branch of a what-if comparison. The
+// zero value replays the snapshot unchanged (a control branch).
+type WhatIfBranchSpec struct {
+	// Name labels the branch in the report (default: derived from the
+	// overrides, e.g. the policy name).
+	Name string `json:"name,omitempty"`
+	// Policy flips the branch to a Table IV configuration; "" inherits
+	// the snapshot's policy.
+	Policy string `json:"policy,omitempty"`
+	// PowerCapW attaches a socket power-cap governor with this budget
+	// (watts); 0 means no cap.
+	PowerCapW float64 `json:"power_cap_watts,omitempty"`
+	// Placement re-places every running process's threads ("clustered" or
+	// "spreaded") before the branch runs; "" keeps the snapshot placement.
+	Placement string `json:"placement,omitempty"`
+}
+
+// WhatIfRequest branches N hypothetical futures from one snapshot and
+// advances them in parallel: POST /v1/sessions/{id}/whatif. Branches are
+// transient — they never become sessions and vanish after the report.
+type WhatIfRequest struct {
+	// SnapshotID names the branch point; "" snapshots the session now.
+	SnapshotID string `json:"snapshot_id,omitempty"`
+	// Seconds of simulated time each branch advances (required), or, with
+	// UntilIdle, the budget after which a branch stops regardless.
+	Seconds float64 `json:"seconds"`
+	// UntilIdle stops each branch as soon as it has no work left.
+	UntilIdle bool `json:"until_idle,omitempty"`
+	// Branches lists the futures to compare. Empty defaults to the four
+	// Table IV policies (baseline, safe-vmin, placement, optimal).
+	Branches []WhatIfBranchSpec `json:"branches,omitempty"`
+}
+
+// WhatIfBranch reports one branch's outcome over the what-if window
+// (deltas are measured from the snapshot point, not session birth).
+type WhatIfBranch struct {
+	Name      string  `json:"name"`
+	Policy    string  `json:"policy"`
+	PowerCapW float64 `json:"power_cap_watts,omitempty"`
+	Placement string  `json:"placement,omitempty"`
+	// Error is set when the branch failed to build or run; the metric
+	// fields below are then zero and excluded from the comparison.
+	Error *Error `json:"error,omitempty"`
+
+	Now     float64 `json:"now_seconds"`
+	Ticks   uint64  `json:"ticks"`
+	Seconds float64 `json:"seconds"`
+	// EnergyJ is the energy spent within the window; AvgPowerW is
+	// EnergyJ/Seconds.
+	EnergyJ   float64 `json:"energy_joules"`
+	AvgPowerW float64 `json:"avg_power_watts"`
+	// Completed counts processes that finished within the window;
+	// Running/Pending describe the branch at window end.
+	Completed int `json:"completed"`
+	Running   int `json:"running"`
+	Pending   int `json:"pending"`
+	// MakespanS is the window time until the last in-window completion (0
+	// when nothing completed); P50/P99RuntimeS summarize the runtimes of
+	// in-window completions (nearest-rank).
+	MakespanS   float64 `json:"makespan_seconds"`
+	P50RuntimeS float64 `json:"p50_runtime_seconds"`
+	P99RuntimeS float64 `json:"p99_runtime_seconds"`
+	// Emergencies counts voltage-emergency events within the window;
+	// VoltageMV is the branch's voltage at window end.
+	Emergencies int `json:"emergencies"`
+	VoltageMV   int `json:"voltage_mv"`
+}
+
+// WhatIfReport is the response of POST /v1/sessions/{id}/whatif: every
+// branch's outcome over the same window from the same snapshot, plus the
+// best branch per axis (ties break to the first listed).
+type WhatIfReport struct {
+	Session    string  `json:"session"`
+	SnapshotID string  `json:"snapshot_id"`
+	BaseNow    float64 `json:"base_now_seconds"`
+	BaseTicks  uint64  `json:"base_ticks"`
+	Seconds    float64 `json:"seconds"`
+
+	Branches []WhatIfBranch `json:"branches"`
+	// BestEnergy/BestPerf name the branch with the lowest window energy
+	// and the most in-window completions (makespan breaks completion
+	// ties); "" when no branch succeeded.
+	BestEnergy string `json:"best_energy,omitempty"`
+	BestPerf   string `json:"best_perf,omitempty"`
 }

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +38,11 @@ type Client struct {
 	http *http.Client
 	// PollInterval paces WaitJob's status polling (default 50 ms).
 	PollInterval time.Duration
+	// MaxRetryAfter caps how long WaitJob honors a server Retry-After
+	// hint on 429 busy responses (default 2 s). The cap keeps a
+	// misbehaving or heavily loaded server from parking the client for
+	// minutes on one poll.
+	MaxRetryAfter time.Duration
 }
 
 // New builds a client for a server base URL (e.g. "http://host:8080").
@@ -197,24 +203,46 @@ func (c *Client) CancelJob(ctx context.Context, id, jobID string) (api.Job, erro
 }
 
 // WaitJob polls an async handle until it leaves the queued/running states
-// or ctx ends.
+// or ctx ends. A 429 busy answer (the server's pool-saturation
+// backpressure) does not fail the wait: the client backs off for the
+// server's Retry-After hint — capped at MaxRetryAfter — and polls again,
+// instead of hammering a saturated server at PollInterval.
 func (c *Client) WaitJob(ctx context.Context, id, jobID string) (api.Job, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	maxRetry := c.MaxRetryAfter
+	if maxRetry <= 0 {
+		maxRetry = 2 * time.Second
+	}
 	for {
 		j, err := c.Job(ctx, id, jobID)
-		if err != nil {
+		switch {
+		case err == nil:
+			if j.Status != api.JobQueued && j.Status != api.JobRunning {
+				return j, nil
+			}
+		case errors.Is(err, api.ErrBusy):
+			// Back off per the server's hint, then fall through to the
+			// regular poll pacing below.
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) && apiErr.RetryAfterSec > 0 {
+				wait := time.Duration(apiErr.RetryAfterSec) * time.Second
+				if wait > maxRetry {
+					wait = maxRetry
+				}
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return api.Job{}, ctx.Err()
+				}
+			}
+		default:
 			return api.Job{}, err
 		}
-		if j.Status != api.JobQueued && j.Status != api.JobRunning {
-			return j, nil
-		}
 		select {
-		case <-t.C:
+		case <-time.After(interval):
 		case <-ctx.Done():
 			return j, ctx.Err()
 		}
@@ -248,8 +276,9 @@ func (c *Client) Characterize(ctx context.Context, id string, req api.Characteri
 }
 
 // Trace fetches a session's decision trace as raw JSONL lines from an
-// absolute offset, returning the next offset to poll from.
-func (c *Client) Trace(ctx context.Context, id string, since int) (lines []string, next int, err error) {
+// absolute offset, returning the next offset to poll from. The cursor is
+// int64, matching the /spans cursor and the server's ring indices.
+func (c *Client) Trace(ctx context.Context, id string, since int64) (lines []string, next int64, err error) {
 	path := fmt.Sprintf("/v1/sessions/%s/trace?since=%d", url.PathEscape(id), since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -263,7 +292,7 @@ func (c *Client) Trace(ctx context.Context, id string, since int) (lines []strin
 	if resp.StatusCode >= 400 {
 		return nil, 0, decodeError(resp)
 	}
-	next, _ = strconv.Atoi(resp.Header.Get("X-Trace-Next"))
+	next, _ = strconv.ParseInt(resp.Header.Get("X-Trace-Next"), 10, 64)
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: read trace: %w", err)
@@ -274,6 +303,34 @@ func (c *Client) Trace(ctx context.Context, id string, since int) (lines []strin
 		}
 	}
 	return lines, next, nil
+}
+
+// Snapshot captures a session's complete (machine, daemon) state into the
+// server's content-addressed snapshot store, returning the snapshot's
+// identity. A 409 conflict means a fail-safe voltage transition was in
+// flight; retry shortly.
+func (c *Client) Snapshot(ctx context.Context, id string) (api.Snapshot, error) {
+	var s api.Snapshot
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/snapshot", nil, &s)
+	return s, err
+}
+
+// Fork branches a new session off a snapshot of an existing one. With an
+// empty SnapshotID the server snapshots the session first. The child
+// replays deterministically from the branch point.
+func (c *Client) Fork(ctx context.Context, id string, req api.ForkRequest) (api.Fork, error) {
+	var fk api.Fork
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/fork", req, &fk)
+	return fk, err
+}
+
+// WhatIf compares N hypothetical futures branched from one snapshot of a
+// session — different Table IV policies, power caps or placements — and
+// returns the server's compared report.
+func (c *Client) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (api.WhatIfReport, error) {
+	var rep api.WhatIfReport
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/whatif", req, &rep)
+	return rep, err
 }
 
 // SLO reads a session's tail-latency SLO surface: request- and

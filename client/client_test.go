@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -94,7 +95,7 @@ func TestEndToEndSessionFlow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Trace: %v", err)
 	}
-	if len(lines) == 0 || next != len(lines) {
+	if len(lines) == 0 || next != int64(len(lines)) {
 		t.Fatalf("trace: %d lines, next=%d", len(lines), next)
 	}
 	var rec map[string]any
@@ -515,5 +516,117 @@ func TestCharacterizeOverHTTP(t *testing.T) {
 		if !strings.Contains(string(body), metric) {
 			t.Errorf("fleet /metrics missing %q", metric)
 		}
+	}
+}
+
+// TestWaitJobHonorsRetryAfter is the 429 regression test: a saturated
+// server answering the job poll with 429 + Retry-After must make WaitJob
+// back off per the hint (capped at MaxRetryAfter) and keep polling — not
+// bail out, and not hammer at PollInterval.
+func TestWaitJobHonorsRetryAfter(t *testing.T) {
+	const busyPolls = 3
+	var polls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || !strings.HasSuffix(r.URL.Path, "/jobs/j-1") {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		n := polls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n <= busyPolls {
+			// What the fleet sends when the run pool is saturated.
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"code":"busy","message":"run queue full"}`)
+			return
+		}
+		json.NewEncoder(w).Encode(api.Job{ID: "j-1", Status: api.JobDone})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	c.PollInterval = time.Millisecond
+	c.MaxRetryAfter = 20 * time.Millisecond
+
+	start := time.Now()
+	job, err := c.WaitJob(context.Background(), "s-1", "j-1")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("WaitJob through 429s: %v", err)
+	}
+	if job.Status != api.JobDone {
+		t.Fatalf("job = %+v, want done", job)
+	}
+	if got := polls.Load(); got != busyPolls+1 {
+		t.Errorf("server saw %d polls, want %d (every 429 retried exactly once)", got, busyPolls+1)
+	}
+	// Each 429 waits min(Retry-After, MaxRetryAfter) = 20 ms: the total
+	// must show real backoff, yet stay far under the uncapped 3 s.
+	if elapsed < time.Duration(busyPolls)*c.MaxRetryAfter {
+		t.Errorf("finished in %v; backoff shorter than %d x %v", elapsed, busyPolls, c.MaxRetryAfter)
+	}
+	if elapsed > time.Second {
+		t.Errorf("finished in %v; the MaxRetryAfter cap did not apply", elapsed)
+	}
+
+	// A context cancelled mid-backoff unblocks promptly.
+	polls.Store(0)
+	c.MaxRetryAfter = 10 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.WaitJob(ctx, "s-1", "j-1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled WaitJob = %v, want deadline exceeded", err)
+	}
+}
+
+// TestSnapshotForkWhatIfOverHTTP drives the branching surface end to end:
+// snapshot a mid-run session, fork a child, and run a what-if comparison.
+func TestSnapshotForkWhatIfOverHTTP(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	ctx := context.Background()
+
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{Policy: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, s.ID, api.SubmitRequest{Benchmark: "CG", Threads: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, s.ID, 30); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Snapshot(ctx, s.ID)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap.ID == "" || snap.Now != 30 {
+		t.Fatalf("bad snapshot: %+v", snap)
+	}
+
+	fork, err := c.Fork(ctx, s.ID, api.ForkRequest{SnapshotID: snap.ID, Policy: "optimal"})
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if fork.Session.Policy != "optimal" || fork.Session.Now != 30 {
+		t.Fatalf("bad fork: %+v", fork.Session)
+	}
+
+	rep, err := c.WhatIf(ctx, s.ID, api.WhatIfRequest{SnapshotID: snap.ID, Seconds: 30})
+	if err != nil {
+		t.Fatalf("WhatIf: %v", err)
+	}
+	if rep.SnapshotID != snap.ID || len(rep.Branches) != 4 || rep.BestEnergy == "" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	for _, br := range rep.Branches {
+		if br.Error != nil {
+			t.Errorf("branch %q: %+v", br.Name, br.Error)
+		}
+	}
+
+	if _, err := c.Fork(ctx, s.ID, api.ForkRequest{SnapshotID: "nope"}); !errors.Is(err, api.ErrSnapshotNotFound) {
+		t.Errorf("bogus fork = %v, want ErrSnapshotNotFound", err)
 	}
 }

@@ -8,8 +8,8 @@
 //
 //	avfs-server [-addr :8080] [-max-sessions 256] [-ttl 15m]
 //	            [-workers N] [-queue M] [-chunk 1.0] [-cache-dir DIR]
-//	            [-access-log PATH] [-slow-ms 1000] [-slo-window 1m]
-//	            [-pprof-addr ADDR] [-no-trace]
+//	            [-snapshot-dir DIR] [-access-log PATH] [-slow-ms 1000]
+//	            [-slo-window 1m] [-pprof-addr ADDR] [-no-trace]
 //
 // Flags:
 //
@@ -21,6 +21,8 @@
 //	-chunk         simulated seconds a run holds its session lock for
 //	-cache-dir     persist characterization datasets under this directory,
 //	               so the fleet's content-addressed store survives restarts
+//	-snapshot-dir  persist session snapshots under this directory, so fork
+//	               and what-if can resolve snapshot ids across restarts
 //	-access-log    JSONL access log: a file path, or "-" for stderr
 //	-slow-ms       slow-request threshold in milliseconds; slow requests
 //	               are flagged in the access log and mirrored to stderr
@@ -62,6 +64,7 @@ func main() {
 	queue := flag.Int("queue", 0, "run admission queue depth (0 = 4x workers)")
 	chunk := flag.Float64("chunk", 1.0, "simulated seconds per session-lock hold")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
+	snapshotDir := flag.String("snapshot-dir", "", "persist session snapshots under this directory (default: in-process only)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain budget before forcing shutdown")
 	accessLog := flag.String("access-log", "", `JSONL access log path ("-" = stderr, "" = off)`)
 	slowMS := flag.Int("slow-ms", 1000, "slow-request threshold in milliseconds")
@@ -92,6 +95,7 @@ func main() {
 		Queue:       *queue,
 		RunChunk:    *chunk,
 		CacheDir:    *cacheDir,
+		SnapshotDir: *snapshotDir,
 		AccessLog:   accessW,
 		SlowLog:     os.Stderr,
 		SlowRequest: time.Duration(*slowMS) * time.Millisecond,

@@ -150,3 +150,47 @@ func (m Measurement) IPC() float64 {
 	}
 	return float64(m.Instructions) / float64(m.Cycles)
 }
+
+// SampleState is the serializable form of an open measurement window,
+// used by the daemon's snapshot machinery so a restored controller sees
+// exactly the window the original had open.
+type SampleState struct {
+	Cores  []int    `json:"cores"`
+	Cycle0 []uint64 `json:"cycle0"`
+	L3C0   []uint64 `json:"l3c0"`
+	Instr0 []uint64 `json:"instr0"`
+}
+
+// State captures the window's base readings.
+func (s *Sample) State() SampleState {
+	st := SampleState{
+		Cycle0: append([]uint64(nil), s.cycle0...),
+		L3C0:   append([]uint64(nil), s.l3c0...),
+		Instr0: append([]uint64(nil), s.instr0...),
+	}
+	for _, c := range s.cores {
+		st.Cores = append(st.Cores, int(c))
+	}
+	return st
+}
+
+// Reopen reconstructs an open window from captured base readings without
+// re-reading the counters (the two-read protocol's first read already
+// happened on the original machine).
+func (d *DeltaSampler) Reopen(st SampleState) (*Sample, error) {
+	n := len(st.Cores)
+	if len(st.Cycle0) != n || len(st.L3C0) != n || len(st.Instr0) != n {
+		return nil, fmt.Errorf("perfmon: sample state shape mismatch (%d cores, %d/%d/%d readings)",
+			n, len(st.Cycle0), len(st.L3C0), len(st.Instr0))
+	}
+	s := &Sample{
+		pmu:    d.PMU,
+		cycle0: append([]uint64(nil), st.Cycle0...),
+		l3c0:   append([]uint64(nil), st.L3C0...),
+		instr0: append([]uint64(nil), st.Instr0...),
+	}
+	for _, c := range st.Cores {
+		s.cores = append(s.cores, chip.CoreID(c))
+	}
+	return s, nil
+}

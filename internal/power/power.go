@@ -259,3 +259,21 @@ func (e *Meter) Peak() float64 { return e.peakW }
 
 // Reset clears the meter.
 func (e *Meter) Reset() { *e = Meter{} }
+
+// MeterState is the serializable state of a Meter (see the session
+// snapshot machinery in internal/sim).
+type MeterState struct {
+	EnergyJ float64 `json:"energy_j"`
+	Seconds float64 `json:"seconds"`
+	PeakW   float64 `json:"peak_w"`
+}
+
+// State captures the meter's accumulators.
+func (e *Meter) State() MeterState {
+	return MeterState{EnergyJ: e.energyJ, Seconds: e.seconds, PeakW: e.peakW}
+}
+
+// Restore overwrites the meter with previously captured accumulators.
+func (e *Meter) Restore(st MeterState) {
+	e.energyJ, e.seconds, e.peakW = st.EnergyJ, st.Seconds, st.PeakW
+}

@@ -206,3 +206,22 @@ func (b *Baseline) SetEnabled(on bool) { b.disabled = !on }
 
 // Enabled reports whether the stack is active.
 func (b *Baseline) Enabled() bool { return !b.disabled }
+
+// BaselineState is the serializable controller state of a Baseline stack,
+// captured by the fleet's session snapshots.
+type BaselineState struct {
+	Disabled   bool    `json:"disabled"`
+	NextSample float64 `json:"next_sample"`
+}
+
+// CaptureState snapshots the stack's mutable state.
+func (b *Baseline) CaptureState() BaselineState {
+	return BaselineState{Disabled: b.disabled, NextSample: b.Governor.nextSample}
+}
+
+// RestoreState overwrites the stack's mutable state from a snapshot. The
+// stack must already be attached to the restored machine.
+func (b *Baseline) RestoreState(st BaselineState) {
+	b.disabled = st.Disabled
+	b.Governor.nextSample = st.NextSample
+}

@@ -52,6 +52,10 @@ var (
 	ErrDraining = errors.New("service: draining")
 	// ErrInvalidRequest rejects a malformed request body or parameter.
 	ErrInvalidRequest = errors.New("service: invalid request")
+	// ErrSnapshotNotFound reports a fork/what-if request naming a snapshot
+	// id the store cannot resolve (never stored, corrupted on disk, or
+	// written by an incompatible format version).
+	ErrSnapshotNotFound = errors.New("service: snapshot not found")
 
 	// ErrBusy is the pool-saturation backpressure signal (429 +
 	// Retry-After): every worker is busy and the admission queue is full.

@@ -39,6 +39,7 @@ const StatusClientClosed = 499
 var statusTable = []statusRule{
 	{target: ErrSessionNotFound, status: http.StatusNotFound, code: api.CodeSessionNotFound},
 	{target: ErrJobNotFound, status: http.StatusNotFound, code: api.CodeJobNotFound},
+	{target: ErrSnapshotNotFound, status: http.StatusNotFound, code: api.CodeSnapshotNotFound},
 	{target: workload.ErrUnknownBenchmark, status: http.StatusNotFound, code: api.CodeUnknownBenchmark},
 	{target: ErrUnknownModel, status: http.StatusBadRequest, code: api.CodeUnknownModel},
 	{target: ErrUnknownPolicy, status: http.StatusBadRequest, code: api.CodeUnknownPolicy},
@@ -87,6 +88,9 @@ func wireError(err error) *api.Error {
 //	GET    /v1/sessions/{id}/energy          meter + breakdown
 //	POST   /v1/sessions/{id}/characterize    safe-Vmin characterization (store-memoized)
 //	PUT    /v1/sessions/{id}/policy          flip Table IV policy
+//	POST   /v1/sessions/{id}/snapshot        capture full session state (content-addressed)
+//	POST   /v1/sessions/{id}/fork            branch a deterministic child session
+//	POST   /v1/sessions/{id}/whatif          compare N futures from one snapshot
 //	GET    /v1/sessions/{id}/trace?since=N   decision trace as JSONL
 //	GET    /v1/sessions/{id}/spans?since=N   request spans as JSONL
 //	GET    /v1/sessions/{id}/slo             tail-latency SLO quantiles
@@ -199,10 +203,31 @@ func (f *Fleet) Handler() http.Handler {
 		respond(w, http.StatusOK, s, err)
 	}))
 
+	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", sess(func(w http.ResponseWriter, r *http.Request) {
+		snap, err := f.Snapshot(r.PathValue("id"))
+		respond(w, http.StatusCreated, snap, err)
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", sess(func(w http.ResponseWriter, r *http.Request) {
+		var req api.ForkRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		fk, err := f.Fork(r.PathValue("id"), req)
+		respond(w, http.StatusCreated, fk, err)
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/whatif", sess(func(w http.ResponseWriter, r *http.Request) {
+		var req api.WhatIfRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		rep, err := f.WhatIf(r.Context(), r.PathValue("id"), req)
+		respond(w, http.StatusOK, rep, err)
+	}))
+
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", sess(func(w http.ResponseWriter, r *http.Request) {
-		since := 0
+		var since int64
 		if q := r.URL.Query().Get("since"); q != "" {
-			n, err := strconv.Atoi(q)
+			n, err := strconv.ParseInt(q, 10, 64)
 			if err != nil || n < 0 {
 				writeError(w, fmt.Errorf("%w: since=%q", ErrInvalidRequest, q))
 				return
@@ -215,7 +240,7 @@ func (f *Fleet) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
-		w.Header().Set("X-Trace-Next", strconv.Itoa(next))
+		w.Header().Set("X-Trace-Next", strconv.FormatInt(next, 10))
 		w.Header().Set("X-Trace-Truncated", strconv.FormatBool(truncated))
 		enc := json.NewEncoder(w)
 		for _, d := range recs {

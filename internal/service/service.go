@@ -12,6 +12,7 @@ import (
 
 	"avfs/api"
 	"avfs/internal/experiments/runner"
+	"avfs/internal/snapshot"
 	"avfs/internal/telemetry"
 	"avfs/internal/telemetry/export"
 	"avfs/internal/vmin/store"
@@ -40,6 +41,11 @@ type Config struct {
 	// every session, so identical characterize requests from different
 	// tenants are served from cache (see internal/vmin/store).
 	CacheDir string
+	// SnapshotDir enables the on-disk tier of the fleet's session-snapshot
+	// store: snapshots persist there across server restarts, so a fork can
+	// resolve a snapshot id taken by a previous process. "" (default) keeps
+	// snapshots in-process only (see internal/snapshot).
+	SnapshotDir string
 	// Clock substitutes wall time in tests (default time.Now).
 	Clock func() time.Time
 	// ReapEvery is the background reaper period (default 5 s; <0 disables
@@ -110,6 +116,9 @@ type Fleet struct {
 	// across every session, so tenants share cells and concurrent
 	// identical requests collapse onto one computation.
 	store *store.Store
+	// snaps holds content-addressed session snapshots — the state behind
+	// the fork and what-if endpoints.
+	snaps *snapshot.Store
 
 	// baseCtx parents every session context; Close cancels it, aborting
 	// whatever Drain left behind.
@@ -175,6 +184,7 @@ func New(cfg Config) *Fleet {
 		pool:     runner.NewPool(cfg.Workers, cfg.Queue, nil),
 		reg:      telemetry.NewRegistry(),
 		store:    store.New(cfg.CacheDir),
+		snaps:    snapshot.NewStore(cfg.SnapshotDir),
 		sessions: make(map[string]*session),
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
@@ -412,8 +422,12 @@ func (f *Fleet) Characterize(id string, req api.CharacterizeRequest) (api.Charac
 	if err != nil {
 		return api.Characterization{}, err
 	}
+	// A cold cell simulates a full characterization campaign — long enough
+	// for the TTL reaper to fire mid-computation. Bracket the store call so
+	// the session counts as busy and cannot be reaped under the request.
+	s.beginJob()
 	cz, src := f.store.Get(ch, cfg)
-	s.touch(f.cfg.Clock())
+	s.endJob(f.cfg.Clock())
 	out.SafeVminMV = int(cz.SafeVmin)
 	out.SafeFound = cz.SafeFound
 	out.TotalRuns = cz.TotalRuns
@@ -442,7 +456,7 @@ func (f *Fleet) SetPolicy(id, policy string) (api.Session, error) {
 // TraceSince returns a session's buffered decision records from an
 // absolute offset, plus the next offset to poll from and whether the
 // offset had fallen behind the ring (records were dropped).
-func (f *Fleet) TraceSince(id string, since int) ([]telemetry.Decision, int, bool, error) {
+func (f *Fleet) TraceSince(id string, since int64) ([]telemetry.Decision, int64, bool, error) {
 	s, err := f.lookup(id)
 	if err != nil {
 		return nil, 0, false, err

@@ -555,7 +555,7 @@ func TestTraceStream(t *testing.T) {
 	if truncated {
 		t.Error("fresh trace from offset 0 must not be truncated")
 	}
-	if len(recs) == 0 || next != len(recs) {
+	if len(recs) == 0 || next != int64(len(recs)) {
 		t.Fatalf("trace: %d records, next=%d", len(recs), next)
 	}
 	// Incremental poll from the returned offset yields nothing new.

@@ -13,6 +13,7 @@ import (
 	"avfs/internal/daemon"
 	"avfs/internal/sched"
 	"avfs/internal/sim"
+	"avfs/internal/snapshot"
 	"avfs/internal/telemetry"
 	"avfs/internal/vmin"
 	"avfs/internal/workload"
@@ -106,9 +107,11 @@ type session struct {
 	ttl       time.Duration
 	lastTouch time.Time
 	// traceBuf is the bounded decision-trace ring the JSONL endpoint
-	// serves; traceBase is the absolute index of traceBuf[0].
+	// serves; traceBase is the absolute index of traceBuf[0]. The cursor
+	// is int64 end-to-end (like the span cursor): a long-lived session's
+	// absolute offsets must not overflow on 32-bit builds.
 	traceBuf  []telemetry.Decision
-	traceBase int
+	traceBase int64
 	// jobs holds every async run ever admitted for the session (they are
 	// few and tiny; reaping the session drops them all).
 	jobs []*job
@@ -220,28 +223,125 @@ func newSession(parent context.Context, id string, req api.CreateSessionRequest,
 	return s, nil
 }
 
-// applyPolicyLocked flips the enabled stack and electrical state to the
-// given (already canonicalized) policy. mu must be held (or the session
-// not yet published).
-func (s *session) applyPolicyLocked(policy string) {
-	spec := s.m.Spec
+// restoreSession rebuilds a session from a snapshot: a fresh machine and
+// both control stacks wired in the exact order newSession uses (so hooks
+// fire in the same sequence and replay stays bit-deterministic), then the
+// serialized state written over them. The policy field is set directly —
+// applyPolicyLocked would clobber the restored electrical state.
+func restoreSession(parent context.Context, id string, st *snapshot.SessionState,
+	ttlSeconds float64, defaultTTL time.Duration, now time.Time, obs obsConfig) (*session, error) {
+
+	spec, model, err := parseModel(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := parsePolicy(st.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if st.Machine == nil || st.Daemon == nil {
+		return nil, fmt.Errorf("%w: snapshot missing machine or daemon state", ErrInvalidRequest)
+	}
+	if ttlSeconds < 0 {
+		return nil, fmt.Errorf("%w: negative duration", ErrInvalidRequest)
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	s := &session{
+		id:        id,
+		model:     model,
+		created:   now,
+		ctx:       ctx,
+		cancel:    cancel,
+		reg:       telemetry.NewRegistry(),
+		tracer:    telemetry.NewTracer(),
+		policy:    policy,
+		ttl:       defaultTTL,
+		lastTouch: now,
+	}
+	if ttlSeconds > 0 {
+		s.ttl = time.Duration(ttlSeconds * float64(time.Second))
+	}
+	if obs.enabled {
+		s.spans = telemetry.NewSpanRing(obs.spanCap)
+		s.reqSLO = telemetry.NewSLOTracker(obs.window)
+		s.advSLO = telemetry.NewSLOTracker(obs.window)
+		lockBounds := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+		s.hLockWait = s.reg.Histogram("avfs_session_lock_wait_seconds",
+			"Actor mailbox queue-wait: time spent acquiring the session lock per run chunk.", lockBounds)
+		s.hLockHold = s.reg.Histogram("avfs_session_lock_hold_seconds",
+			"Actor hold-time: time the session lock was held per run chunk.", lockBounds)
+	}
+
+	s.m, err = sim.RestoreMachine(spec, st.Machine)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	s.tracer.Subscribe(s.appendTrace)
+	telemetry.WireMachine(s.m, s.reg, s.tracer)
+
+	// Stack wiring mirrors newSession exactly; the snapshot's daemon config
+	// already carries the session's poll interval and policy configuration.
+	s.base = sched.NewBaseline(s.m)
+	s.d = daemon.New(s.m, daemon.DefaultConfig())
+	s.d.Instrument(s.reg, s.tracer)
+	s.d.Attach()
+	if err := s.d.RestoreState(st.Daemon); err != nil {
+		cancel()
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	s.base.RestoreState(st.Baseline)
+	// The snapshot recorded which stack was enabled via the policy name and
+	// the daemon/baseline Disabled flags; both were just restored, so only
+	// the session-level label needs setting.
+	s.policy = policy
+	return s, nil
+}
+
+// captureStateLocked serializes the session's full (machine, daemon,
+// baseline) state. mu must be held. It fails with ErrConflict while the
+// daemon has a staged fail-safe transition in flight (the queued phases
+// are closures and cannot be serialized); callers should retry after at
+// most 3*TransitionTicks ticks.
+func (s *session) captureStateLocked() (*snapshot.SessionState, error) {
+	ds, err := s.d.CaptureState()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	return &snapshot.SessionState{
+		Model:    s.model,
+		Policy:   s.policy,
+		Machine:  s.m.CaptureState(),
+		Daemon:   ds,
+		Baseline: s.base.CaptureState(),
+	}, nil
+}
+
+// applyPolicy flips the enabled stack and electrical state of a
+// (machine, daemon, baseline) triple to the given (already canonicalized)
+// policy. It is shared by live sessions (under their lock) and by the
+// transient what-if branches, which apply policy overrides to restored
+// machines that never become sessions.
+func applyPolicy(m *sim.Machine, d *daemon.Daemon, base *sched.Baseline, policy string) {
+	spec := m.Spec
 	switch policy {
 	case PolicyBaseline, PolicySafeVmin:
-		s.d.SetEnabled(false)
+		d.SetEnabled(false)
 		// The default stack owns frequency (ondemand) and assumes a fixed
 		// voltage: nominal for Baseline, the worst-case static undervolt
 		// envelope for Safe Vmin (Sec. VI-B).
-		s.m.Chip.SetAllFreq(spec.MaxFreq)
+		m.Chip.SetAllFreq(spec.MaxFreq)
 		if policy == PolicySafeVmin {
-			s.m.Chip.SetVoltage(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) +
+			m.Chip.SetVoltage(vmin.ClassEnvelope(spec, clock.FullSpeed, spec.PMDs()) +
 				daemon.DefaultConfig().GuardMV)
 		} else {
-			s.m.Chip.SetVoltage(spec.NominalMV)
+			m.Chip.SetVoltage(spec.NominalMV)
 		}
-		s.base.SetEnabled(true)
+		base.SetEnabled(true)
 	case PolicyPlacement, PolicyOptimal:
-		s.base.SetEnabled(false)
-		cfg := s.d.Cfg
+		base.SetEnabled(false)
+		cfg := d.Cfg
 		if policy == PolicyPlacement {
 			poCfg := daemon.PlacementOnlyConfig()
 			poCfg.PollInterval = cfg.PollInterval
@@ -253,13 +353,19 @@ func (s *session) applyPolicyLocked(policy string) {
 		}
 		if policy == PolicyPlacement {
 			// The Placement configuration holds the voltage at nominal.
-			s.m.Chip.SetVoltage(spec.NominalMV)
+			m.Chip.SetVoltage(spec.NominalMV)
 		}
 		// Reconfigure cannot fail here: the caller verified no transition
 		// is in flight, and the poll interval is inherited (positive).
-		_ = s.d.Reconfigure(cfg)
-		s.d.SetEnabled(true)
+		_ = d.Reconfigure(cfg)
+		d.SetEnabled(true)
 	}
+}
+
+// applyPolicyLocked flips the session to the given (already canonicalized)
+// policy. mu must be held (or the session not yet published).
+func (s *session) applyPolicyLocked(policy string) {
+	applyPolicy(s.m, s.d, s.base, policy)
 	s.policy = policy
 }
 
@@ -626,17 +732,17 @@ func (s *session) appendTrace(d telemetry.Decision) {
 // behind the ring (decisions between it and the oldest retained record
 // were dropped — the caller must know it missed data rather than
 // silently resuming).
-func (s *session) traceSince(since int) (recs []telemetry.Decision, next int, truncated bool) {
+func (s *session) traceSince(since int64) (recs []telemetry.Decision, next int64, truncated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if since < s.traceBase {
 		truncated = true
 		since = s.traceBase
 	}
-	if rel := since - s.traceBase; rel < len(s.traceBuf) {
+	if rel := since - s.traceBase; rel < int64(len(s.traceBuf)) {
 		recs = append(recs, s.traceBuf[rel:]...)
 	}
-	return recs, s.traceBase + len(s.traceBuf), truncated
+	return recs, s.traceBase + int64(len(s.traceBuf)), truncated
 }
 
 // lookupJob finds an async handle by ID.
@@ -697,4 +803,22 @@ func (s *session) idleFor(now time.Time) (idle time.Duration, busy bool, ttl tim
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return now.Sub(s.lastTouch), s.activeJobs > 0, s.ttl
+}
+
+// beginJob marks the start of any in-flight work (run, characterize,
+// snapshot, fork, what-if) so the TTL reaper never deletes a session out
+// from under it. Every beginJob must be paired with endJob.
+func (s *session) beginJob() {
+	s.mu.Lock()
+	s.activeJobs++
+	s.mu.Unlock()
+}
+
+// endJob marks the end of work opened by beginJob, refreshing the TTL
+// clock so the idle countdown restarts from job completion.
+func (s *session) endJob(now time.Time) {
+	s.mu.Lock()
+	s.activeJobs--
+	s.lastTouch = now
+	s.mu.Unlock()
 }

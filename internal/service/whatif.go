@@ -1,0 +1,430 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"avfs/api"
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+	"avfs/internal/snapshot"
+)
+
+// This file implements the fleet's snapshot/fork/what-if surface: capture
+// a session's full (machine, daemon, baseline) state into the
+// content-addressed store, branch deterministic children off it, and
+// compare N hypothetical futures of one snapshot in a single call.
+
+// Snapshot captures a session's complete state and stores it, returning
+// the content address. Capture fails with ErrConflict while the daemon's
+// fail-safe voltage transition is in flight (retry after it settles).
+func (f *Fleet) Snapshot(id string) (api.Snapshot, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.Snapshot{}, err
+	}
+	s.beginJob()
+	defer s.endJob(f.cfg.Clock())
+	s.mu.Lock()
+	st, err := s.captureStateLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return api.Snapshot{}, err
+	}
+	snapID, err := f.snaps.Put(st)
+	if err != nil {
+		return api.Snapshot{}, err
+	}
+	return wireSnapshot(snapID, id, st), nil
+}
+
+// wireSnapshot builds the wire form of a stored snapshot.
+func wireSnapshot(snapID, sessionID string, st *snapshot.SessionState) api.Snapshot {
+	return api.Snapshot{
+		ID:        snapID,
+		Session:   sessionID,
+		Model:     st.Model,
+		Policy:    st.Policy,
+		Now:       float64(st.Machine.Ticks) * st.Machine.Tick,
+		Ticks:     st.Machine.Ticks,
+		EnergyJ:   st.Machine.EnergyJ,
+		Processes: len(st.Machine.Processes),
+	}
+}
+
+// resolveSnapshot turns a request's snapshot reference into stored state:
+// a non-empty id is looked up (ErrSnapshotNotFound on any store miss), an
+// empty one captures the session's current state and stores it. The
+// caller must hold the session busy (beginJob) across the call.
+func (f *Fleet) resolveSnapshot(s *session, snapID string) (string, *snapshot.SessionState, error) {
+	if snapID != "" {
+		st, ok := f.snaps.Get(snapID)
+		if !ok {
+			return "", nil, fmt.Errorf("%w: %s", ErrSnapshotNotFound, snapID)
+		}
+		return snapID, st, nil
+	}
+	s.mu.Lock()
+	st, err := s.captureStateLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return "", nil, err
+	}
+	id, err := f.snaps.Put(st)
+	if err != nil {
+		return "", nil, err
+	}
+	return id, st, nil
+}
+
+// Fork branches a new session off a snapshot of an existing one. The
+// child replays deterministically: advanced over the same inputs, it is
+// bit-identical to the parent advanced from the same point. An optional
+// policy override flips the child at birth.
+func (f *Fleet) Fork(id string, req api.ForkRequest) (api.Fork, error) {
+	parent, err := f.lookup(id)
+	if err != nil {
+		return api.Fork{}, err
+	}
+	var childPolicy string
+	if req.Policy != "" {
+		if childPolicy, err = parsePolicy(req.Policy); err != nil {
+			return api.Fork{}, err
+		}
+	}
+	now := f.cfg.Clock()
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return api.Fork{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	}
+	if len(f.sessions) >= f.cfg.MaxSessions {
+		f.mu.Unlock()
+		return api.Fork{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
+	}
+	f.nextSess++
+	cid := fmt.Sprintf("s-%06d", f.nextSess)
+	f.mu.Unlock()
+
+	parent.beginJob()
+	snapID, st, err := f.resolveSnapshot(parent, req.SnapshotID)
+	parent.endJob(f.cfg.Clock())
+	if err != nil {
+		return api.Fork{}, err
+	}
+
+	// Build outside the fleet lock (like Create); publish under it,
+	// re-checking the admission windows.
+	child, err := restoreSession(f.baseCtx, cid, st, req.TTLSeconds, f.cfg.SessionTTL, now, obsConfig{
+		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
+	})
+	if err != nil {
+		return api.Fork{}, err
+	}
+	if childPolicy != "" && childPolicy != child.policy {
+		// The restored daemon cannot have a transition in flight (capture
+		// refuses one), so the flip is always legal here.
+		child.applyPolicyLocked(childPolicy)
+	}
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		child.cancel()
+		return api.Fork{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	}
+	if len(f.sessions) >= f.cfg.MaxSessions {
+		f.mu.Unlock()
+		child.cancel()
+		return api.Fork{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
+	}
+	f.sessions[cid] = child
+	f.mu.Unlock()
+	f.mSessions.Inc()
+	return api.Fork{SnapshotID: snapID, Session: child.snapshot(now)}, nil
+}
+
+// branchSpec is one validated what-if branch configuration.
+type branchSpec struct {
+	name      string
+	policy    string // canonical, or "" to inherit the snapshot's
+	capW      float64
+	place     *sim.Placement
+	placeName string
+}
+
+// parseBranchSpec validates and canonicalizes one wire branch spec.
+func parseBranchSpec(b api.WhatIfBranchSpec) (branchSpec, error) {
+	var out branchSpec
+	if b.Policy != "" {
+		p, err := parsePolicy(b.Policy)
+		if err != nil {
+			return out, err
+		}
+		out.policy = p
+	}
+	if b.PowerCapW < 0 {
+		return out, fmt.Errorf("%w: power_cap_watts must be >= 0", ErrInvalidRequest)
+	}
+	out.capW = b.PowerCapW
+	if b.Placement != "" {
+		place, name, err := parsePlacement(b.Placement)
+		if err != nil {
+			return out, err
+		}
+		out.place = &place
+		out.placeName = name
+	}
+	out.name = b.Name
+	if out.name == "" {
+		switch {
+		case out.policy != "":
+			out.name = out.policy
+		case out.capW > 0:
+			out.name = fmt.Sprintf("cap-%gw", out.capW)
+		case out.placeName != "":
+			out.name = out.placeName
+		default:
+			out.name = "control"
+		}
+	}
+	return out, nil
+}
+
+// WhatIf branches N hypothetical futures from one snapshot of a session
+// and advances them in parallel on the fleet's worker pool, returning a
+// compared report. The branches are transient: they never appear in the
+// session registry and vanish once the report is built. An empty branch
+// list compares the four Table IV policies.
+func (f *Fleet) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (api.WhatIfReport, error) {
+	s, err := f.lookup(id)
+	if err != nil {
+		return api.WhatIfReport{}, err
+	}
+	if err := f.admitGate(); err != nil {
+		return api.WhatIfReport{}, err
+	}
+	if req.Seconds <= 0 {
+		return api.WhatIfReport{}, fmt.Errorf("%w: what-if seconds must be positive", ErrInvalidRequest)
+	}
+	wire := req.Branches
+	if len(wire) == 0 {
+		wire = []api.WhatIfBranchSpec{
+			{Policy: PolicyBaseline},
+			{Policy: PolicySafeVmin},
+			{Policy: PolicyPlacement},
+			{Policy: PolicyOptimal},
+		}
+	}
+	specs := make([]branchSpec, len(wire))
+	for i, b := range wire {
+		sp, err := parseBranchSpec(b)
+		if err != nil {
+			return api.WhatIfReport{}, fmt.Errorf("branch %d: %w", i, err)
+		}
+		specs[i] = sp
+	}
+
+	// The session counts as busy for the whole comparison, so the TTL
+	// reaper cannot delete it while its branches still run.
+	s.beginJob()
+	defer s.endJob(f.cfg.Clock())
+	snapID, st, err := f.resolveSnapshot(s, req.SnapshotID)
+	if err != nil {
+		return api.WhatIfReport{}, err
+	}
+
+	report := api.WhatIfReport{
+		Session:    id,
+		SnapshotID: snapID,
+		BaseNow:    float64(st.Machine.Ticks) * st.Machine.Tick,
+		BaseTicks:  st.Machine.Ticks,
+		Seconds:    req.Seconds,
+		Branches:   make([]api.WhatIfBranch, len(specs)),
+	}
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			report.Branches[i] = f.runBranch(ctx, st, specs[i], req.Seconds, req.UntilIdle)
+		}(i)
+	}
+	wg.Wait()
+
+	bestEnergy, bestPerf := -1, -1
+	for i := range report.Branches {
+		b := &report.Branches[i]
+		if b.Error != nil {
+			continue
+		}
+		if bestEnergy < 0 || b.EnergyJ < report.Branches[bestEnergy].EnergyJ {
+			bestEnergy = i
+		}
+		if bestPerf < 0 {
+			bestPerf = i
+		} else if p := &report.Branches[bestPerf]; b.Completed > p.Completed ||
+			(b.Completed == p.Completed && b.MakespanS < p.MakespanS) {
+			bestPerf = i
+		}
+	}
+	if bestEnergy >= 0 {
+		report.BestEnergy = report.Branches[bestEnergy].Name
+	}
+	if bestPerf >= 0 {
+		report.BestPerf = report.Branches[bestPerf].Name
+	}
+	return report, nil
+}
+
+// runBranch executes one branch on the worker pool and reports its
+// outcome; every failure mode (admission, restore, run) lands in the
+// branch's Error field rather than failing the whole comparison.
+func (f *Fleet) runBranch(ctx context.Context, st *snapshot.SessionState, spec branchSpec, seconds float64, untilIdle bool) api.WhatIfBranch {
+	out := api.WhatIfBranch{
+		Name:      spec.name,
+		Policy:    st.Policy,
+		PowerCapW: spec.capW,
+		Placement: spec.placeName,
+	}
+	if spec.policy != "" {
+		out.Policy = spec.policy
+	}
+	err := f.pool.Do(ctx, func(jctx context.Context) error {
+		return advanceBranch(jctx, st, spec, seconds, untilIdle, &out)
+	})
+	if err != nil {
+		out.Error = wireError(err)
+	}
+	return out
+}
+
+// advanceBranch restores a transient machine from the snapshot, applies
+// the branch's overrides and advances it, filling the branch report with
+// window-delta metrics (measured from the snapshot point).
+func advanceBranch(ctx context.Context, st *snapshot.SessionState, spec branchSpec, seconds float64, untilIdle bool, out *api.WhatIfBranch) error {
+	chipSpec, _, err := parseModel(st.Model)
+	if err != nil {
+		return err
+	}
+	m, err := sim.RestoreMachine(chipSpec, st.Machine)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	// Stack wiring mirrors restoreSession minus telemetry (branches are
+	// unobserved): baseline first, then daemon, then state restore.
+	base := sched.NewBaseline(m)
+	d := daemon.New(m, daemon.DefaultConfig())
+	d.Attach()
+	if err := d.RestoreState(st.Daemon); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	base.RestoreState(st.Baseline)
+
+	// Overrides: policy flip, power cap, re-placement.
+	if spec.policy != "" && spec.policy != st.Policy {
+		applyPolicy(m, d, base, spec.policy)
+	}
+	if spec.capW > 0 {
+		sched.NewPowerCap(m, spec.capW).Attach()
+	}
+	if spec.place != nil {
+		if err := replaceRunning(m, *spec.place); err != nil {
+			return err
+		}
+	}
+
+	now0 := m.Now()
+	energy0 := m.Meter.Energy()
+	em0 := len(m.Emergencies())
+	done0 := len(m.Finished())
+
+	if untilIdle {
+		err = m.RunUntilIdleContext(ctx, seconds)
+		// Not reaching idle within the budget is a legitimate what-if
+		// outcome (the report says how much work was left), not a failure.
+		if err != nil && errors.Is(err, sim.ErrNotIdle) {
+			err = nil
+		}
+	} else {
+		err = m.RunForContext(ctx, seconds)
+	}
+	if err != nil {
+		return err
+	}
+
+	out.Now = m.Now()
+	out.Ticks = m.Ticks()
+	out.Seconds = m.Now() - now0
+	out.EnergyJ = m.Meter.Energy() - energy0
+	if out.Seconds > 0 {
+		out.AvgPowerW = out.EnergyJ / out.Seconds
+	}
+	out.Running = m.RunningCount()
+	out.Pending = m.PendingCount()
+	out.Emergencies = len(m.Emergencies()) - em0
+	out.VoltageMV = int(m.Chip.Voltage())
+
+	fins := m.Finished()[done0:]
+	out.Completed = len(fins)
+	if len(fins) > 0 {
+		runtimes := make([]float64, 0, len(fins))
+		for _, p := range fins {
+			runtimes = append(runtimes, p.Completed-p.Started)
+			if span := p.Completed - now0; span > out.MakespanS {
+				out.MakespanS = span
+			}
+		}
+		sort.Float64s(runtimes)
+		out.P50RuntimeS = nearestRank(runtimes, 0.50)
+		out.P99RuntimeS = nearestRank(runtimes, 0.99)
+	}
+	return nil
+}
+
+// replaceRunning re-places every running process's threads in canonical
+// placement order (ascending process ID), handing out cores from the
+// chip's placement sequence.
+func replaceRunning(m *sim.Machine, place sim.Placement) error {
+	running := m.Running()
+	total := 0
+	for _, p := range running {
+		total += len(p.Threads)
+	}
+	if total == 0 {
+		return nil
+	}
+	cores, err := sim.CoresFor(m.Spec, place, total)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	assign := make(map[*sim.Process][]chip.CoreID, len(running))
+	next := 0
+	for _, p := range running {
+		assign[p] = cores[next : next+len(p.Threads)]
+		next += len(p.Threads)
+	}
+	if err := m.Reassign(assign); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	return nil
+}
+
+// nearestRank returns the nearest-rank quantile of a sorted sample.
+func nearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

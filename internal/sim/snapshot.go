@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/power"
+	"avfs/internal/workload"
+)
+
+// This file implements full machine state extraction and restoration — the
+// simulator half of session snapshot/fork (ROADMAP item 1). The contract
+// is bit-exactness: a machine restored from a snapshot and advanced over
+// the same inputs commits the same ticks, the same integer counters and
+// the same float trajectory as the uninterrupted original.
+//
+// The subtle part is the steady-state engine. While a machine sits in
+// equilibrium it replays a frozen tick (steadyCache + the per-thread
+// commit quanta in upds) instead of recomputing it; a restore that dropped
+// the cache would recompute the next tick through stepFull's damped
+// memory-utilization fixed point, whose extra iterations from the
+// converged value can move the per-tick instruction quantum by a few ulps
+// — enough to break bit-equality hours later. The snapshot therefore
+// carries the cached tick and its quanta verbatim, re-keyed on restore to
+// the rebuilt chip's generation counter.
+
+// ThreadState is the serialized state of one Thread.
+type ThreadState struct {
+	Core             int     `json:"core"`
+	InstrTotal       float64 `json:"instr_total"`
+	InstrDone        float64 `json:"instr_done"`
+	LastCPI          float64 `json:"last_cpi"`
+	LastL2Infl       float64 `json:"last_l2_infl"`
+	StallFrac        float64 `json:"stall_frac"`
+	StalledUntilTick uint64  `json:"stalled_until_tick,omitempty"`
+}
+
+// ProcessState is the serialized state of one Process. The benchmark is
+// stored by catalog name and resolved through workload.ByName on restore.
+type ProcessState struct {
+	ID         int           `json:"id"`
+	Bench      string        `json:"bench"`
+	State      int           `json:"state"`
+	Submitted  float64       `json:"submitted"`
+	Started    float64       `json:"started"`
+	Completed  float64       `json:"completed"`
+	CoreEnergy float64       `json:"core_energy_j"`
+	Threads    []ThreadState `json:"threads"`
+}
+
+// UpdState is the serialized form of one steady-tick commit quantum
+// (see upd). The owning thread is referenced by (process ID, thread
+// index); the benchmark is re-resolved from the process.
+type UpdState struct {
+	Proc    int     `json:"proc"`
+	Thread  int     `json:"thread"`
+	Core    int     `json:"core"`
+	FGHz    float64 `json:"f_ghz"`
+	L2Infl  float64 `json:"l2_infl"`
+	CPI     float64 `json:"cpi"`
+	Instr   float64 `json:"instr"`
+	Cycles  float64 `json:"cycles"`
+	CoreW   float64 `json:"core_w"`
+	DCycles uint64  `json:"d_cycles"`
+	DInstr  uint64  `json:"d_instr"`
+	DL3C    uint64  `json:"d_l3c"`
+}
+
+// SteadyState is the serialized steady-state cache: the frozen tick the
+// coalescing engine replays, captured only when it is live for the
+// machine's current generations (a stale cache is equivalent to no cache
+// — both sides would take the full path next tick).
+type SteadyState struct {
+	Watts   float64         `json:"watts"`
+	BD      power.Breakdown `json:"bd"`
+	EmCheck bool            `json:"em_check"`
+	Upds    []UpdState      `json:"upds"`
+}
+
+// MachineState is the complete serializable state of a Machine. Every
+// float64 survives the JSON round trip exactly (encoding/json emits the
+// shortest representation that parses back to the same bits), so restore
+// is bit-faithful.
+type MachineState struct {
+	// Identity, for restore-time validation.
+	Model int     `json:"model"`
+	Cores int     `json:"cores"`
+	Tick  float64 `json:"tick"`
+
+	Ticks  uint64 `json:"ticks"`
+	NextID int    `json:"next_id"`
+
+	VoltageMV  int   `json:"voltage_mv"`
+	PMDFreqMHz []int `json:"pmd_freq_mhz"`
+
+	EnergyJ   float64         `json:"energy_j"`
+	Seconds   float64         `json:"seconds"`
+	PeakW     float64         `json:"peak_w"`
+	LastWatts float64         `json:"last_watts"`
+	EnergyBD  power.Breakdown `json:"energy_bd"`
+
+	MemRho           float64 `json:"mem_rho"`
+	EmChecks         int     `json:"em_checks"`
+	VminDriftMV      int     `json:"vmin_drift_mv,omitempty"`
+	MigrationPenalty float64 `json:"migration_penalty,omitempty"`
+	PlaceGen         uint64  `json:"place_gen"`
+	Coalescing       bool    `json:"coalescing"`
+	Coalesced        uint64  `json:"coalesced"`
+	FinCheck         bool    `json:"fin_check,omitempty"`
+
+	Emergencies []Emergency    `json:"emergencies,omitempty"`
+	Counters    []CoreCounters `json:"counters"`
+
+	// Processes in ascending ID order; FinishedOrder records completion
+	// order by ID (the procs map alone cannot reproduce it).
+	Processes     []ProcessState `json:"processes"`
+	FinishedOrder []int          `json:"finished_order,omitempty"`
+
+	// Steady is non-nil when the coalescing cache was live at capture.
+	Steady *SteadyState `json:"steady,omitempty"`
+}
+
+// ProcessByID returns the process with the given ID, or nil.
+func (m *Machine) ProcessByID(id int) *Process { return m.procs[id] }
+
+// CaptureState extracts the machine's complete state. The machine is not
+// modified; the returned state shares no memory with it.
+func (m *Machine) CaptureState() *MachineState {
+	st := &MachineState{
+		Model:            int(m.Spec.Model),
+		Cores:            m.Spec.Cores,
+		Tick:             m.Tick,
+		Ticks:            m.ticks,
+		NextID:           m.nextID,
+		VoltageMV:        int(m.Chip.Voltage()),
+		EnergyJ:          m.Meter.Energy(),
+		Seconds:          m.Meter.Seconds(),
+		PeakW:            m.Meter.Peak(),
+		LastWatts:        m.lastWatts,
+		EnergyBD:         m.energyBD,
+		MemRho:           m.memRho,
+		EmChecks:         m.emChecks,
+		VminDriftMV:      int(m.vminDrift),
+		MigrationPenalty: m.migrationPenalty,
+		PlaceGen:         m.placeGen,
+		Coalescing:       m.coalescing,
+		Coalesced:        m.coalesced,
+		FinCheck:         m.finCheck,
+		Counters:         append([]CoreCounters(nil), m.counters...),
+	}
+	for p := 0; p < m.Spec.PMDs(); p++ {
+		st.PMDFreqMHz = append(st.PMDFreqMHz, int(m.Chip.PMDFreq(chip.PMDID(p))))
+	}
+	if len(m.emergencies) > 0 {
+		st.Emergencies = append([]Emergency(nil), m.emergencies...)
+	}
+	for id := 0; id < m.nextID; id++ {
+		p, ok := m.procs[id]
+		if !ok {
+			continue
+		}
+		ps := ProcessState{
+			ID:         p.ID,
+			Bench:      p.Bench.Name,
+			State:      int(p.State),
+			Submitted:  p.Submitted,
+			Started:    p.Started,
+			Completed:  p.Completed,
+			CoreEnergy: p.coreEnergyJ,
+		}
+		for _, t := range p.Threads {
+			ps.Threads = append(ps.Threads, ThreadState{
+				Core:             int(t.Core),
+				InstrTotal:       t.instrTotal,
+				InstrDone:        t.instrDone,
+				LastCPI:          t.lastCPI,
+				LastL2Infl:       t.lastL2Infl,
+				StallFrac:        t.stallFrac,
+				StalledUntilTick: t.stalledUntilTick,
+			})
+		}
+		st.Processes = append(st.Processes, ps)
+	}
+	for _, p := range m.finished {
+		st.FinishedOrder = append(st.FinishedOrder, p.ID)
+	}
+	// Capture the steady cache only while it is live for the current
+	// generations and tick length; a stale cache fails steadyReady on
+	// both sides, so dropping it preserves the trajectory.
+	c := &m.steady
+	if c.valid && c.tick == m.Tick && c.placeGen == m.placeGen && c.chipGen == m.Chip.Generation() {
+		ss := &SteadyState{Watts: c.watts, BD: c.bd, EmCheck: c.emCheck}
+		for i := 0; i < c.n; i++ {
+			u := &m.upds[i]
+			ss.Upds = append(ss.Upds, UpdState{
+				Proc:    u.t.Proc.ID,
+				Thread:  u.t.Index,
+				Core:    int(u.core),
+				FGHz:    u.fGHz,
+				L2Infl:  u.l2Infl,
+				CPI:     u.cpi,
+				Instr:   u.instr,
+				Cycles:  u.cycles,
+				CoreW:   u.coreW,
+				DCycles: u.dCycles,
+				DInstr:  u.dInstr,
+				DL3C:    u.dL3C,
+			})
+		}
+		st.Steady = ss
+	}
+	return st
+}
+
+// RestoreMachine builds a machine on spec from a captured state. The
+// restored machine has no hooks, subscribers or event log — the caller
+// re-attaches its controller stack (in the same registration order as the
+// original, for identical replay) after restoring. Benchmarks are
+// resolved by name against the workload catalog.
+func RestoreMachine(spec *chip.Spec, st *MachineState) (*Machine, error) {
+	if int(spec.Model) != st.Model || spec.Cores != st.Cores {
+		return nil, fmt.Errorf("sim: snapshot for model %d/%d cores, spec is %d/%d",
+			st.Model, st.Cores, int(spec.Model), spec.Cores)
+	}
+	if st.Tick <= 0 {
+		return nil, fmt.Errorf("sim: snapshot has non-positive tick %v", st.Tick)
+	}
+	if len(st.Counters) != spec.Cores || len(st.PMDFreqMHz) != spec.PMDs() {
+		return nil, fmt.Errorf("sim: snapshot shape mismatch (counters=%d pmds=%d)",
+			len(st.Counters), len(st.PMDFreqMHz))
+	}
+	m := New(spec)
+	m.Tick = st.Tick
+	m.ticks = st.Ticks
+	m.now = float64(st.Ticks) * st.Tick
+	m.nextID = st.NextID
+	m.lastWatts = st.LastWatts
+	m.energyBD = st.EnergyBD
+	m.memRho = st.MemRho
+	m.emChecks = st.EmChecks
+	m.vminDrift = chip.Millivolts(st.VminDriftMV)
+	m.migrationPenalty = st.MigrationPenalty
+	m.placeGen = st.PlaceGen
+	m.coalescing = st.Coalescing
+	m.coalesced = st.Coalesced
+	m.finCheck = st.FinCheck
+	copy(m.counters, st.Counters)
+	if len(st.Emergencies) > 0 {
+		m.emergencies = append([]Emergency(nil), st.Emergencies...)
+	}
+	m.Meter.Restore(power.MeterState{EnergyJ: st.EnergyJ, Seconds: st.Seconds, PeakW: st.PeakW})
+
+	// Electrical state. The captured values were read from a live chip, so
+	// they are already clamped and on the frequency grid; the setters
+	// bump the generation, which every restored cache is re-keyed to.
+	m.Chip.SetVoltage(chip.Millivolts(st.VoltageMV))
+	for p, f := range st.PMDFreqMHz {
+		m.Chip.SetPMDFreq(chip.PMDID(p), chip.MHz(f))
+	}
+
+	// Processes and threads, rebuilt verbatim (not through newProcess —
+	// the Amdahl split already happened at original submission).
+	for _, ps := range st.Processes {
+		b, err := workload.ByName(ps.Bench)
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot process %d: %w", ps.ID, err)
+		}
+		if ps.ID < 0 || ps.ID >= st.NextID {
+			return nil, fmt.Errorf("sim: snapshot process ID %d out of range", ps.ID)
+		}
+		p := &Process{
+			ID:          ps.ID,
+			Bench:       b,
+			State:       ProcState(ps.State),
+			Submitted:   ps.Submitted,
+			Started:     ps.Started,
+			Completed:   ps.Completed,
+			coreEnergyJ: ps.CoreEnergy,
+		}
+		for i, ts := range ps.Threads {
+			t := &Thread{
+				Proc:             p,
+				Index:            i,
+				Core:             chip.CoreID(ts.Core),
+				instrTotal:       ts.InstrTotal,
+				instrDone:        ts.InstrDone,
+				lastCPI:          ts.LastCPI,
+				lastL2Infl:       ts.LastL2Infl,
+				stallFrac:        ts.StallFrac,
+				stalledUntilTick: ts.StalledUntilTick,
+			}
+			p.Threads = append(p.Threads, t)
+			if t.Core >= 0 {
+				if !spec.ValidCore(t.Core) || m.coreThr[t.Core] != nil {
+					return nil, fmt.Errorf("sim: snapshot process %d thread %d: bad core %d", ps.ID, i, ts.Core)
+				}
+				m.coreThr[t.Core] = t
+			}
+		}
+		m.procs[p.ID] = p
+		switch p.State {
+		case Pending:
+			m.pendingN++
+		case Running:
+			// Processes were captured in ascending ID order, which is
+			// exactly the running list's maintained order.
+			m.running = append(m.running, p)
+		}
+	}
+	for _, id := range st.FinishedOrder {
+		p := m.procs[id]
+		if p == nil || p.State != Finished {
+			return nil, fmt.Errorf("sim: snapshot finished-order references process %d", id)
+		}
+		m.finished = append(m.finished, p)
+	}
+
+	// Steady cache: rebuild the frozen tick against the restored threads,
+	// re-keyed to the restored chip/placement generations so steadyReady
+	// accepts it exactly as the original would have.
+	if ss := st.Steady; ss != nil {
+		for _, us := range ss.Upds {
+			p := m.procs[us.Proc]
+			if p == nil || us.Thread < 0 || us.Thread >= len(p.Threads) {
+				return nil, fmt.Errorf("sim: snapshot steady quantum references process %d thread %d", us.Proc, us.Thread)
+			}
+			m.upds = append(m.upds, upd{
+				t:       p.Threads[us.Thread],
+				bench:   p.Bench,
+				core:    chip.CoreID(us.Core),
+				fGHz:    us.FGHz,
+				l2Infl:  us.L2Infl,
+				cpi:     us.CPI,
+				instr:   us.Instr,
+				cycles:  us.Cycles,
+				coreW:   us.CoreW,
+				dCycles: us.DCycles,
+				dInstr:  us.DInstr,
+				dL3C:    us.DL3C,
+			})
+		}
+		m.steady = steadyCache{
+			valid:    true,
+			chipGen:  m.Chip.Generation(),
+			placeGen: m.placeGen,
+			tick:     m.Tick,
+			n:        len(ss.Upds),
+			watts:    ss.Watts,
+			bd:       ss.BD,
+			emCheck:  ss.EmCheck,
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,62 @@
+// Package snapshot implements versioned, content-addressed storage for
+// full session state — the (Machine, Daemon, Baseline) triple a fleet
+// session is made of. A snapshot is the unit behind the control plane's
+// fork and what-if primitives (ROADMAP item 1): capture once, branch N
+// deterministic children from it.
+//
+// The store follows the internal/vmin/store envelope discipline: files are
+// named by the sha256 of their content, written atomically (temp file +
+// rename), wrapped in a {version, id, state} envelope, and every load
+// failure — missing file, corruption, version skew, id mismatch — is a
+// miss, never an error. Snapshots are immutable by construction: the id is
+// the hash, so a corrupted or tampered file simply fails to resolve.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"avfs/internal/daemon"
+	"avfs/internal/sched"
+	"avfs/internal/sim"
+)
+
+// Version tags the serialization format. Restoring a snapshot written by
+// a different format version is a miss (the state layout or the
+// simulator's numeric trajectory may have changed), mirroring the
+// characterization store's model-version discipline.
+const Version = "snap-v1"
+
+// SessionState is the complete serializable state of one fleet session:
+// the machine and both controller stacks, plus the session-level knobs
+// needed to rebuild an equivalent session around them.
+type SessionState struct {
+	// Model is the session's chip model name (see service parseModel).
+	Model string `json:"model"`
+	// Policy is the session's active Table IV policy name.
+	Policy string `json:"policy"`
+
+	Machine  *sim.MachineState   `json:"machine"`
+	Daemon   *daemon.State       `json:"daemon"`
+	Baseline sched.BaselineState `json:"baseline"`
+}
+
+// Encode marshals a session state and derives its content address.
+func Encode(st *SessionState) (id string, payload []byte, err error) {
+	payload, err = json.Marshal(st)
+	if err != nil {
+		return "", nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return idOf(payload), payload, nil
+}
+
+// idOf hashes the version tag and payload into the content address.
+func idOf(payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(Version))
+	h.Write([]byte{'\n'})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}

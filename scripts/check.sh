@@ -2,12 +2,13 @@
 # Full repository check: vet, build, race-enabled tests, the
 # telemetry-overhead benchmark, the simulator hot-path benchmark, the
 # experiment-runner speedup gate, the characterization-store memoization
-# gate, the control-plane throughput gate, and the request-tracing
-# overhead gate. The benchmarks' JSON summaries are written to
-# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
-# BENCH_cache.json, BENCH_service.json and BENCH_trace.json at the
-# repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
-# EXPERIMENTS.md and docs/API.md).
+# gate, the control-plane throughput gate, the request-tracing overhead
+# gate, and the snapshot restore-and-replay gate. The benchmarks' JSON
+# summaries are written to BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
+# BENCH_trace.json and BENCH_snapshot.json at the repository root (see
+# docs/OBSERVABILITY.md, docs/PERFORMANCE.md, EXPERIMENTS.md and
+# docs/API.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,5 +63,12 @@ AVFS_BENCH_TRACE_OUT="$(pwd)/BENCH_trace.json" \
 
 echo "==> BENCH_trace.json"
 cat BENCH_trace.json
+
+echo "==> snapshot restore benchmark (cold re-run vs restore-and-replay)"
+AVFS_BENCH_SNAPSHOT_OUT="$(pwd)/BENCH_snapshot.json" \
+	go test ./internal/sim -run TestSnapshotRestoreBudget -count=1 -v
+
+echo "==> BENCH_snapshot.json"
+cat BENCH_snapshot.json
 
 echo "OK"
