@@ -3,10 +3,11 @@
 # hot-path benchmark + the experiment-runner speedup benchmark + the
 # characterization-store memoization benchmark + the control-plane
 # throughput benchmark + the request-tracing overhead benchmark + the
-# snapshot restore-and-replay benchmark, which record their JSON
-# summaries in BENCH_telemetry.json, BENCH_sim.json,
-# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
-# BENCH_trace.json and BENCH_snapshot.json).
+# snapshot restore-and-replay benchmark + the batched-stepping speedup
+# benchmark, which record their JSON summaries in BENCH_telemetry.json,
+# BENCH_sim.json, BENCH_experiments.json, BENCH_cache.json,
+# BENCH_service.json, BENCH_trace.json, BENCH_snapshot.json and
+# BENCH_batch.json).
 
 GO ?= go
 
@@ -44,6 +45,8 @@ bench:
 		$(GO) test ./internal/service -run TestTraceOverheadBudget -count=1 -v
 	AVFS_BENCH_SNAPSHOT_OUT=$(CURDIR)/BENCH_snapshot.json \
 		$(GO) test ./internal/sim -run TestSnapshotRestoreBudget -count=1 -v
+	AVFS_BENCH_BATCH_OUT=$(CURDIR)/BENCH_batch.json \
+		$(GO) test ./internal/sim -run TestBatchStepBudget -count=1 -v
 
 clean:
 	$(GO) clean ./...

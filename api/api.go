@@ -371,6 +371,13 @@ type WhatIfRequest struct {
 	// Branches lists the futures to compare. Empty defaults to the four
 	// Table IV policies (baseline, safe-vmin, placement, optimal).
 	Branches []WhatIfBranchSpec `json:"branches,omitempty"`
+	// Solo opts out of batched branch advancement: each branch then
+	// advances independently on its own worker instead of in one
+	// structure-of-arrays lockstep batch. The outcomes are equivalent
+	// either way (integer state identical, energies within 1e-9
+	// relative); solo trades the batch's fold sharing for per-branch
+	// parallelism.
+	Solo bool `json:"solo,omitempty"`
 }
 
 // WhatIfBranch reports one branch's outcome over the what-if window
@@ -424,4 +431,36 @@ type WhatIfReport struct {
 	// ties); "" when no branch succeeded.
 	BestEnergy string `json:"best_energy,omitempty"`
 	BestPerf   string `json:"best_perf,omitempty"`
+	// Batch describes the lockstep engine's work when the branches were
+	// advanced as one structure-of-arrays batch; absent for solo
+	// advancement (request Solo, or the fleet running with NoBatch).
+	Batch *WhatIfBatch `json:"batch,omitempty"`
+}
+
+// WhatIfBatch summarizes one batched what-if advancement: how much of
+// the branches' combined tick work the lockstep engine folded together
+// or served from the cross-session steady-segment memo, and the
+// resulting speedup estimate over advancing each branch alone.
+type WhatIfBatch struct {
+	// Branches is the number of branches enrolled in the batch.
+	Branches int `json:"branches"`
+	// Ticks is the aggregate member-ticks committed; LockstepTicks of
+	// those went through the structure-of-arrays fold, and SharedTicks
+	// reused a bitwise-identical sibling branch's fold outright.
+	Ticks         uint64 `json:"ticks"`
+	LockstepTicks uint64 `json:"lockstep_ticks"`
+	SharedTicks   uint64 `json:"shared_ticks"`
+	// MemoHits/MemoMisses are the steady-segment memo's probe outcomes
+	// during this advancement (fleet-wide counters sampled around the
+	// run, so concurrent traffic can inflate them slightly).
+	MemoHits   uint64 `json:"memo_hits"`
+	MemoMisses uint64 `json:"memo_misses"`
+	// WallSeconds is the wall-clock time of the batched advancement;
+	// TicksPerSec is Ticks/WallSeconds.
+	WallSeconds float64 `json:"wall_seconds"`
+	TicksPerSec float64 `json:"ticks_per_second"`
+	// SpeedupEst estimates the fold-sharing speedup over advancing every
+	// branch on its own: total member-ticks divided by the ticks that
+	// needed their own fold or solo step (Ticks / (Ticks - SharedTicks)).
+	SpeedupEst float64 `json:"speedup_est"`
 }

@@ -25,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
@@ -44,7 +43,7 @@ func run() int {
 	chipFlag := flag.String("chip", "xgene3", "chip: xgene2 or xgene3")
 	duration := flag.Float64("duration", 900, "workload duration in seconds")
 	seed := flag.Int64("seed", 42, "workload seed")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers per sweep")
+	jobs := flag.Int("j", 0, "parallel worker cap (0 = adaptive: min(jobs, cores)) per sweep")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")

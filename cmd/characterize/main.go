@@ -31,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"avfs/internal/chip"
@@ -46,7 +45,7 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment: fig3, fig4, fig5, fig10, table1, fleet or all")
 	trials := flag.Int("trials", 0, "runs per voltage level (0 = the paper's 1000)")
 	dies := flag.Int("dies", 100, "sampled dies for the fleet study")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the characterization campaigns")
+	jobs := flag.Int("j", 0, "parallel worker cap (0 = adaptive: min(jobs, cores)) for the characterization campaigns")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	progress := flag.Bool("progress", false, "print campaign progress to stderr")
 	metricsFile := flag.String("metrics", "", "write a Prometheus snapshot of the runner telemetry to this file")

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"avfs/internal/chip"
@@ -52,7 +51,7 @@ func run() int {
 	fig15 := flag.Bool("fig15", false, "also render the Fig. 15 load timeline")
 	seeds := flag.Int("seeds", 0, "run the multi-seed robustness study over N seeds instead of the table")
 	csvDir := flag.String("csv", "", "also export summary and timelines as CSV files into this directory")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the configuration replays")
+	jobs := flag.Int("j", 0, "parallel worker cap (0 = adaptive: min(jobs, cores)) for the configuration replays")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")

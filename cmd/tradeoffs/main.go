@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
@@ -30,7 +29,7 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment: fig7, fig11, fig12 or all")
 	chipFlag := flag.String("chip", "both", "chip: xgene2, xgene3 or both")
 	placeFlag := flag.String("placement", "clustered", "allocation for fig11/fig12: clustered or spreaded")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the measurement campaigns")
+	jobs := flag.Int("j", 0, "parallel worker cap (0 = adaptive: min(jobs, cores)) for the measurement campaigns")
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	flag.Parse()
 

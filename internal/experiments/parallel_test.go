@@ -137,6 +137,7 @@ func TestFigure3ParallelBudget(t *testing.T) {
 		Cells       int64   `json:"cells"`
 		SimRuns     int64   `json:"sim_runs"`
 		Workers     int     `json:"workers"`
+		EffWorkers  int     `json:"effective_workers"`
 		NumCPU      int     `json:"num_cpu"`
 		SerialSec   float64 `json:"serial_sec"`
 		ParallelSec float64 `json:"parallel_sec"`
@@ -146,6 +147,7 @@ func TestFigure3ParallelBudget(t *testing.T) {
 		Cells:       serialStats.Completed(),
 		SimRuns:     serialStats.Runs(),
 		Workers:     workers,
+		EffWorkers:  runner.EffectiveWidth(workers, int(serialStats.Completed())),
 		NumCPU:      runtime.NumCPU(),
 		SerialSec:   serialSec,
 		ParallelSec: parallelSec,

@@ -30,11 +30,37 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
 }
 
+// EffectiveWidth resolves a requested worker-pool width against the
+// workload and the machine: the result is min(jobs, GOMAXPROCS,
+// requested), with requested <= 0 meaning "no explicit cap". Campaign
+// cells are CPU-bound simulation, so a width beyond GOMAXPROCS only adds
+// scheduler churn, and a width beyond the job count only parks workers
+// on a closed channel; tiny campaigns (a 4-variant ablation sweep on a
+// 64-way host) therefore spin up 4 workers, not 64. The result is always
+// at least 1. Pool deliberately does not use this resolution: its
+// callers park workers on purpose (long-running session gangs block in
+// turn-taking protocols), so an explicit Pool width wider than the
+// machine is meaningful there.
+func EffectiveWidth(requested, jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if requested > 0 && requested < w {
+		w = requested
+	}
+	if jobs < w {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Run dispatches fn over jobs with at most width concurrent workers and
 // returns the results in job order: results[i] is fn's result for jobs[i],
-// regardless of completion order. width <= 0 means runtime.GOMAXPROCS(0);
-// width is clamped to len(jobs); width 1 runs the jobs serially on the
-// calling goroutine (the determinism baseline).
+// regardless of completion order. The width is resolved by EffectiveWidth
+// (width <= 0 means runtime.GOMAXPROCS(0), and it is clamped to the job
+// count and the machine); width 1 runs the jobs serially on the calling
+// goroutine (the determinism baseline).
 //
 // A worker panic is recovered into a *PanicError and treated as that job's
 // error. On the first error (or on ctx cancellation) no further jobs are
@@ -58,12 +84,7 @@ func RunStats[J, R any](ctx context.Context, jobs []J, width int, st *Stats, fn 
 		return results, ctx.Err()
 	}
 	st.plan(len(jobs))
-	if width <= 0 {
-		width = runtime.GOMAXPROCS(0)
-	}
-	if width > len(jobs) {
-		width = len(jobs)
-	}
+	width = EffectiveWidth(width, len(jobs))
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

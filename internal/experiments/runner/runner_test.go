@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -122,9 +123,12 @@ func TestRunSerialWidthCapturesPanics(t *testing.T) {
 func TestRunCancellationMidCampaign(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	jobs := make([]int, 64)
+	// The workers block until cancellation, so the trigger must fire on
+	// the last worker the resolved width actually spawns.
+	lastWorker := int64(EffectiveWidth(4, len(jobs)))
 	var started atomic.Int64
 	got, err := Run(ctx, jobs, 4, func(ctx context.Context, _ int) (int, error) {
-		if started.Add(1) == 4 {
+		if started.Add(1) == lastWorker {
 			cancel() // cancel while the pool is mid-flight
 		}
 		<-ctx.Done()
@@ -258,4 +262,55 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+func TestEffectiveWidth(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{0, 1000, max},         // no explicit cap: machine width
+		{0, 2, min(2, max)},    // tiny campaign: no idle workers
+		{1, 1000, 1},           // explicit serial request wins
+		{max + 7, 1000, max},   // over-subscription clamps to the machine
+		{3, 1000, min(3, max)}, // explicit cap below the machine holds
+		{8, 3, min(3, max)},    // job count caps an explicit request
+		{-4, 5, min(5, max)},   // negative behaves like "no cap"
+		{0, 0, 1},              // degenerate: still a valid width
+	}
+	for _, c := range cases {
+		if got := EffectiveWidth(c.requested, c.jobs); got != c.want {
+			t.Errorf("EffectiveWidth(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestRunTinyCampaignSpawnsNoIdleWorkers checks the adaptive width end to
+// end: a 2-job campaign on any machine never has more than 2 workers in
+// flight, however wide the request.
+func TestRunTinyCampaignSpawnsNoIdleWorkers(t *testing.T) {
+	var cur, peak atomic.Int64
+	gate := make(chan struct{})
+	jobs := []int{0, 1}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(context.Background(), jobs, 64, func(context.Context, int) (int, error) {
+			if c := cur.Add(1); c > peak.Load() {
+				peak.Store(c)
+			}
+			<-gate
+			cur.Add(-1)
+			return 0, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	<-done
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d for a 2-job campaign, want <= 2", p)
+	}
 }

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avfs/api"
+	"avfs/internal/sim"
+)
+
+// submitMix creates a session with the standard mixed workload loaded
+// but not yet advanced, so tests control how (and how concurrently) the
+// session steps.
+func submitMix(t *testing.T, f *Fleet, policy string) api.Session {
+	t.Helper()
+	s := mustCreate(t, f, api.CreateSessionRequest{Model: "xgene3", Policy: policy})
+	for _, sub := range []api.SubmitRequest{
+		{Benchmark: "CG", Threads: 8},
+		{Benchmark: "LU", Threads: 4},
+		{Benchmark: "lbm", Threads: 1},
+	} {
+		if _, err := f.Submit(s.ID, sub); err != nil {
+			t.Fatalf("Submit %s: %v", sub.Benchmark, err)
+		}
+	}
+	return s
+}
+
+// relDiff returns |a-b| / max(|a|,|b|) (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	return d / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestGangRunsMatchSolo drives several identical sessions through a
+// batching fleet concurrently and checks every one of them against the
+// same run on a NoBatch fleet: integer state exact, energy within the
+// documented 1e-9 relative tolerance.
+func TestGangRunsMatchSolo(t *testing.T) {
+	solo, _ := testFleet(t, Config{NoBatch: true})
+	ss := submitMix(t, solo, "optimal")
+	want, err := solo.RunSync(context.Background(), ss.ID, api.RunRequest{Seconds: 60})
+	if err != nil {
+		t.Fatalf("solo RunSync: %v", err)
+	}
+
+	f, _ := testFleet(t, Config{Workers: 8})
+	const n = 4
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = submitMix(t, f, "optimal").ID
+	}
+	got := make([]api.RunResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			got[i], errs[i] = f.RunSync(context.Background(), id, api.RunRequest{Seconds: 60})
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("gang RunSync %d: %v", i, errs[i])
+		}
+		if got[i].Now != want.Now || got[i].Ticks != want.Ticks || got[i].Emergencies != want.Emergencies {
+			t.Errorf("session %d integer state diverged: got %+v want %+v", i, got[i], want)
+		}
+		if rd := relDiff(got[i].EnergyJ, want.EnergyJ); rd > 1e-9 {
+			t.Errorf("session %d energy diverged: got %v want %v (rel %g)", i, got[i].EnergyJ, want.EnergyJ, rd)
+		}
+	}
+	if f.gang.ticks.Load() == 0 {
+		t.Error("gang committed no ticks; sessions did not advance through the batch engine")
+	}
+	t.Logf("gang: ticks=%d lockstep=%d shared=%d lastShard=%d",
+		f.gang.ticks.Load(), f.gang.lockstep.Load(), f.gang.shared.Load(), f.gang.lastShard.Load())
+}
+
+// TestGangMultiMemberShard proves a session arriving while a round is in
+// flight joins the leader's shard instead of waiting for it to finish:
+// the leader's machine blocks inside a step (via a bounded hook) until
+// the second session has enrolled, then both run to their budgets in one
+// multi-member shard.
+func TestGangMultiMemberShard(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	a := submitMix(t, f, "optimal")
+	b := submitMix(t, f, "optimal")
+	sa, _ := f.lookup(a.ID)
+	sb, _ := f.lookup(b.ID)
+
+	inStep := make(chan struct{})
+	release := make(chan struct{})
+	var fired atomic.Bool
+	sa.m.OnTickBounded(func(*sim.Machine, int) {
+		if fired.CompareAndSwap(false, true) {
+			close(inStep)
+			<-release
+		}
+	}, func() float64 {
+		if fired.Load() {
+			return math.Inf(1)
+		}
+		return 1.0
+	})
+
+	ctx := context.Background()
+	errc := make(chan error, 2)
+	go func() { errc <- f.gang.advance(ctx, sa.m, 60) }()
+	<-inStep // leader is mid-step; with the lock held across Step this deadlocks
+	go func() { errc <- f.gang.advance(ctx, sb.m, 60) }()
+	for f.gang.enrolled.Load() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("gang advance: %v", err)
+		}
+	}
+
+	if got := sa.m.Ticks(); got != 6000 {
+		t.Errorf("leader advanced %d ticks, want 6000", got)
+	}
+	if got := sb.m.Ticks(); got != 6000 {
+		t.Errorf("joiner advanced %d ticks, want 6000", got)
+	}
+	if got := f.gang.lastShard.Load(); got != 2 {
+		t.Errorf("final shard had %d members, want 2", got)
+	}
+	if got := f.gang.ticks.Load(); got != 12000 {
+		t.Errorf("gang committed %d member-ticks, want 12000", got)
+	}
+	if f.gang.lockstep.Load() == 0 {
+		t.Error("no lockstep ticks: the shard never committed a shared round")
+	}
+}
+
+// TestWhatIfBatchedMatchesSolo runs the same what-if twice — batched
+// (default) and Solo — and checks the branch outcomes agree: integers
+// exact, energies within 1e-9 relative. The batched report must carry
+// the Batch block.
+func TestWhatIfBatchedMatchesSolo(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	s := seedSession(t, f, "optimal")
+	snap, err := f.Snapshot(s.ID)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	ctx := context.Background()
+	batched, err := f.WhatIf(ctx, s.ID, api.WhatIfRequest{SnapshotID: snap.ID, Seconds: 60})
+	if err != nil {
+		t.Fatalf("batched WhatIf: %v", err)
+	}
+	plain, err := f.WhatIf(ctx, s.ID, api.WhatIfRequest{SnapshotID: snap.ID, Seconds: 60, Solo: true})
+	if err != nil {
+		t.Fatalf("solo WhatIf: %v", err)
+	}
+
+	if plain.Batch != nil {
+		t.Errorf("solo report unexpectedly carries a Batch block: %+v", plain.Batch)
+	}
+	if batched.Batch == nil {
+		t.Fatal("batched report is missing the Batch block")
+	}
+	if batched.Batch.Branches != len(batched.Branches) || batched.Batch.Ticks == 0 {
+		t.Errorf("bad Batch block: %+v", batched.Batch)
+	}
+	if batched.Batch.SpeedupEst < 1 {
+		t.Errorf("SpeedupEst = %v, want >= 1", batched.Batch.SpeedupEst)
+	}
+
+	if len(batched.Branches) != len(plain.Branches) {
+		t.Fatalf("branch counts differ: %d vs %d", len(batched.Branches), len(plain.Branches))
+	}
+	for i := range batched.Branches {
+		b, p := batched.Branches[i], plain.Branches[i]
+		if b.Error != nil || p.Error != nil {
+			t.Fatalf("branch %s failed: batched=%v solo=%v", b.Name, b.Error, p.Error)
+		}
+		if b.Name != p.Name || b.Policy != p.Policy {
+			t.Fatalf("branch order diverged: %s vs %s", b.Name, p.Name)
+		}
+		if b.Ticks != p.Ticks || b.Now != p.Now || b.Seconds != p.Seconds ||
+			b.Completed != p.Completed || b.Running != p.Running || b.Pending != p.Pending ||
+			b.Emergencies != p.Emergencies || b.VoltageMV != p.VoltageMV ||
+			b.MakespanS != p.MakespanS || b.P50RuntimeS != p.P50RuntimeS || b.P99RuntimeS != p.P99RuntimeS {
+			t.Errorf("branch %s state diverged:\nbatched %+v\nsolo    %+v", b.Name, b, p)
+		}
+		if rd := relDiff(b.EnergyJ, p.EnergyJ); rd > 1e-9 {
+			t.Errorf("branch %s energy diverged: %v vs %v (rel %g)", b.Name, b.EnergyJ, p.EnergyJ, rd)
+		}
+	}
+	if batched.BestEnergy != plain.BestEnergy || batched.BestPerf != plain.BestPerf {
+		t.Errorf("winners diverged: batched (%s, %s) vs solo (%s, %s)",
+			batched.BestEnergy, batched.BestPerf, plain.BestEnergy, plain.BestPerf)
+	}
+}
+
+// TestBatchMetricsExported checks the batched-stepping scrape surface is
+// registered on every fleet (all-zero under NoBatch) and counts work
+// after sessions advance.
+func TestBatchMetricsExported(t *testing.T) {
+	names := []string{
+		"avfs_sim_batch_sessions",
+		"avfs_sim_batch_shard_size",
+		"avfs_sim_batch_ticks_total",
+		"avfs_sim_batch_shared_ticks_total",
+		"avfs_sim_batch_memo_hits_total",
+		"avfs_sim_batch_memo_misses_total",
+	}
+
+	off, _ := testFleet(t, Config{NoBatch: true})
+	seedSession(t, off, "optimal")
+	for _, name := range names {
+		if v, ok := off.reg.Value(name); !ok {
+			t.Errorf("NoBatch fleet is missing metric %s", name)
+		} else if v != 0 {
+			t.Errorf("NoBatch fleet reports %s = %v, want 0", name, v)
+		}
+	}
+
+	f, _ := testFleet(t, Config{})
+	seedSession(t, f, "optimal")
+	for _, name := range names {
+		if _, ok := f.reg.Value(name); !ok {
+			t.Errorf("fleet is missing metric %s", name)
+		}
+	}
+	if v, _ := f.reg.Value("avfs_sim_batch_ticks_total"); v <= 0 {
+		t.Errorf("avfs_sim_batch_ticks_total = %v after a 30s run, want > 0", v)
+	}
+	if v, _ := f.reg.Value("avfs_sim_batch_sessions"); v != 0 {
+		t.Errorf("avfs_sim_batch_sessions = %v while idle, want 0", v)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"avfs/api"
 	"avfs/internal/experiments/runner"
+	"avfs/internal/sim"
 	"avfs/internal/snapshot"
 	"avfs/internal/telemetry"
 	"avfs/internal/telemetry/export"
@@ -68,6 +69,12 @@ type Config struct {
 	// NoTrace disables the span/SLO layer entirely — the tracing-off
 	// baseline of the overhead gate. Access and slow logs still work.
 	NoTrace bool
+	// NoBatch disables batched multi-session stepping: sessions advance
+	// solo (no gang shards, no shared steady-segment memo, what-if
+	// branches on their own pool workers). It is the solo baseline of the
+	// batch equality tests; the default (false) is strictly an
+	// optimization — batched stepping is bit-identical to solo.
+	NoBatch bool
 }
 
 // withDefaults resolves the zero value.
@@ -119,6 +126,13 @@ type Fleet struct {
 	// snaps holds content-addressed session snapshots — the state behind
 	// the fork and what-if endpoints.
 	snaps *snapshot.Store
+	// memo is the fleet-wide cross-session steady-segment memo: every
+	// session's machine (and every what-if branch) shares it, so one
+	// tenant's transient warms the next tenant's. nil when NoBatch.
+	memo *sim.SteadyMemo
+	// gang is the lockstep shard stepper session advances route through
+	// (see shard.go). nil when NoBatch — sessions then step solo.
+	gang *gang
 
 	// baseCtx parents every session context; Close cancels it, aborting
 	// whatever Drain left behind.
@@ -190,6 +204,10 @@ func New(cfg Config) *Fleet {
 		reapDone: make(chan struct{}),
 	}
 	f.baseCtx, f.cancelBase = context.WithCancel(context.Background())
+	if !cfg.NoBatch {
+		f.memo = sim.NewSteadyMemo(0)
+		f.gang = newGang()
+	}
 	f.store.Instrument(f.reg)
 	f.mSessions = f.reg.Counter("avfs_fleet_sessions_created_total", "Sessions created.")
 	f.mReaped = f.reg.Counter("avfs_fleet_sessions_reaped_total", "Sessions deleted by the TTL reaper.")
@@ -234,6 +252,52 @@ func New(cfg Config) *Fleet {
 		JobDone:   func(d time.Duration) { f.hPoolRun.Observe(d.Seconds()) },
 	})
 
+	// Batched-stepping surface: always registered (stable scrape schema),
+	// all-zero when NoBatch. The functions read lock-free atomics, so the
+	// scrape cost stays within the telemetry overhead budget.
+	f.reg.Gauge("avfs_sim_batch_sessions",
+		"Sessions currently advancing inside a lockstep gang shard.", func() float64 {
+			if f.gang == nil {
+				return 0
+			}
+			return float64(f.gang.enrolled.Load())
+		})
+	f.reg.Gauge("avfs_sim_batch_shard_size",
+		"Member count of the most recently completed gang shard round.", func() float64 {
+			if f.gang == nil {
+				return 0
+			}
+			return float64(f.gang.lastShard.Load())
+		})
+	f.reg.CounterFunc("avfs_sim_batch_ticks_total",
+		"Member-ticks committed through gang shard rounds.", func() float64 {
+			if f.gang == nil {
+				return 0
+			}
+			return float64(f.gang.ticks.Load())
+		})
+	f.reg.CounterFunc("avfs_sim_batch_shared_ticks_total",
+		"Gang member-ticks that reused an identical member's lockstep fold.", func() float64 {
+			if f.gang == nil {
+				return 0
+			}
+			return float64(f.gang.shared.Load())
+		})
+	f.reg.CounterFunc("avfs_sim_batch_memo_hits_total",
+		"Full simulated ticks served from the cross-session steady-segment memo.", func() float64 {
+			if f.memo == nil {
+				return 0
+			}
+			return float64(f.memo.Hits())
+		})
+	f.reg.CounterFunc("avfs_sim_batch_memo_misses_total",
+		"Steady-segment memo probes that fell through to full tick computation.", func() float64 {
+			if f.memo == nil {
+				return 0
+			}
+			return float64(f.memo.Misses())
+		})
+
 	if !cfg.NoTrace {
 		f.reqSLO = telemetry.NewSLOTracker(cfg.SLOWindow)
 		f.reg.Gauge("avfs_http_request_seconds",
@@ -252,6 +316,16 @@ func New(cfg Config) *Fleet {
 
 // Registry exposes the fleet-level metric registry (the /metrics surface).
 func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
+
+// sessionWiring assembles the fleet-derived settings a new or restored
+// session is built with: the observability plane plus the shared
+// steady-segment memo and the gang stepper (both nil when NoBatch).
+func (f *Fleet) sessionWiring() obsConfig {
+	return obsConfig{
+		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
+		memo: f.memo, gang: f.gang,
+	}
+}
 
 // reapLoop ticks the TTL reaper until Close.
 func (f *Fleet) reapLoop() {
@@ -306,9 +380,7 @@ func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 
 	// Build outside the fleet lock (construction touches no shared state);
 	// publish under it, re-checking the race windows.
-	s, err := newSession(f.baseCtx, id, req, f.cfg.SessionTTL, now, obsConfig{
-		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
-	})
+	s, err := newSession(f.baseCtx, id, req, f.cfg.SessionTTL, now, f.sessionWiring())
 	if err != nil {
 		return api.Session{}, err
 	}

@@ -88,6 +88,11 @@ type session struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 
+	// gang is the fleet's lockstep shard stepper; runChunked routes every
+	// advance through it. nil (Config.NoBatch) means solo stepping.
+	// Immutable after construction.
+	gang *gang
+
 	// Observability plane (all nil when the fleet runs with NoTrace):
 	// spans is the session's bounded span ring; reqSLO/advSLO track
 	// request- and advance-chunk latency for the /slo surface;
@@ -137,11 +142,17 @@ type job struct {
 // the ring holds the recent window and reports how much it dropped.
 const traceCap = 4096
 
-// obsConfig carries the fleet's observability settings into a session.
+// obsConfig carries the fleet's observability settings into a session,
+// plus the shared batched-stepping plumbing (see Fleet.sessionWiring).
 type obsConfig struct {
 	enabled bool
 	spanCap int
 	window  time.Duration
+	// memo is the fleet-wide steady-segment memo the session's machine
+	// attaches to; gang is the lockstep shard stepper runChunked routes
+	// advances through. Both nil under Config.NoBatch (solo stepping).
+	memo *sim.SteadyMemo
+	gang *gang
 }
 
 // runMeta is the correlation identity a run carries from the HTTP edge
@@ -204,6 +215,10 @@ func newSession(parent context.Context, id string, req api.CreateSessionRequest,
 	if req.Coalescing != nil {
 		s.m.SetCoalescing(*req.Coalescing)
 	}
+	if obs.memo != nil {
+		s.m.SetSteadyMemo(obs.memo)
+	}
+	s.gang = obs.gang
 	s.tracer.Subscribe(s.appendTrace)
 	telemetry.WireMachine(s.m, s.reg, s.tracer)
 
@@ -278,6 +293,10 @@ func restoreSession(parent context.Context, id string, st *snapshot.SessionState
 		cancel()
 		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
+	if obs.memo != nil {
+		s.m.SetSteadyMemo(obs.memo)
+	}
+	s.gang = obs.gang
 	s.tracer.Subscribe(s.appendTrace)
 	telemetry.WireMachine(s.m, s.reg, s.tracer)
 
@@ -557,7 +576,9 @@ func (s *session) runChunked(ctx context.Context, seconds float64, untilIdle boo
 			break
 		}
 		ticksBefore := s.m.Ticks()
-		err := s.m.RunForContext(ctx, step)
+		// The gang steps compatible concurrently-advancing sessions in
+		// lockstep (bit-identical to solo); a nil gang is solo stepping.
+		err := s.gang.advance(ctx, s.m, step)
 		ticks := s.m.Ticks() - ticksBefore
 		s.lastTouch = clk()
 		s.mu.Unlock()

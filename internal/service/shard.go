@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"avfs/internal/sim"
+)
+
+// This file implements the fleet's gang stepper: the session manager's
+// side of batched structure-of-arrays stepping (internal/sim's Batch).
+// Sessions that happen to be advancing at the same time and share a chip
+// model, core count and tick length are grouped into a shard behind the
+// runner pool and stepped in lockstep by one of their own worker
+// goroutines; the rest park until their budget is reached. Divergent
+// members (mid-transient, policy just flipped) are handled inside
+// sim.Batch by its solo fallback, so the gang never has to understand
+// convergence — and a session whose caller gives up is ejected at the
+// next round boundary, exactly the granularity at which solo
+// RunForContext honours cancellation.
+//
+// The protocol is deliberately transparent: a gang advance of `seconds`
+// is bit-identical to m.RunForContext(ctx, seconds) (integer state
+// exactly, energies within FP-summation tolerance — the contract
+// sim.Batch itself guarantees and internal/sim's equality suite pins).
+
+// shardKey is the gang admission identity — the same triple sim.Batch
+// enforces on Add, so admission into a shard can never fail.
+type shardKey struct {
+	model int
+	cores int
+	tick  float64
+}
+
+// gang routes concurrent session advances into per-key shards and keeps
+// the fleet-level accounting the /metrics gauges read. A nil *gang is
+// valid and means "solo stepping" (the Config.NoBatch escape hatch).
+type gang struct {
+	mu     sync.Mutex
+	shards map[shardKey]*shard
+
+	// enrolled counts sessions currently inside a gang advance (leading,
+	// parked, or pending admission); lastShard is the member count of the
+	// most recently completed shard round. Both feed /metrics gauges.
+	enrolled  atomic.Int64
+	lastShard atomic.Int64
+	// Cumulative sim.BatchStats across completed shard rounds.
+	rounds   atomic.Uint64
+	ticks    atomic.Uint64
+	lockstep atomic.Uint64
+	shared   atomic.Uint64
+}
+
+func newGang() *gang {
+	return &gang{shards: make(map[shardKey]*shard)}
+}
+
+// advance moves m forward by seconds of simulated time through the gang,
+// blocking until the budget is reached or ctx ends (returning ctx's
+// error, like RunForContext). A nil gang degrades to solo stepping.
+func (g *gang) advance(ctx context.Context, m *sim.Machine, seconds float64) error {
+	if g == nil {
+		return m.RunForContext(ctx, seconds)
+	}
+	key := shardKey{model: int(m.Spec.Model), cores: m.Spec.Cores, tick: m.Tick}
+	g.mu.Lock()
+	sh := g.shards[key]
+	if sh == nil {
+		sh = &shard{g: g}
+		sh.cond = sync.NewCond(&sh.mu)
+		g.shards[key] = sh
+	}
+	g.mu.Unlock()
+	return sh.advance(ctx, m, seconds)
+}
+
+// gangMember is one session's offer to a shard round.
+type gangMember struct {
+	m       *sim.Machine
+	seconds float64
+	ctx     context.Context
+	done    bool
+	solo    bool // admission failed: caller falls back to solo stepping
+	err     error
+}
+
+// shard is the rendezvous of one admission key. The first session to
+// offer becomes the leader and drives sim.Batch rounds for everyone;
+// later offers join the in-flight round between lockstep rounds (their
+// machines may sit at different absolute times — sim.Batch tracks a
+// per-member budget). When the leader's own budget completes first it
+// hands leadership to a parked member and leaves; when the last member
+// completes, the round's stats are folded into the gang and the batch
+// is discarded.
+type shard struct {
+	g    *gang
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	b       *sim.Batch    // nil between rounds
+	members []*gangMember // admitted members; index == batch index
+	pending []*gangMember // offered, not yet admitted by the leader
+	leading bool
+}
+
+// advance enrolls one machine and blocks until its budget is done,
+// taking over as leader whenever the shard has none.
+func (sh *shard) advance(ctx context.Context, m *sim.Machine, seconds float64) error {
+	gm := &gangMember{m: m, seconds: seconds, ctx: ctx}
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, gm)
+	sh.g.enrolled.Add(1)
+	for {
+		if gm.done {
+			sh.g.enrolled.Add(-1)
+			err, solo := gm.err, gm.solo
+			sh.mu.Unlock()
+			if solo {
+				return m.RunForContext(ctx, seconds)
+			}
+			return err
+		}
+		if !sh.leading {
+			sh.leading = true
+			sh.drive(gm)
+			continue
+		}
+		sh.cond.Wait()
+	}
+}
+
+// drive runs lockstep rounds until the caller's own budget is done, then
+// hands off or retires the round. sh.mu is held on entry and exit and
+// around all round bookkeeping, but released while b.Step() runs — the
+// whole point of the shard: sessions arriving mid-round must be able to
+// append their offer and park while the leader is inside a step, or the
+// gang would serialize advances instead of batching them.
+func (sh *shard) drive(own *gangMember) {
+	defer func() {
+		if v := recover(); v != nil {
+			// A panic in a member machine must not strand parked members:
+			// fail everyone, reset the round, and re-panic into the
+			// leader's pool job (which converts it to a PanicError).
+			for _, mm := range sh.members {
+				if !mm.done {
+					mm.done = true
+					mm.err = fmt.Errorf("gang leader panicked: %v", v)
+				}
+			}
+			for _, mm := range sh.pending {
+				mm.done, mm.solo = true, true
+			}
+			sh.pending = sh.pending[:0]
+			sh.b = nil
+			sh.members = sh.members[:0]
+			sh.leading = false
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			panic(v)
+		}
+	}()
+	for !own.done {
+		sh.admitLocked()
+		// Eject members whose callers gave up; they observe the same
+		// error RunForContext would have returned.
+		for i, mm := range sh.members {
+			if !mm.done && mm.ctx.Err() != nil {
+				sh.b.Eject(i)
+				mm.done = true
+				mm.err = mm.ctx.Err()
+			}
+		}
+		if own.done { // own offer was cancelled before admission
+			sh.cond.Broadcast()
+			break
+		}
+		alive := sh.stepUnlocked()
+		for i, mm := range sh.members {
+			if !mm.done && sh.b.Done(i) {
+				mm.done = true
+			}
+		}
+		if !alive && len(sh.pending) == 0 {
+			sh.finishRoundLocked()
+		}
+		sh.cond.Broadcast()
+	}
+	// Retire the round if nothing is left in it (we may have exited the
+	// loop via ejection rather than via a completed Step).
+	if sh.b != nil {
+		allDone := true
+		for _, mm := range sh.members {
+			if !mm.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone && len(sh.pending) == 0 {
+			sh.finishRoundLocked()
+		}
+	}
+	// Leadership handoff: if the round (or a pending offer) outlives us,
+	// wake a parked member to take over the driving loop.
+	sh.leading = false
+	if sh.b != nil || len(sh.pending) > 0 {
+		sh.cond.Broadcast()
+	}
+}
+
+// stepUnlocked runs one batch round with sh.mu released, so concurrent
+// offers can enroll (and park) while member machines are stepping. The
+// batch itself is only ever touched by the leader, and `leading` stays
+// set, so newcomers cannot race into drive. The deferred re-lock keeps
+// the panic contract: a member machine panicking mid-step unwinds into
+// drive's recovery with the lock held.
+func (sh *shard) stepUnlocked() bool {
+	b := sh.b
+	sh.mu.Unlock()
+	defer sh.mu.Lock()
+	return b.Step()
+}
+
+// admitLocked moves pending offers into the current round. Admission
+// cannot fail — the shard key pins the batch's admission triple — but a
+// mismatch (or an offer whose context already ended) must never strand
+// its caller, so those degrade to solo stepping or fail immediately.
+func (sh *shard) admitLocked() {
+	for _, gm := range sh.pending {
+		if gm.ctx.Err() != nil {
+			gm.done = true
+			gm.err = gm.ctx.Err()
+			continue
+		}
+		if sh.b == nil {
+			sh.b = sim.NewBatch()
+			sh.members = sh.members[:0]
+		}
+		idx, err := sh.b.Add(gm.m, gm.seconds, false)
+		if err != nil || idx != len(sh.members) {
+			gm.done, gm.solo = true, true
+			continue
+		}
+		sh.members = append(sh.members, gm)
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// finishRoundLocked folds the completed round's stats into the gang and
+// discards the batch, so the next offer starts a fresh shard.
+func (sh *shard) finishRoundLocked() {
+	if sh.b == nil {
+		return
+	}
+	st := sh.b.Stats()
+	sh.g.rounds.Add(st.Rounds)
+	sh.g.ticks.Add(st.Ticks)
+	sh.g.lockstep.Add(st.LockstepTicks)
+	sh.g.shared.Add(st.SharedTicks)
+	sh.g.lastShard.Store(int64(sh.b.Len()))
+	sh.b = nil
+	sh.members = sh.members[:0]
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"avfs/api"
 	"avfs/internal/chip"
@@ -120,9 +121,7 @@ func (f *Fleet) Fork(id string, req api.ForkRequest) (api.Fork, error) {
 
 	// Build outside the fleet lock (like Create); publish under it,
 	// re-checking the admission windows.
-	child, err := restoreSession(f.baseCtx, cid, st, req.TTLSeconds, f.cfg.SessionTTL, now, obsConfig{
-		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
-	})
+	child, err := restoreSession(f.baseCtx, cid, st, req.TTLSeconds, f.cfg.SessionTTL, now, f.sessionWiring())
 	if err != nil {
 		return api.Fork{}, err
 	}
@@ -246,15 +245,26 @@ func (f *Fleet) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (a
 		Seconds:    req.Seconds,
 		Branches:   make([]api.WhatIfBranch, len(specs)),
 	}
-	var wg sync.WaitGroup
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			report.Branches[i] = f.runBranch(ctx, st, specs[i], req.Seconds, req.UntilIdle)
-		}(i)
+	if req.Solo || f.memo == nil {
+		// Solo: one pool job per branch, each advancing independently.
+		var wg sync.WaitGroup
+		for i := range specs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				report.Branches[i] = f.runBranch(ctx, st, specs[i], req.Seconds, req.UntilIdle)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		// Default: all branches advance as one structure-of-arrays batch
+		// on a single pool job. Branches of one snapshot start bitwise
+		// identical, so until their overrides drive them apart the batch
+		// folds their ticks together (and serves transients from the
+		// fleet's steady-segment memo); the report records how much work
+		// that sharing saved.
+		report.Batch = f.runBranchesBatched(ctx, st, specs, req.Seconds, req.UntilIdle, report.Branches)
 	}
-	wg.Wait()
 
 	bestEnergy, bestPerf := -1, -1
 	for i := range report.Branches {
@@ -303,29 +313,39 @@ func (f *Fleet) runBranch(ctx context.Context, st *snapshot.SessionState, spec b
 	return out
 }
 
-// advanceBranch restores a transient machine from the snapshot, applies
-// the branch's overrides and advances it, filling the branch report with
-// window-delta metrics (measured from the snapshot point).
-func advanceBranch(ctx context.Context, st *snapshot.SessionState, spec branchSpec, seconds float64, untilIdle bool, out *api.WhatIfBranch) error {
+// branchRig is one restored, override-applied what-if branch ready to
+// advance, with the window baseline its report deltas are measured from.
+type branchRig struct {
+	m       *sim.Machine
+	now0    float64
+	energy0 float64
+	em0     int
+	done0   int
+}
+
+// buildBranch restores a transient machine from the snapshot and applies
+// the branch's overrides (policy flip, power cap, re-placement), exactly
+// as restoreSession wires a real session minus telemetry — branches are
+// unobserved and never enter the registry.
+func buildBranch(st *snapshot.SessionState, spec branchSpec) (*branchRig, error) {
 	chipSpec, _, err := parseModel(st.Model)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	m, err := sim.RestoreMachine(chipSpec, st.Machine)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
-	// Stack wiring mirrors restoreSession minus telemetry (branches are
-	// unobserved): baseline first, then daemon, then state restore.
+	// Stack wiring mirrors restoreSession: baseline first, then daemon,
+	// then state restore.
 	base := sched.NewBaseline(m)
 	d := daemon.New(m, daemon.DefaultConfig())
 	d.Attach()
 	if err := d.RestoreState(st.Daemon); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
 	base.RestoreState(st.Baseline)
 
-	// Overrides: policy flip, power cap, re-placement.
 	if spec.policy != "" && spec.policy != st.Policy {
 		applyPolicy(m, d, base, spec.policy)
 	}
@@ -334,48 +354,52 @@ func advanceBranch(ctx context.Context, st *snapshot.SessionState, spec branchSp
 	}
 	if spec.place != nil {
 		if err := replaceRunning(m, *spec.place); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	return &branchRig{
+		m: m, now0: m.Now(), energy0: m.Meter.Energy(),
+		em0: len(m.Emergencies()), done0: len(m.Finished()),
+	}, nil
+}
 
-	now0 := m.Now()
-	energy0 := m.Meter.Energy()
-	em0 := len(m.Emergencies())
-	done0 := len(m.Finished())
-
+// soloAdvance runs one branch machine by itself. Not reaching idle
+// within the budget is a legitimate what-if outcome (the report says how
+// much work was left), not a failure.
+func soloAdvance(ctx context.Context, m *sim.Machine, seconds float64, untilIdle bool) error {
 	if untilIdle {
-		err = m.RunUntilIdleContext(ctx, seconds)
-		// Not reaching idle within the budget is a legitimate what-if
-		// outcome (the report says how much work was left), not a failure.
+		err := m.RunUntilIdleContext(ctx, seconds)
 		if err != nil && errors.Is(err, sim.ErrNotIdle) {
-			err = nil
+			return nil
 		}
-	} else {
-		err = m.RunForContext(ctx, seconds)
-	}
-	if err != nil {
 		return err
 	}
+	return m.RunForContext(ctx, seconds)
+}
 
+// report fills the branch report with window-delta metrics (measured
+// from the snapshot point) at the rig's current state.
+func (r *branchRig) report(out *api.WhatIfBranch) {
+	m := r.m
 	out.Now = m.Now()
 	out.Ticks = m.Ticks()
-	out.Seconds = m.Now() - now0
-	out.EnergyJ = m.Meter.Energy() - energy0
+	out.Seconds = m.Now() - r.now0
+	out.EnergyJ = m.Meter.Energy() - r.energy0
 	if out.Seconds > 0 {
 		out.AvgPowerW = out.EnergyJ / out.Seconds
 	}
 	out.Running = m.RunningCount()
 	out.Pending = m.PendingCount()
-	out.Emergencies = len(m.Emergencies()) - em0
+	out.Emergencies = len(m.Emergencies()) - r.em0
 	out.VoltageMV = int(m.Chip.Voltage())
 
-	fins := m.Finished()[done0:]
+	fins := m.Finished()[r.done0:]
 	out.Completed = len(fins)
 	if len(fins) > 0 {
 		runtimes := make([]float64, 0, len(fins))
 		for _, p := range fins {
 			runtimes = append(runtimes, p.Completed-p.Started)
-			if span := p.Completed - now0; span > out.MakespanS {
+			if span := p.Completed - r.now0; span > out.MakespanS {
 				out.MakespanS = span
 			}
 		}
@@ -383,7 +407,115 @@ func advanceBranch(ctx context.Context, st *snapshot.SessionState, spec branchSp
 		out.P50RuntimeS = nearestRank(runtimes, 0.50)
 		out.P99RuntimeS = nearestRank(runtimes, 0.99)
 	}
+}
+
+// advanceBranch restores a transient machine from the snapshot, applies
+// the branch's overrides and advances it alone (the solo path).
+func advanceBranch(ctx context.Context, st *snapshot.SessionState, spec branchSpec, seconds float64, untilIdle bool, out *api.WhatIfBranch) error {
+	rig, err := buildBranch(st, spec)
+	if err != nil {
+		return err
+	}
+	if err := soloAdvance(ctx, rig.m, seconds, untilIdle); err != nil {
+		return err
+	}
+	rig.report(out)
 	return nil
+}
+
+// runBranchesBatched advances every branch as one structure-of-arrays
+// batch on a single pool job, sharing the fleet's steady-segment memo.
+// Per-branch failures land in that branch's Error field; an admission or
+// cancellation failure lands on every branch still unfinished. The
+// returned summary records the sharing the batch achieved (nil when the
+// pool rejected the job outright).
+func (f *Fleet) runBranchesBatched(ctx context.Context, st *snapshot.SessionState, specs []branchSpec, seconds float64, untilIdle bool, out []api.WhatIfBranch) *api.WhatIfBatch {
+	for i := range specs {
+		sp := specs[i]
+		out[i] = api.WhatIfBranch{
+			Name: sp.name, Policy: st.Policy,
+			PowerCapW: sp.capW, Placement: sp.placeName,
+		}
+		if sp.policy != "" {
+			out[i].Policy = sp.policy
+		}
+	}
+	var bs api.WhatIfBatch
+	err := f.pool.Do(ctx, func(jctx context.Context) error {
+		hits0, misses0 := f.memo.Hits(), f.memo.Misses()
+		begin := time.Now()
+		b := sim.NewBatch()
+		rigs := make([]*branchRig, len(specs))
+		idxOf := make([]int, len(specs))
+		for i := range specs {
+			idxOf[i] = -1
+			rig, err := buildBranch(st, specs[i])
+			if err != nil {
+				out[i].Error = wireError(err)
+				continue
+			}
+			rig.m.SetSteadyMemo(f.memo)
+			bi, err := b.Add(rig.m, seconds, untilIdle)
+			if err != nil {
+				// Unreachable — every branch restores from one snapshot,
+				// so the admission triple always matches — but a branch
+				// must never be lost: advance it solo instead.
+				if aerr := soloAdvance(jctx, rig.m, seconds, untilIdle); aerr != nil {
+					out[i].Error = wireError(aerr)
+				} else {
+					rig.report(&out[i])
+				}
+				continue
+			}
+			rigs[i], idxOf[i] = rig, bi
+		}
+		for {
+			if err := jctx.Err(); err != nil {
+				for i := range specs {
+					if idxOf[i] >= 0 && !b.Done(idxOf[i]) {
+						b.Eject(idxOf[i])
+						out[i].Error = wireError(err)
+						rigs[i] = nil
+					}
+				}
+				break
+			}
+			if !b.Step() {
+				break
+			}
+		}
+		for i, rig := range rigs {
+			if rig != nil {
+				rig.report(&out[i])
+			}
+		}
+		stats := b.Stats()
+		bs = api.WhatIfBatch{
+			Branches:      b.Len(),
+			Ticks:         stats.Ticks,
+			LockstepTicks: stats.LockstepTicks,
+			SharedTicks:   stats.SharedTicks,
+			MemoHits:      f.memo.Hits() - hits0,
+			MemoMisses:    f.memo.Misses() - misses0,
+			WallSeconds:   time.Since(begin).Seconds(),
+		}
+		if bs.WallSeconds > 0 {
+			bs.TicksPerSec = float64(bs.Ticks) / bs.WallSeconds
+		}
+		if own := stats.Ticks - stats.SharedTicks; own > 0 {
+			bs.SpeedupEst = float64(stats.Ticks) / float64(own)
+		}
+		return nil
+	})
+	if err != nil {
+		for i := range out {
+			if out[i].Error == nil {
+				out[i].Error = wireError(err)
+			}
+		}
+		return nil
+	}
+	return &bs
 }
 
 // replaceRunning re-places every running process's threads in canonical

@@ -1,0 +1,411 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"avfs/internal/chip"
+	"avfs/internal/daemon"
+	"avfs/internal/power"
+	"avfs/internal/sim"
+	"avfs/internal/workload"
+)
+
+// batchTemplate builds the standard mixed load, converges it, and
+// captures the state — every restore of it is a bit-identical machine
+// with a live steady cache, the shape of a forked fleet session.
+func batchTemplate(t testing.TB) *sim.MachineState {
+	t.Helper()
+	m := sim.New(chip.XGene3Spec())
+	fillBusy(m)
+	m.RunFor(2)
+	return m.CaptureState()
+}
+
+func restoreFrom(t testing.TB, st *sim.MachineState) *sim.Machine {
+	t.Helper()
+	m, err := sim.RestoreMachine(chip.XGene3Spec(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// stateEquiv asserts the batch-vs-solo equivalence contract between two
+// captured states: every integer observable, tick count, progress float
+// and cached quantum bitwise exact; only the time-integrated energy
+// accumulators (whose FP-summation order depends on how the steady
+// stretch was partitioned into commits) compared within 1e-9 relative —
+// the same contract solo coalescing already holds.
+func stateEquiv(t *testing.T, label string, got, want *sim.MachineState) {
+	t.Helper()
+	close := func(name string, a, b float64) {
+		t.Helper()
+		if !relCloseTest(a, b, 1e-9) {
+			t.Errorf("%s: %s diverged: got %v, want %v", label, name, a, b)
+		}
+	}
+	g, w := *got, *want
+	close("energy_j", g.EnergyJ, w.EnergyJ)
+	close("seconds", g.Seconds, w.Seconds)
+	close("energy_bd.core", g.EnergyBD.CoreDynamic, w.EnergyBD.CoreDynamic)
+	close("energy_bd.pmd", g.EnergyBD.PMDUncore, w.EnergyBD.PMDUncore)
+	close("energy_bd.l3", g.EnergyBD.L3Fabric, w.EnergyBD.L3Fabric)
+	close("energy_bd.mem", g.EnergyBD.MemCtl, w.EnergyBD.MemCtl)
+	close("energy_bd.leak", g.EnergyBD.Leakage, w.EnergyBD.Leakage)
+	g.EnergyJ, w.EnergyJ = 0, 0
+	g.Seconds, w.Seconds = 0, 0
+	g.EnergyBD, w.EnergyBD = power.Breakdown{}, power.Breakdown{}
+	// Coalesced counts batch partitioning, which legitimately differs.
+	g.Coalesced, w.Coalesced = 0, 0
+	gp := append([]sim.ProcessState(nil), g.Processes...)
+	wp := append([]sim.ProcessState(nil), w.Processes...)
+	for i := range gp {
+		if i < len(wp) {
+			close("proc core_energy", gp[i].CoreEnergy, wp[i].CoreEnergy)
+			gp[i].CoreEnergy, wp[i].CoreEnergy = 0, 0
+		}
+	}
+	g.Processes, w.Processes = gp, wp
+	if !reflect.DeepEqual(g, w) {
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		t.Errorf("%s: states diverged beyond energy tolerance:\n got %s\nwant %s", label, gj, wj)
+	}
+}
+
+func relCloseTest(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// runBatch advances every machine by seconds through one Batch.
+func runBatch(t testing.TB, machines []*sim.Machine, seconds float64) sim.BatchStats {
+	t.Helper()
+	b := sim.NewBatch()
+	for _, m := range machines {
+		if _, err := b.Add(m, seconds, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run()
+	return b.Stats()
+}
+
+// TestBatchSoloBitEquality is the core contract: an identical-chip shard
+// advanced in lockstep ends bit-identical to the same sessions stepping
+// solo (integers and progress exact, energies within 1e-9).
+func TestBatchSoloBitEquality(t *testing.T) {
+	st := batchTemplate(t)
+	const n, window = 8, 20.0
+	memo := sim.NewSteadyMemo(0)
+	var solo, batched []*sim.Machine
+	for i := 0; i < n; i++ {
+		solo = append(solo, restoreFrom(t, st))
+		bm := restoreFrom(t, st)
+		bm.SetSteadyMemo(memo)
+		batched = append(batched, bm)
+	}
+	for _, m := range solo {
+		m.RunFor(window)
+	}
+	stats := runBatch(t, batched, window)
+	if stats.LockstepTicks == 0 {
+		t.Error("no ticks were committed through the lockstep fold")
+	}
+	if stats.SharedTicks == 0 {
+		t.Error("identical members shared no folds")
+	}
+	for i := range batched {
+		stateEquiv(t, "member", batched[i].CaptureState(), solo[i].CaptureState())
+	}
+}
+
+// TestBatchDaemonSoloBitEquality runs the production session shape — the
+// Optimal daemon attached, its poll boundary bounding every lockstep
+// round — batched vs solo.
+func TestBatchDaemonSoloBitEquality(t *testing.T) {
+	st := batchTemplate(t)
+	const n, window = 4, 15.0
+	mk := func() *sim.Machine {
+		m := restoreFrom(t, st)
+		daemon.New(m, daemon.DefaultConfig()).Attach()
+		return m
+	}
+	var solo, batched []*sim.Machine
+	for i := 0; i < n; i++ {
+		solo = append(solo, mk())
+		batched = append(batched, mk())
+	}
+	for _, m := range solo {
+		m.RunFor(window)
+	}
+	runBatch(t, batched, window)
+	for i := range batched {
+		stateEquiv(t, "daemon member", batched[i].CaptureState(), solo[i].CaptureState())
+	}
+}
+
+// TestBatchPolicyFlipEjectsAndRejoins: a mid-batch V/F reprogramming on
+// one member must eject it from the lockstep commit (its trajectory
+// diverges), leave the others bit-exact, and re-admit it once it
+// re-converges — observable as its coalesced-tick counter resuming.
+func TestBatchPolicyFlipEjectsAndRejoins(t *testing.T) {
+	st := batchTemplate(t)
+	const n, window, flipAt = 4, 20.0, 5.0
+	hook := func(m *sim.Machine) *bool {
+		done := false
+		m.OnTickBounded(func(mm *sim.Machine, _ int) {
+			if !done && mm.Now() >= flipAt-1e-12 {
+				mm.Chip.SetAllFreq(mm.Spec.HalfFreq())
+				mm.Chip.SetVoltage(mm.Spec.NominalMV - 50)
+				done = true
+			}
+		}, func() float64 {
+			if done {
+				return math.Inf(1)
+			}
+			return flipAt
+		})
+		return &done
+	}
+	var solo, batched []*sim.Machine
+	for i := 0; i < n; i++ {
+		solo = append(solo, restoreFrom(t, st))
+		batched = append(batched, restoreFrom(t, st))
+	}
+	// Member 0 (and its solo twin) flips policy at flipAt.
+	hook(solo[0])
+	flipped := hook(batched[0])
+	for _, m := range solo {
+		m.RunFor(window)
+	}
+
+	b := sim.NewBatch()
+	for _, m := range batched {
+		if _, err := b.Add(m, window, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var coalescedAtFlip uint64
+	seen := false
+	for b.Step() {
+		if !seen && *flipped {
+			seen = true
+			coalescedAtFlip = batched[0].CoalescedTicks()
+		}
+	}
+	if !seen {
+		t.Fatal("flip hook never fired inside the batch")
+	}
+	if batched[0].CoalescedTicks() <= coalescedAtFlip {
+		t.Errorf("flipped member never rejoined multi-tick commits (coalesced stuck at %d)", coalescedAtFlip)
+	}
+	for i := range batched {
+		stateEquiv(t, "flip member", batched[i].CaptureState(), solo[i].CaptureState())
+	}
+}
+
+// TestBatchedSnapshotBitIdentical: a snapshot taken from a batched
+// session must capture the same state a solo session would have, and a
+// machine restored from it must continue equivalently.
+func TestBatchedSnapshotBitIdentical(t *testing.T) {
+	st := batchTemplate(t)
+	const n = 4
+	var solo, batched []*sim.Machine
+	for i := 0; i < n; i++ {
+		solo = append(solo, restoreFrom(t, st))
+		batched = append(batched, restoreFrom(t, st))
+	}
+	for _, m := range solo {
+		m.RunFor(10)
+	}
+	runBatch(t, batched, 10)
+
+	snap := batched[2].CaptureState()
+	stateEquiv(t, "mid-run snapshot", snap, solo[2].CaptureState())
+
+	// Continue three ways from the 10 s point: the batch itself, the solo
+	// twin, and a machine restored from the batched capture.
+	restored := restoreFrom(t, snap)
+	restored.RunFor(10)
+	solo[2].RunFor(10)
+	runBatch(t, batched, 10)
+	stateEquiv(t, "batch continued", batched[2].CaptureState(), solo[2].CaptureState())
+	stateEquiv(t, "restored continued", restored.CaptureState(), solo[2].CaptureState())
+}
+
+// TestBatchAdmissionRules: members must share chip model, core count and
+// tick length with the shard.
+func TestBatchAdmissionRules(t *testing.T) {
+	b := sim.NewBatch()
+	m2 := sim.New(chip.XGene2Spec())
+	m3 := sim.New(chip.XGene3Spec())
+	if _, err := b.Add(m3, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(m2, 1, false); err == nil {
+		t.Error("cross-model admission succeeded, want error")
+	}
+	mt := sim.New(chip.XGene3Spec())
+	mt.Tick = sim.DefaultTick * 2
+	if _, err := b.Add(mt, 1, false); err == nil {
+		t.Error("cross-tick admission succeeded, want error")
+	}
+}
+
+// TestBatchUntilIdle mirrors RunUntilIdle semantics inside a batch: an
+// idle-bounded member stops at its drain tick, exactly where the solo
+// machine stops.
+func TestBatchUntilIdle(t *testing.T) {
+	st := batchTemplate(t)
+	soloM := restoreFrom(t, st)
+	if err := soloM.RunUntilIdle(3600); err != nil {
+		t.Fatal(err)
+	}
+	b := sim.NewBatch()
+	bm := restoreFrom(t, st)
+	// A second, longer-running member keeps the batch advancing past the
+	// first member's drain point.
+	other := restoreFrom(t, st)
+	if _, err := b.Add(bm, 3600, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(other, 3600, true); err != nil {
+		t.Fatal(err)
+	}
+	b.Run()
+	stateEquiv(t, "until-idle member", bm.CaptureState(), soloM.CaptureState())
+	if bm.RunningCount()+bm.PendingCount() != 0 {
+		t.Error("idle-bounded member did not drain")
+	}
+}
+
+// TestBatchMembershipChurnFuzz drives a shard and a set of solo twins
+// through a deterministic random schedule of partial-membership batches,
+// V/F flips, new submissions, and capture/restore cycles, asserting
+// end-state equivalence for every pair.
+func TestBatchMembershipChurnFuzz(t *testing.T) {
+	st := batchTemplate(t)
+	const members = 6
+	rng := rand.New(rand.NewSource(7))
+	memo := sim.NewSteadyMemo(0)
+	var batchSide, twins []*sim.Machine
+	for i := 0; i < members; i++ {
+		bm := restoreFrom(t, st)
+		bm.SetSteadyMemo(memo)
+		batchSide = append(batchSide, bm)
+		twins = append(twins, restoreFrom(t, st))
+	}
+	benches := []string{"namd", "lbm", "mcf"}
+	for it := 0; it < 60; it++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // advance a random subset in lockstep
+			d := 0.25 + rng.Float64()*2.5
+			b := sim.NewBatch()
+			n := 0
+			for i := 0; i < members; i++ {
+				if rng.Intn(3) == 0 {
+					continue // membership churn: this member sits out
+				}
+				if _, err := b.Add(batchSide[i], d, false); err != nil {
+					t.Fatal(err)
+				}
+				twins[i].RunFor(d)
+				n++
+			}
+			if n > 0 {
+				b.Run()
+			}
+		case 6, 7: // V/F flip on one member (and its twin)
+			i := rng.Intn(members)
+			f := batchSide[i].Spec.HalfFreq()
+			if rng.Intn(2) == 0 {
+				f = batchSide[i].Spec.MaxFreq
+			}
+			batchSide[i].Chip.SetAllFreq(f)
+			twins[i].Chip.SetAllFreq(f)
+		case 8: // submit+place a fresh single-thread program
+			i := rng.Intn(members)
+			free := batchSide[i].FreeCores()
+			if len(free) == 0 {
+				continue
+			}
+			name := benches[rng.Intn(len(benches))]
+			core := free[rng.Intn(len(free))]
+			for _, m := range []*sim.Machine{batchSide[i], twins[i]} {
+				p, err := m.Submit(workload.MustByName(name), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Place(p, []chip.CoreID{core}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 9: // capture/restore one batched member in place
+			i := rng.Intn(members)
+			r := restoreFrom(t, batchSide[i].CaptureState())
+			r.SetSteadyMemo(memo)
+			batchSide[i] = r
+		}
+	}
+	for i := range batchSide {
+		stateEquiv(t, "churn member", batchSide[i].CaptureState(), twins[i].CaptureState())
+	}
+	if memo.Hits() == 0 {
+		t.Log("note: churn schedule produced no memo hits") // informational
+	}
+}
+
+// TestBatchConcurrentShardsRace exercises the shared memo from several
+// concurrently advancing shards (the -race payoff for the fleet wiring).
+func TestBatchConcurrentShardsRace(t *testing.T) {
+	st := batchTemplate(t)
+	memo := sim.NewSteadyMemo(0)
+	ref := restoreFrom(t, st)
+	ref.Chip.SetAllFreq(ref.Spec.HalfFreq())
+	ref.RunFor(10)
+	refState := ref.CaptureState()
+
+	var wg sync.WaitGroup
+	results := make([]*sim.MachineState, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ms []*sim.Machine
+			for i := 0; i < 3; i++ {
+				m := restoreFrom(t, st)
+				m.SetSteadyMemo(memo)
+				// Diverge, then re-converge: every shard funnels into the
+				// same post-flip equilibrium, so they race on the same
+				// memo entries.
+				m.Chip.SetAllFreq(m.Spec.HalfFreq())
+				ms = append(ms, m)
+			}
+			b := sim.NewBatch()
+			for _, m := range ms {
+				if _, err := b.Add(m, 10, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			b.Run()
+			results[g] = ms[0].CaptureState()
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if got == nil {
+			t.Fatalf("shard %d produced no result", g)
+		}
+		stateEquiv(t, "concurrent shard", got, refState)
+	}
+}

@@ -192,6 +192,16 @@ type Machine struct {
 	foldDone []float64
 	foldInc  []float64
 
+	// memo, when set, shares converged steady-tick quanta across machines
+	// with identical configurations (see SteadyMemo); sigBuf is the
+	// reusable signature-encoding scratch, and sigPrefix the length of
+	// its machine-constant prefix (spec identity and tick length), encoded
+	// once and reused by every probe.
+	memo      *SteadyMemo
+	sigBuf    []byte
+	sigPrefix int
+	sigTick   float64
+
 	// steady is the coalescing engine's cached tick.
 	steady steadyCache
 	// coalescing gates multi-tick commits (Advance); per-tick Step always
@@ -697,10 +707,24 @@ func (m *Machine) Step() {
 // the tick (a finishing tick changes the busy set and must take the full
 // path).
 func (m *Machine) steadyReady() bool {
+	return m.cacheFresh() && m.steadyHeadroom()
+}
+
+// cacheFresh reports whether the steady cache is valid for the current
+// electrical/placement generations and tick length — the per-machine
+// half of steadyReady. The batch engine checks it per member and shares
+// the lane-dependent half across members with identical lane blocks.
+func (m *Machine) cacheFresh() bool {
 	c := &m.steady
-	if !c.valid || c.tick != m.Tick || c.placeGen != m.placeGen || c.chipGen != m.Chip.Generation() {
-		return false
-	}
+	return c.valid && c.tick == m.Tick && c.placeGen == m.placeGen && c.chipGen == m.Chip.Generation()
+}
+
+// steadyHeadroom reports whether no covered thread would finish within
+// the next tick. It depends only on the (progress, increment, total)
+// lanes, so members of a batch whose lane blocks are bitwise identical
+// share one evaluation.
+func (m *Machine) steadyHeadroom() bool {
+	c := &m.steady
 	for i := 0; i < c.n; i++ {
 		u := &m.upds[i]
 		if u.t.instrDone+u.instr >= u.t.instrTotal {
@@ -719,6 +743,76 @@ func (m *Machine) steadyReady() bool {
 // per batch).
 func (m *Machine) commitSteady(k int) {
 	c := &m.steady
+	// Progress is folded tick by tick — k repeated additions — so every
+	// thread's float trajectory is bitwise identical to serial stepping.
+	// The tick-major order over dense scratch interleaves the threads'
+	// dependency chains, which the per-thread order would serialize on
+	// FP-add latency.
+	if k == 1 {
+		for i := 0; i < c.n; i++ {
+			u := &m.upds[i]
+			u.t.instrDone += u.instr
+		}
+	} else {
+		padded := (c.n + 7) &^ 7
+		if cap(m.foldDone) < padded {
+			m.foldDone = make([]float64, padded)
+			m.foldInc = make([]float64, padded)
+		}
+		done, inc := m.foldDone[:padded], m.foldInc[:padded]
+		for i := c.n; i < padded; i++ {
+			done[i], inc[i] = 0, 0
+		}
+		for i := 0; i < c.n; i++ {
+			done[i] = m.upds[i].t.instrDone
+			inc[i] = m.upds[i].instr
+		}
+		foldLanes(done, inc, k)
+		for i := 0; i < c.n; i++ {
+			m.upds[i].t.instrDone = done[i]
+		}
+	}
+	m.commitSteadyScalars(k)
+}
+
+// foldLanes advances done[i] by k repeated additions of inc[i] per lane.
+// len(done) must be a multiple of 8 (pad with zero lanes, which fold
+// harmlessly). The fold runs through 8 accumulators held in registers:
+// the chains are independent, so eight 4-cycle FP adds overlap and each
+// batch tick costs ~4 cycles per 8 lanes instead of a store-bound pass
+// over memory. Because each lane folds independently of its position,
+// lanes from many machines can share one array — the batch engine's
+// structure-of-arrays commit — with results bitwise equal to each
+// machine folding alone.
+func foldLanes(done, inc []float64, k int) {
+	for i := 0; i < len(done); i += 8 {
+		d0, d1, d2, d3 := done[i], done[i+1], done[i+2], done[i+3]
+		d4, d5, d6, d7 := done[i+4], done[i+5], done[i+6], done[i+7]
+		x0, x1, x2, x3 := inc[i], inc[i+1], inc[i+2], inc[i+3]
+		x4, x5, x6, x7 := inc[i+4], inc[i+5], inc[i+6], inc[i+7]
+		for j := 0; j < k; j++ {
+			d0 += x0
+			d1 += x1
+			d2 += x2
+			d3 += x3
+			d4 += x4
+			d5 += x5
+			d6 += x6
+			d7 += x7
+		}
+		done[i], done[i+1], done[i+2], done[i+3] = d0, d1, d2, d3
+		done[i+4], done[i+5], done[i+6], done[i+7] = d4, d5, d6, d7
+	}
+}
+
+// commitSteadyScalars applies everything of a k-tick steady commit except
+// the per-thread progress fold: power and energy accounting, the
+// emergency-check tally, PMU counters, per-process energy attribution,
+// the tick clock, and the end-of-commit hooks. The batch engine performs
+// the progress fold itself over its shared lane arrays and then calls
+// this for each member, so batched and solo commits run the same code.
+func (m *Machine) commitSteadyScalars(k int) {
+	c := &m.steady
 	dt := m.Tick
 	dtk := dt * float64(k)
 
@@ -736,56 +830,6 @@ func (m *Machine) commitSteady(k int) {
 		m.emChecks += k
 	}
 	ku := uint64(k)
-	// Progress is folded tick by tick — k repeated additions — so every
-	// thread's float trajectory is bitwise identical to serial stepping.
-	// The tick-major order over dense scratch interleaves the threads'
-	// dependency chains, which the per-thread order would serialize on
-	// FP-add latency.
-	if k == 1 {
-		for i := 0; i < c.n; i++ {
-			u := &m.upds[i]
-			u.t.instrDone += u.instr
-		}
-	} else {
-		// Fold through 8 accumulators held in registers: the chains are
-		// independent, so eight 4-cycle FP adds overlap and each batch
-		// tick costs ~4 cycles per 8 threads instead of a store-bound
-		// pass over memory. Lanes beyond n fold zeros, harmlessly.
-		padded := (c.n + 7) &^ 7
-		if cap(m.foldDone) < padded {
-			m.foldDone = make([]float64, padded)
-			m.foldInc = make([]float64, padded)
-		}
-		done, inc := m.foldDone[:padded], m.foldInc[:padded]
-		for i := c.n; i < padded; i++ {
-			done[i], inc[i] = 0, 0
-		}
-		for i := 0; i < c.n; i++ {
-			done[i] = m.upds[i].t.instrDone
-			inc[i] = m.upds[i].instr
-		}
-		for i := 0; i < padded; i += 8 {
-			d0, d1, d2, d3 := done[i], done[i+1], done[i+2], done[i+3]
-			d4, d5, d6, d7 := done[i+4], done[i+5], done[i+6], done[i+7]
-			x0, x1, x2, x3 := inc[i], inc[i+1], inc[i+2], inc[i+3]
-			x4, x5, x6, x7 := inc[i+4], inc[i+5], inc[i+6], inc[i+7]
-			for j := 0; j < k; j++ {
-				d0 += x0
-				d1 += x1
-				d2 += x2
-				d3 += x3
-				d4 += x4
-				d5 += x5
-				d6 += x6
-				d7 += x7
-			}
-			done[i], done[i+1], done[i+2], done[i+3] = d0, d1, d2, d3
-			done[i+4], done[i+5], done[i+6], done[i+7] = d4, d5, d6, d7
-		}
-		for i := 0; i < c.n; i++ {
-			m.upds[i].t.instrDone = done[i]
-		}
-	}
 	for i := 0; i < c.n; i++ {
 		u := &m.upds[i]
 		cc := &m.counters[u.t.Core]
@@ -803,6 +847,19 @@ func (m *Machine) commitSteady(k int) {
 // power integration, emergency check, commit and completion scan. At the
 // end it rebuilds the steady cache if the tick closed in equilibrium.
 func (m *Machine) stepFull() {
+	// Cross-session memo: if another machine already ran a full tick in
+	// this exact configuration, replay its results instead of recomputing
+	// them. On a miss the signature hash is kept so this tick can be
+	// published at the bottom of this step.
+	var sigSum memoKey
+	sigOK := false
+	if m.memo != nil && m.encodeSteadySignature() {
+		if m.memo.serve(m, &sigSum) {
+			return
+		}
+		sigOK = true
+	}
+
 	dt := m.Tick
 	// The generations the tick's inputs were read under; callbacks at the
 	// end of the tick may change state, which these keys then invalidate.
@@ -887,9 +944,10 @@ func (m *Machine) stepFull() {
 
 	// --- Phase 4: voltage-emergency check and V/F change logging.
 	voltageSafe := true
+	var req chip.Millivolts
 	if len(upds) > 0 {
 		m.emChecks++
-		req := m.cachedRequiredVmin()
+		req = m.cachedRequiredVmin()
 		if m.Chip.Voltage() < req {
 			voltageSafe = false
 			m.emergencies = append(m.emergencies, Emergency{
@@ -898,21 +956,7 @@ func (m *Machine) stepFull() {
 			m.logEvent(EvEmergency, -1, "V=%v < required %v", m.Chip.Voltage(), req)
 		}
 	}
-	if m.eventsOn() {
-		if g := m.Chip.Generation(); !m.evValid || g != m.evGen {
-			if v := m.Chip.Voltage(); v != m.lastV {
-				m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
-				m.lastV = v
-			}
-			for p := 0; p < m.Spec.PMDs(); p++ {
-				if f := m.Chip.PMDFreq(chip.PMDID(p)); f != m.lastF[p] {
-					m.logEvent(EvFreq, -1, "PMD%d %v -> %v", p, m.lastF[p], f)
-					m.lastF[p] = f
-				}
-			}
-			m.evGen, m.evValid = g, true
-		}
-	}
+	m.syncVFEvents()
 
 	// --- Phase 5: commit progress, counters and per-process energy
 	// attribution (core dynamic share only; uncore is chip-shared).
@@ -953,31 +997,7 @@ func (m *Machine) stepFull() {
 	// --- Phase 6: completions.
 	if m.finCheck {
 		m.finCheck = false
-		i := 0
-		for i < len(m.running) {
-			p := m.running[i]
-			if !p.done() {
-				i++
-				continue
-			}
-			copy(m.running[i:], m.running[i+1:])
-			m.running[len(m.running)-1] = nil
-			m.running = m.running[:len(m.running)-1]
-			for _, t := range p.Threads {
-				if t.Core >= 0 && m.coreThr[t.Core] == t {
-					m.coreThr[t.Core] = nil
-				}
-				t.Core = -1
-			}
-			p.State = Finished
-			p.Completed = m.now
-			m.finished = append(m.finished, p)
-			m.placeGen++
-			m.logEvent(EvFinish, p.ID, "%s after %.1fs", p.Bench.Name, p.Runtime())
-			for _, fn := range m.onFinish {
-				fn(p)
-			}
-		}
+		m.completeFinished()
 	}
 
 	// Rebuild the steady cache when the tick closed in equilibrium: the
@@ -986,6 +1006,7 @@ func (m *Machine) stepFull() {
 	// tick's completions) moved the generations mid-tick. Power is
 	// re-evaluated against the just-committed stall fractions so the
 	// cached tick equals what the next full tick would compute.
+	steadyRebuilt := false
 	if !stalled && !clamped && !finished && voltageSafe &&
 		lastMix < steadyRhoEps && placeGen == m.placeGen {
 		st := m.fillPowerState()
@@ -1000,9 +1021,71 @@ func (m *Machine) stepFull() {
 			bd:       cbd,
 			emCheck:  len(upds) > 0,
 		}
+		steadyRebuilt = true
+	}
+	if sigOK {
+		// Publish this tick's configuration-determined results for every
+		// other machine in the same pre-tick configuration.
+		m.memo.store(m, sigSum, watts, bd, req, steadyRebuilt)
 	}
 
 	m.runHooks(1)
+}
+
+// completeFinished retires every running process whose threads have all
+// finished: the process leaves the running set, its cores go idle, the
+// finish is logged and the finish callbacks fire. Shared by the exact
+// tick path and the memo-served tick path.
+func (m *Machine) completeFinished() {
+	i := 0
+	for i < len(m.running) {
+		p := m.running[i]
+		if !p.done() {
+			i++
+			continue
+		}
+		copy(m.running[i:], m.running[i+1:])
+		m.running[len(m.running)-1] = nil
+		m.running = m.running[:len(m.running)-1]
+		for _, t := range p.Threads {
+			if t.Core >= 0 && m.coreThr[t.Core] == t {
+				m.coreThr[t.Core] = nil
+			}
+			t.Core = -1
+		}
+		p.State = Finished
+		p.Completed = m.now
+		m.finished = append(m.finished, p)
+		m.placeGen++
+		m.logEvent(EvFinish, p.ID, "%s after %.1fs", p.Bench.Name, p.Runtime())
+		for _, fn := range m.onFinish {
+			fn(p)
+		}
+	}
+}
+
+// syncVFEvents emits EvVoltage/EvFreq events for any V/F reprogramming
+// since the last full tick, by diffing the chip against the machine's
+// mirrors. Gated on the chip generation so steady ticks skip the scan;
+// shared by the exact tick path and the memo-served tick path so both
+// log identical event streams.
+func (m *Machine) syncVFEvents() {
+	if !m.eventsOn() {
+		return
+	}
+	if g := m.Chip.Generation(); !m.evValid || g != m.evGen {
+		if v := m.Chip.Voltage(); v != m.lastV {
+			m.logEvent(EvVoltage, -1, "%v -> %v", m.lastV, v)
+			m.lastV = v
+		}
+		for p := 0; p < m.Spec.PMDs(); p++ {
+			if f := m.Chip.PMDFreq(chip.PMDID(p)); f != m.lastF[p] {
+				m.logEvent(EvFreq, -1, "PMD%d %v -> %v", p, m.lastF[p], f)
+				m.lastF[p] = f
+			}
+		}
+		m.evGen, m.evValid = g, true
+	}
 }
 
 // siblingThread returns the thread on the other core of c's PMD, or nil.
@@ -1072,6 +1155,13 @@ func (m *Machine) batchTicks(limit int) int {
 	if k > maxBatchTicks {
 		k = maxBatchTicks
 	}
+	k = m.hookTicksBound(k)
+	return m.completionTicksBound(k)
+}
+
+// hookTicksBound shrinks k to stop at (and include) the first tick any
+// bounded hook needs to observe — the per-machine half of batchTicks.
+func (m *Machine) hookTicksBound(k int) int {
 	for i := range m.hooks {
 		h := &m.hooks[i]
 		if h.next == nil {
@@ -1081,6 +1171,13 @@ func (m *Machine) batchTicks(limit int) int {
 			k = kb
 		}
 	}
+	return k
+}
+
+// completionTicksBound shrinks k so no thread can finish inside the
+// batch — the lane-dependent half of batchTicks, shared by the batch
+// engine across members with identical lane blocks.
+func (m *Machine) completionTicksBound(k int) int {
 	c := &m.steady
 	for i := 0; i < c.n && k > 1; i++ {
 		u := &m.upds[i]

@@ -3,10 +3,11 @@
 # telemetry-overhead benchmark, the simulator hot-path benchmark, the
 # experiment-runner speedup gate, the characterization-store memoization
 # gate, the control-plane throughput gate, the request-tracing overhead
-# gate, and the snapshot restore-and-replay gate. The benchmarks' JSON
-# summaries are written to BENCH_telemetry.json, BENCH_sim.json,
-# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
-# BENCH_trace.json and BENCH_snapshot.json at the repository root (see
+# gate, the snapshot restore-and-replay gate, and the batched-stepping
+# speedup gate. The benchmarks' JSON summaries are written to
+# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
+# BENCH_cache.json, BENCH_service.json, BENCH_trace.json,
+# BENCH_snapshot.json and BENCH_batch.json at the repository root (see
 # docs/OBSERVABILITY.md, docs/PERFORMANCE.md, EXPERIMENTS.md and
 # docs/API.md).
 set -eu
@@ -70,5 +71,12 @@ AVFS_BENCH_SNAPSHOT_OUT="$(pwd)/BENCH_snapshot.json" \
 
 echo "==> BENCH_snapshot.json"
 cat BENCH_snapshot.json
+
+echo "==> batched-stepping benchmark (solo loop vs structure-of-arrays lockstep)"
+AVFS_BENCH_BATCH_OUT="$(pwd)/BENCH_batch.json" \
+	go test ./internal/sim -run TestBatchStepBudget -count=1 -v
+
+echo "==> BENCH_batch.json"
+cat BENCH_batch.json
 
 echo "OK"
