@@ -4,10 +4,11 @@
 # characterization-store memoization benchmark + the control-plane
 # throughput benchmark + the request-tracing overhead benchmark + the
 # snapshot restore-and-replay benchmark + the batched-stepping speedup
-# benchmark, which record their JSON summaries in BENCH_telemetry.json,
-# BENCH_sim.json, BENCH_experiments.json, BENCH_cache.json,
-# BENCH_service.json, BENCH_trace.json, BENCH_snapshot.json and
-# BENCH_batch.json).
+# benchmark + the cluster scale-out benchmark, which record their JSON
+# summaries in BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
+# BENCH_trace.json, BENCH_snapshot.json, BENCH_batch.json and
+# BENCH_cluster.json).
 
 GO ?= go
 
@@ -47,6 +48,9 @@ bench:
 		$(GO) test ./internal/sim -run TestSnapshotRestoreBudget -count=1 -v
 	AVFS_BENCH_BATCH_OUT=$(CURDIR)/BENCH_batch.json \
 		$(GO) test ./internal/sim -run TestBatchStepBudget -count=1 -v
+	AVFS_BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json \
+		AVFS_BENCH_SERVICE_JSON=$(CURDIR)/BENCH_service.json \
+		$(GO) test ./internal/cluster -run TestClusterScaleBudget -count=1 -v
 
 clean:
 	$(GO) clean ./...

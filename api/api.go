@@ -10,7 +10,10 @@
 // endpoint surface and the status-code mapping.
 package api
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Error codes carried in error response bodies. They are part of the v1
 // contract: new codes may be added, existing ones never change meaning.
@@ -28,6 +31,8 @@ const (
 	CodeBusy             = "busy"
 	CodeFleetFull        = "fleet_full"
 	CodeDraining         = "draining"
+	CodeClosed           = "closed"
+	CodeUnknownNode      = "unknown_node"
 	CodeCanceled         = "canceled"
 	CodeDeadline         = "deadline_exceeded"
 	CodeInternal         = "internal"
@@ -72,6 +77,8 @@ var (
 	ErrBusy             = &Error{Code: CodeBusy}
 	ErrFleetFull        = &Error{Code: CodeFleetFull}
 	ErrDraining         = &Error{Code: CodeDraining}
+	ErrClosed           = &Error{Code: CodeClosed}
+	ErrUnknownNode      = &Error{Code: CodeUnknownNode}
 )
 
 // CreateSessionRequest opens a session: one simulated machine plus the
@@ -92,7 +99,18 @@ type CreateSessionRequest struct {
 	// Coalescing disables steady-state tick batching when set to false
 	// (default true). Mostly useful for tests and trace-fidelity studies.
 	Coalescing *bool `json:"coalescing,omitempty"`
+	// ID pre-assigns the session identifier. It is minted by the cluster
+	// router so a session's home node is a pure function of its ID;
+	// clients creating sessions directly should leave it empty and let
+	// the node mint one.
+	ID string `json:"id,omitempty"`
 }
+
+// Session states carried in Session.State.
+const (
+	SessionIdle = "idle"
+	SessionBusy = "busy"
+)
 
 // Session is the public state of one fleet session.
 type Session struct {
@@ -113,11 +131,27 @@ type Session struct {
 	Emergencies    int     `json:"emergencies"`
 	UtilizedPMDs   int     `json:"utilized_pmds"`
 	IdleSeconds    float64 `json:"idle_seconds"`
+	// State is "busy" while a run or job is in flight, "idle" otherwise.
+	State string `json:"state,omitempty"`
+	// Node names the fleet node hosting the session ("" on an unnamed
+	// single-node deployment).
+	Node string `json:"node,omitempty"`
+	// PowerCapW is the session's active power-cap budget in watts; 0
+	// means uncapped.
+	PowerCapW float64 `json:"power_cap_watts,omitempty"`
 }
 
-// SessionList is the response of GET /v1/sessions.
+// SessionList is the response of GET /v1/sessions. The list is ordered
+// by session ID; NextCursor is set when the page was truncated by
+// ?limit= and is passed back verbatim as ?cursor= to fetch the next
+// page. An empty NextCursor means the listing is complete.
 type SessionList struct {
-	Sessions []Session `json:"sessions"`
+	Sessions   []Session `json:"sessions"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+	// Unreachable names fleet nodes that could not be queried when the
+	// list was aggregated by the cluster router (their sessions are
+	// missing from the page). Empty on single-node deployments.
+	Unreachable []string `json:"unreachable,omitempty"`
 }
 
 // SubmitRequest queues a program on a session's machine.
@@ -193,6 +227,9 @@ type Job struct {
 	Seconds float64    `json:"seconds"`
 	Error   *Error     `json:"error,omitempty"`
 	Result  *RunResult `json:"result,omitempty"`
+	// Node names the fleet node the job ran on ("" on an unnamed
+	// single-node deployment).
+	Node string `json:"node,omitempty"`
 }
 
 // JobList is the response of GET /v1/sessions/{id}/jobs.
@@ -200,9 +237,15 @@ type JobList struct {
 	Jobs []Job `json:"jobs"`
 }
 
-// PolicyRequest flips a live session between the Table IV configurations.
+// PolicyRequest flips a live session between the Table IV configurations
+// and/or adjusts its power cap. Policy "" with PowerCapW set updates only
+// the cap; Policy "" with PowerCapW nil selects the default ("optimal"),
+// preserving the v1 behaviour of the bare {"policy": ""} body.
 type PolicyRequest struct {
 	Policy string `json:"policy"`
+	// PowerCapW attaches (or retunes) a RAPL-style power-cap governor
+	// with this budget in watts; 0 detaches it; nil leaves it unchanged.
+	PowerCapW *float64 `json:"power_cap_watts,omitempty"`
 }
 
 // Span is one completed operation of a request trace, streamed as JSONL
@@ -463,4 +506,105 @@ type WhatIfBatch struct {
 	// branch on its own: total member-ticks divided by the ticks that
 	// needed their own fold or solo step (Ticks / (Ticks - SharedTicks)).
 	SpeedupEst float64 `json:"speedup_est"`
+}
+
+// Node states carried in Node.State.
+const (
+	NodeReady    = "ready"
+	NodeDraining = "draining"
+	NodeDown     = "down"
+)
+
+// Node is the router's view of one fleet node.
+type Node struct {
+	Name string `json:"name"`
+	// URL is the node's advertised base URL (scheme://host:port).
+	URL string `json:"url"`
+	// State is "ready", "draining" (serving but refusing new placements)
+	// or "down" (heartbeat expired).
+	State string `json:"state"`
+	// Sessions and DemandW are the node's last-reported session count and
+	// aggregate average power demand in watts.
+	Sessions int     `json:"sessions"`
+	DemandW  float64 `json:"demand_watts"`
+	// BudgetW is the node's current share of the cluster power budget in
+	// watts; 0 means uncapped.
+	BudgetW float64 `json:"budget_watts,omitempty"`
+	// HeartbeatAgeSec is how long ago the node last checked in.
+	HeartbeatAgeSec float64 `json:"heartbeat_age_seconds"`
+}
+
+// NodeList is the response of GET /cluster/v1/nodes. Epoch increments on
+// every membership change (join, leave, expiry, drain flip), so watchers
+// can detect topology churn cheaply.
+type NodeList struct {
+	Nodes []Node `json:"nodes"`
+	Epoch int64  `json:"epoch"`
+	// BudgetW is the cluster-wide power budget being partitioned across
+	// ready nodes; 0 means power capping is off.
+	BudgetW float64 `json:"budget_watts,omitempty"`
+}
+
+// NodeHeartbeat is what a node POSTs to the router's
+// /cluster/v1/nodes endpoint to register and then to stay registered.
+type NodeHeartbeat struct {
+	Name     string  `json:"name"`
+	URL      string  `json:"url"`
+	Sessions int     `json:"sessions"`
+	DemandW  float64 `json:"demand_watts"`
+	Draining bool    `json:"draining,omitempty"`
+}
+
+// HeartbeatReply is the router's answer to a heartbeat: the membership
+// view plus this node's share of the cluster power budget. Nodes apply
+// BudgetW to their sessions through the PowerCap policy path.
+type HeartbeatReply struct {
+	Epoch int64 `json:"epoch"`
+	// BudgetW is the heartbeating node's watt share; 0 lifts all caps.
+	BudgetW float64 `json:"budget_watts"`
+	Nodes   []Node  `json:"nodes"`
+}
+
+// MigrateRequest asks a node (POST /v1/cluster/migrate) to snapshot one
+// of its sessions, ship it to the target peer and delete the local copy.
+type MigrateRequest struct {
+	Session    string `json:"session"`
+	TargetName string `json:"target_name"`
+	TargetURL  string `json:"target_url"`
+}
+
+// Migration reports one completed drain-to-peer move.
+type Migration struct {
+	Session string `json:"session"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	// SnapshotID is the content address of the shipped state; replay
+	// determinism makes the restored session bit-identical to one that
+	// never moved.
+	SnapshotID string  `json:"snapshot_id"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ImportRequest is the peer side of a migration
+// (POST /v1/cluster/import): a serialized snapshot to restore under the
+// session's original identity.
+type ImportRequest struct {
+	Session string `json:"session"`
+	// TTLSeconds carries the session's idle-reaping deadline; 0 inherits
+	// the importing fleet's default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// SnapshotID, when set, must equal the content address of State; the
+	// importer verifies it so a corrupted ship is rejected.
+	SnapshotID string `json:"snapshot_id,omitempty"`
+	// State is the canonical snapshot encoding (snapshot.Encode).
+	State json.RawMessage `json:"state"`
+}
+
+// RebalanceReport is the response of POST /cluster/v1/rebalance: which
+// sessions were moved back to their hash-chosen home nodes.
+type RebalanceReport struct {
+	Nodes    int         `json:"nodes"`
+	Sessions int         `json:"sessions_checked"`
+	Moved    []Migration `json:"moved"`
+	Errors   []string    `json:"errors,omitempty"`
 }

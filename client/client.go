@@ -45,12 +45,27 @@ type Client struct {
 	MaxRetryAfter time.Duration
 }
 
-// New builds a client for a server base URL (e.g. "http://host:8080").
-// The optional httpClient overrides http.DefaultClient.
+// defaultHTTPClient follows at most one redirect hop. On a cluster, a
+// node asked about a session it doesn't host answers 307 to the router,
+// which proxies to the right node — one hop resolves every legitimate
+// redirect, so a second one can only be a routing loop.
+var defaultHTTPClient = &http.Client{
+	CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		if len(via) > 1 {
+			return errors.New("stopped after one redirect hop (routing loop?)")
+		}
+		return nil
+	},
+}
+
+// New builds a client for a server base URL (e.g. "http://host:8080") —
+// a single node's or the cluster router's; the surface is the same.
+// The optional httpClient overrides the package default (which follows
+// at most one cross-node redirect hop).
 func New(base string, httpClient ...*http.Client) *Client {
 	c := &Client{
 		base:         strings.TrimRight(base, "/"),
-		http:         http.DefaultClient,
+		http:         defaultHTTPClient,
 		PollInterval: 50 * time.Millisecond,
 	}
 	if len(httpClient) > 0 && httpClient[0] != nil {
@@ -122,11 +137,82 @@ func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest
 	return s, err
 }
 
-// ListSessions enumerates live sessions.
+// ListSessions enumerates live sessions in one unpaginated response.
+//
+// Deprecated: on large fleets the unbounded response is expensive to
+// assemble and to parse; use ListSessionsPage (one page) or EachSession
+// (auto-paged iteration) instead. ListSessions remains supported — it
+// is the zero-options page with no limit.
 func (c *Client) ListSessions(ctx context.Context) (api.SessionList, error) {
+	return c.ListSessionsPage(ctx, ListOptions{})
+}
+
+// ListOptions filters and paginates session listings.
+type ListOptions struct {
+	// Cursor resumes after the given session ID (the previous page's
+	// NextCursor); "" starts from the beginning.
+	Cursor string
+	// Limit caps the page size; 0 means no limit.
+	Limit int
+	// State keeps only "idle" or "busy" sessions; "" keeps all.
+	State string
+	// Policy keeps only sessions running the given Table IV
+	// configuration; "" keeps all.
+	Policy string
+}
+
+func (o ListOptions) query() string {
+	q := url.Values{}
+	if o.Cursor != "" {
+		q.Set("cursor", o.Cursor)
+	}
+	if o.Limit > 0 {
+		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	if o.State != "" {
+		q.Set("state", o.State)
+	}
+	if o.Policy != "" {
+		q.Set("policy", o.Policy)
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// ListSessionsPage fetches one page of the session listing. Pointed at
+// the cluster router, the page is the fleet-wide merge across nodes;
+// check Unreachable for nodes whose sessions are missing from it.
+func (c *Client) ListSessionsPage(ctx context.Context, opts ListOptions) (api.SessionList, error) {
 	var l api.SessionList
-	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &l)
+	err := c.do(ctx, http.MethodGet, "/v1/sessions"+opts.query(), nil, &l)
 	return l, err
+}
+
+// EachSession pages through the listing, calling fn for every session.
+// A non-nil error from fn stops the iteration and is returned. opts'
+// Cursor advances internally; its Limit is the per-page size (default
+// 100).
+func (c *Client) EachSession(ctx context.Context, opts ListOptions, fn func(api.Session) error) error {
+	if opts.Limit <= 0 {
+		opts.Limit = 100
+	}
+	for {
+		page, err := c.ListSessionsPage(ctx, opts)
+		if err != nil {
+			return err
+		}
+		for _, s := range page.Sessions {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		if page.NextCursor == "" {
+			return nil
+		}
+		opts.Cursor = page.NextCursor
+	}
 }
 
 // Session reads one session's state.
@@ -259,9 +345,20 @@ func (c *Client) Energy(ctx context.Context, id string) (api.Energy, error) {
 // SetPolicy flips a live session between the four Table IV configurations
 // ("baseline", "safe-vmin", "placement", "optimal").
 func (c *Client) SetPolicy(ctx context.Context, id, policy string) (api.Session, error) {
+	return c.UpdatePolicy(ctx, id, api.PolicyRequest{Policy: policy})
+}
+
+// SetPowerCap installs (watts > 0) or lifts (watts <= 0) a session's
+// power-cap governor without touching its policy.
+func (c *Client) SetPowerCap(ctx context.Context, id string, watts float64) (api.Session, error) {
+	return c.UpdatePolicy(ctx, id, api.PolicyRequest{PowerCapW: &watts})
+}
+
+// UpdatePolicy is the full PUT /policy surface: policy flip, power cap,
+// or both in one request.
+func (c *Client) UpdatePolicy(ctx context.Context, id string, req api.PolicyRequest) (api.Session, error) {
 	var s api.Session
-	err := c.do(ctx, http.MethodPut, "/v1/sessions/"+url.PathEscape(id)+"/policy",
-		api.PolicyRequest{Policy: policy}, &s)
+	err := c.do(ctx, http.MethodPut, "/v1/sessions/"+url.PathEscape(id)+"/policy", req, &s)
 	return s, err
 }
 
@@ -387,8 +484,33 @@ func (c *Client) Readyz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
+// Nodes lists cluster membership. Only meaningful against a router
+// base URL; a single node answers 404.
+func (c *Client) Nodes(ctx context.Context) (api.NodeList, error) {
+	var l api.NodeList
+	err := c.do(ctx, http.MethodGet, "/cluster/v1/nodes", nil, &l)
+	return l, err
+}
+
+// Rebalance asks the router to migrate every session back to its
+// hash-chosen home node and reports what moved.
+func (c *Client) Rebalance(ctx context.Context) (api.RebalanceReport, error) {
+	var r api.RebalanceReport
+	err := c.do(ctx, http.MethodPost, "/cluster/v1/rebalance", nil, &r)
+	return r, err
+}
+
+// MigrateSession asks the node behind this client's base URL to ship
+// one of its sessions to a peer (drain-to-peer migration).
+func (c *Client) MigrateSession(ctx context.Context, req api.MigrateRequest) (api.Migration, error) {
+	var m api.Migration
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/migrate", req, &m)
+	return m, err
+}
+
 // Metrics fetches a Prometheus text-format snapshot: the fleet's with
-// id == "", or one session's.
+// id == "", or one session's. Against a router base URL the fleet
+// snapshot is the cluster-wide aggregation with per-node labels.
 func (c *Client) Metrics(ctx context.Context, id string) (string, error) {
 	path := "/metrics"
 	if id != "" {

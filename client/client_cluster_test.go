@@ -1,0 +1,146 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"avfs/api"
+	"avfs/client"
+	"avfs/internal/cluster"
+	"avfs/internal/service"
+)
+
+// newClusterClient stands up a router fronting n nodes and returns a
+// client pointed at the router, plus the node fleets and their URLs.
+func newClusterClient(t *testing.T, n int) (*client.Client, []*service.Fleet, []string) {
+	t.Helper()
+	rt := cluster.NewRouter(cluster.RouterConfig{HeartbeatTTL: time.Minute})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	fleets := make([]*service.Fleet, n)
+	urls := make([]string, n)
+	for i := range fleets {
+		name := fmt.Sprintf("n%d", i+1)
+		f := service.New(service.Config{NodeName: name, ReapEvery: -1})
+		ts := httptest.NewServer(f.Handler())
+		f.SetRedirect(rts.URL)
+		a, err := cluster.NewAgent(cluster.AgentConfig{
+			Fleet: f, RouterURL: rts.URL, Name: name, AdvertiseURL: ts.URL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Beat(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fleets[i] = f
+		urls[i] = ts.URL
+		t.Cleanup(func() { ts.Close(); f.Close() })
+	}
+	return client.New(rts.URL), fleets, urls
+}
+
+// TestClientClusterSurface drives the cluster-aware client against a
+// router-fronted fleet: create through placement, auto-paged listing,
+// node attribution, membership, and rebalance.
+func TestClientClusterSurface(t *testing.T) {
+	c, _, _ := newClusterClient(t, 2)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 7; i++ {
+		s, err := c.CreateSession(ctx, api.CreateSessionRequest{Policy: "baseline"})
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if s.Node == "" {
+			t.Fatalf("session %s has no node attribution", s.ID)
+		}
+		ids = append(ids, s.ID)
+	}
+
+	// Auto-paged iteration sees everything exactly once, in ID order.
+	var walked []string
+	err := c.EachSession(ctx, client.ListOptions{Limit: 3}, func(s api.Session) error {
+		walked = append(walked, s.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("EachSession: %v", err)
+	}
+	if len(walked) != 7 {
+		t.Fatalf("EachSession walked %d sessions, want 7", len(walked))
+	}
+	for i := 1; i < len(walked); i++ {
+		if walked[i-1] >= walked[i] {
+			t.Fatalf("EachSession out of order: %v", walked)
+		}
+	}
+
+	// One page with a filter.
+	page, err := c.ListSessionsPage(ctx, client.ListOptions{Limit: 4, Policy: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Sessions) != 4 || page.NextCursor == "" {
+		t.Fatalf("page: %d sessions, cursor %q", len(page.Sessions), page.NextCursor)
+	}
+
+	// Per-session reads route through the proxy transparently.
+	got, err := c.Session(ctx, ids[0])
+	if err != nil || got.ID != ids[0] {
+		t.Fatalf("Session via router: %+v, %v", got, err)
+	}
+
+	// Membership and power-cap surface.
+	nl, err := c.Nodes(ctx)
+	if err != nil || len(nl.Nodes) != 2 {
+		t.Fatalf("Nodes: %+v, %v", nl, err)
+	}
+	if _, err := c.SetPowerCap(ctx, ids[0], 25); err != nil {
+		t.Fatalf("SetPowerCap: %v", err)
+	}
+	capped, err := c.Session(ctx, ids[0])
+	if err != nil || capped.PowerCapW != 25 {
+		t.Fatalf("cap not visible: %+v, %v", capped, err)
+	}
+
+	// Rebalance answers (usually a no-op here: placement already matches
+	// the ring).
+	if _, err := c.Rebalance(ctx); err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+}
+
+// TestClientFollowsOneRedirectHop: a session read sent to the wrong
+// node reaches the right one through the 307 → router → proxy chain
+// with the default client.
+func TestClientFollowsOneRedirectHop(t *testing.T) {
+	c, fleets, urls := newClusterClient(t, 2)
+	ctx := context.Background()
+	s, err := c.CreateSession(ctx, api.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aim a fresh default client at the node that does NOT host it.
+	wrongURL := ""
+	for i, f := range fleets {
+		if _, err := f.Get(s.ID); err != nil {
+			wrongURL = urls[i]
+		}
+	}
+	if wrongURL == "" {
+		t.Fatalf("session hosted everywhere?")
+	}
+	wrong := client.New(wrongURL)
+	got, err := wrong.Session(ctx, s.ID)
+	if err != nil || got.ID != s.ID {
+		t.Fatalf("redirect chase: %+v, %v", got, err)
+	}
+	if got.Node == "" {
+		t.Fatalf("redirected read lost node attribution")
+	}
+}

@@ -10,6 +10,7 @@
 //	            [-workers N] [-queue M] [-chunk 1.0] [-cache-dir DIR]
 //	            [-snapshot-dir DIR] [-access-log PATH] [-slow-ms 1000]
 //	            [-slo-window 1m] [-pprof-addr ADDR] [-no-trace]
+//	            [-router URL -node NAME -advertise URL [-heartbeat 2s]]
 //
 // Flags:
 //
@@ -32,12 +33,20 @@
 //	               mounted on the public API address
 //	-no-trace      disable spans and SLO tracking (the metrics registry
 //	               and access log stay on)
+//	-router        register with a cluster router at this base URL (see
+//	               cmd/avfs-router); requires -node and -advertise
+//	-node          this node's cluster name; session IDs and the
+//	               X-AVFS-Node header carry it
+//	-advertise     base URL peers and the router reach this node at
+//	-heartbeat     router heartbeat period (default 2s)
 //
 // On SIGTERM/SIGINT the server drains gracefully: the listener stops, new
 // sessions and runs are rejected with 503 + Retry-After, and every
 // admitted run — including queued async jobs — finishes before exit. A
 // second signal forces shutdown, aborting in-flight runs at their next
-// tick-batch commit.
+// tick-batch commit. When registered with a router, the drain also
+// migrates every session to its rendezvous-chosen ready peer and
+// deregisters, so a scale-in loses no session state.
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"avfs/internal/cluster"
 	"avfs/internal/service"
 )
 
@@ -71,7 +81,15 @@ func main() {
 	sloWindow := flag.Duration("slo-window", time.Minute, "rolling window for session SLO quantiles")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	noTrace := flag.Bool("no-trace", false, "disable request spans and SLO tracking")
+	routerURL := flag.String("router", "", "cluster router base URL (off when empty)")
+	nodeName := flag.String("node", "", "cluster node name (required with -router)")
+	advertiseURL := flag.String("advertise", "", "base URL this node is reachable at (required with -router)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "router heartbeat period")
 	flag.Parse()
+	if *routerURL != "" && (*nodeName == "" || *advertiseURL == "") {
+		fmt.Fprintln(os.Stderr, "avfs-server: -router requires -node and -advertise")
+		os.Exit(2)
+	}
 
 	var accessW io.Writer
 	switch *accessLog {
@@ -101,6 +119,7 @@ func main() {
 		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
 		SLOWindow:   *sloWindow,
 		NoTrace:     *noTrace,
+		NodeName:    *nodeName,
 	})
 
 	if *pprofAddr != "" {
@@ -133,6 +152,27 @@ func main() {
 	fmt.Fprintf(os.Stderr, "avfs-server: listening on %s (max %d sessions, ttl %v)\n",
 		*addr, *maxSessions, *ttl)
 
+	var agent *cluster.Agent
+	if *routerURL != "" {
+		var err error
+		agent, err = cluster.NewAgent(cluster.AgentConfig{
+			Fleet:        fleet,
+			RouterURL:    *routerURL,
+			Name:         *nodeName,
+			AdvertiseURL: *advertiseURL,
+			Interval:     *heartbeat,
+		})
+		if err == nil {
+			err = agent.Start()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfs-server: cluster registration: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "avfs-server: registered with router %s as %s (%s)\n",
+			*routerURL, *nodeName, *advertiseURL)
+	}
+
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
@@ -160,11 +200,31 @@ func main() {
 		}
 	}()
 
+	// With a router: announce draining first so placement stops before
+	// the listener does, then (after local runs finish) hand every
+	// session to a peer and leave the membership.
+	if agent != nil {
+		if err := agent.SetDraining(drainCtx, true); err != nil {
+			fmt.Fprintf(os.Stderr, "avfs-server: drain announcement: %v\n", err)
+		}
+	}
 	_ = srv.Shutdown(drainCtx)
 	if err := fleet.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "avfs-server: drain incomplete: %v\n", err)
 	} else {
 		fmt.Fprintln(os.Stderr, "avfs-server: drained cleanly")
+	}
+	if agent != nil {
+		moved, errs := agent.MigrateAll(drainCtx)
+		fmt.Fprintf(os.Stderr, "avfs-server: migrated %d sessions to peers (%d failures)\n",
+			len(moved), len(errs))
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "avfs-server:   %v\n", err)
+		}
+		agent.Stop()
+		if err := agent.Deregister(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "avfs-server: deregister: %v\n", err)
+		}
 	}
 	fleet.Close()
 }

@@ -1,0 +1,138 @@
+// Package cluster is the horizontal scale-out layer (ROADMAP item 2):
+// a stateless router that places sessions on nodes with rendezvous
+// hashing, a node registry fed by heartbeats, a cluster-wide power
+// budget partitioned across nodes proportional to demand, and the node
+// agent that keeps a fleet registered and applies its watt share.
+//
+// The package sits strictly above internal/service: cluster imports
+// service (the agent holds a *service.Fleet), never the reverse, so a
+// single-node deployment carries no cluster code.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring places keys on nodes with rendezvous (highest-random-weight)
+// hashing. Each (node, key) pair gets an independent pseudo-random
+// score; the key lives on the node scoring highest. Membership changes
+// disturb the minimum possible set of placements: when a node joins,
+// the only keys that move are the ones the new node now wins (an
+// expected K/n of them); when a node leaves, only its own keys move.
+// That minimal-disruption property is what the migration path relies
+// on — a rebalance after a join drains just the reclaimed sessions.
+//
+// A Ring is an immutable value over a sorted copy of the member list;
+// build a fresh one per placement decision (construction is a small
+// sort, placement is O(n) per key — fine for the node counts a single
+// router fronts).
+type Ring struct {
+	nodes []string
+}
+
+// NewRing builds a ring over the given node names. Order does not
+// matter; duplicates are collapsed.
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return &Ring{nodes: out}
+}
+
+// Nodes returns the sorted member list.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// score is the rendezvous weight of key on node: a 64-bit FNV-1a over
+// node + separator + key, passed through a splitmix64-style finalizer.
+// The separator byte keeps ("ab","c") and ("a","bc") from colliding;
+// the finalizer matters because raw FNV-1a folds a trailing-byte
+// difference in with a single multiply, so sequential session IDs
+// (s-c000001, s-c000002, ...) would rank every node identically and
+// pile onto one of them.
+func score(node, key string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(node))
+	_, _ = f.Write([]byte{0xff})
+	_, _ = f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owner returns the node that owns key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	best := ""
+	var bestScore uint64
+	for _, n := range r.nodes {
+		s := score(n, key)
+		// Lexicographic tie-break keeps placement deterministic even in
+		// the astronomically unlikely event of equal hashes.
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// Ranked returns all nodes ordered by descending preference for key.
+// Index 0 is Owner(key); the rest is the failover/probe order the
+// router walks when the preferred node is full or doesn't actually
+// hold the session (forked children live on their parent's node).
+func (r *Ring) Ranked(key string) []string {
+	type ns struct {
+		node string
+		s    uint64
+	}
+	all := make([]ns, len(r.nodes))
+	for i, n := range r.nodes {
+		all[i] = ns{n, score(n, key)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].node < all[j].node
+	})
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.node
+	}
+	return out
+}
+
+// OwnerBounded is Owner with the bounded-load refinement: walk the
+// preference order and take the first node whose current load is under
+// capacity, so one hot node can't absorb every new session while the
+// rest idle. load reports a node's current session count; capacity is
+// the per-node ceiling (<= 0 disables the bound). If every node is at
+// capacity the plain owner is returned — admission control (fleet
+// MaxSessions) is the hard limit, the bound only spreads load.
+func (r *Ring) OwnerBounded(key string, load func(node string) int, capacity int) string {
+	if capacity <= 0 || load == nil {
+		return r.Owner(key)
+	}
+	ranked := r.Ranked(key)
+	for _, n := range ranked {
+		if load(n) < capacity {
+			return n
+		}
+	}
+	if len(ranked) == 0 {
+		return ""
+	}
+	return ranked[0]
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"avfs/internal/chip"
 	"avfs/internal/sim"
@@ -30,6 +31,22 @@ type PowerCap struct {
 	nextSample float64
 	throttles  int
 	boosts     int
+	disabled   bool
+	// composed is set by AttachGovernor: another policy stack owns
+	// frequency, so boosts may only undo this governor's own throttles.
+	composed bool
+	// restore tracks, per PMD the governor throttled in composed mode,
+	// the frequency to restore to (Want) and the last value this
+	// governor wrote (Set). A Set that no longer matches the chip means
+	// the owning policy rewrote the PMD; the claim is dropped.
+	restore map[chip.PMDID]RestoreTarget
+}
+
+// RestoreTarget is one composed-mode throttle claim (serialized with
+// PowerCapState so a migrated session boosts back identically).
+type RestoreTarget struct {
+	WantMHz chip.MHz `json:"want_mhz"`
+	SetMHz  chip.MHz `json:"set_mhz"`
 }
 
 // NewPowerCap creates the governor with RAPL-like defaults (10 ms control
@@ -49,13 +66,117 @@ func (g *PowerCap) Attach() {
 	placer := &DefaultPlacer{M: g.M}
 	g.M.OnTickBounded(func(*sim.Machine, int) {
 		placer.PlacePending()
-		g.Tick()
+		if !g.disabled {
+			g.Tick()
+		}
 	}, func() float64 {
 		if g.M.PendingCount() > 0 {
 			return 0
 		}
+		if g.disabled {
+			return math.Inf(1)
+		}
 		return g.nextSample
 	})
+}
+
+// AttachGovernor hooks only the capping control loop onto the machine —
+// no placer — so the cap composes with an already-attached policy stack
+// (the daemon or Baseline owns placement). While disabled the hook is
+// inert and reports no tick boundary, so steady-state coalescing is
+// unaffected; the fleet uses this to retune or lift a session's cap
+// without rebuilding the session.
+func (g *PowerCap) AttachGovernor() {
+	g.composed = true
+	if g.restore == nil {
+		g.restore = map[chip.PMDID]RestoreTarget{}
+	}
+	g.M.OnTickBounded(func(*sim.Machine, int) {
+		if !g.disabled {
+			g.Tick()
+		}
+	}, func() float64 {
+		if g.disabled {
+			return math.Inf(1)
+		}
+		return g.nextSample
+	})
+}
+
+// SetEnabled turns the control loop on or off without detaching its
+// hook (machines have no hook removal; a disabled governor is inert).
+func (g *PowerCap) SetEnabled(on bool) { g.disabled = !on }
+
+// Enabled reports whether the control loop is live.
+func (g *PowerCap) Enabled() bool { return !g.disabled }
+
+// SetBudget retunes the ceiling; non-positive budgets are ignored (use
+// SetEnabled(false) to lift the cap).
+func (g *PowerCap) SetBudget(w float64) {
+	if w > 0 {
+		g.BudgetW = w
+	}
+}
+
+// PowerCapState is the serializable controller state, captured alongside
+// the machine so a snapshot of a capped session replays bit-identically
+// (the governor's sample phase and hysteresis counters survive the
+// move).
+type PowerCapState struct {
+	BudgetW      float64 `json:"budget_watts"`
+	SamplePeriod float64 `json:"sample_period"`
+	Headroom     float64 `json:"headroom"`
+	NextSample   float64 `json:"next_sample"`
+	Throttles    int     `json:"throttles"`
+	Boosts       int     `json:"boosts"`
+	Disabled     bool    `json:"disabled,omitempty"`
+	// Restore carries the composed-mode throttle claims (JSON object
+	// keys sort, so the snapshot bytes stay content-addressable).
+	Restore map[chip.PMDID]RestoreTarget `json:"restore,omitempty"`
+}
+
+// CaptureState snapshots the controller.
+func (g *PowerCap) CaptureState() PowerCapState {
+	return PowerCapState{
+		BudgetW:      g.BudgetW,
+		SamplePeriod: g.SamplePeriod,
+		Headroom:     g.Headroom,
+		NextSample:   g.nextSample,
+		Throttles:    g.throttles,
+		Boosts:       g.boosts,
+		Disabled:     g.disabled,
+		Restore:      cloneRestore(g.restore),
+	}
+}
+
+func cloneRestore(in map[chip.PMDID]RestoreTarget) map[chip.PMDID]RestoreTarget {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[chip.PMDID]RestoreTarget, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// RestorePowerCap rebuilds a governor from captured state on a restored
+// machine. The caller still chooses how to hook it (Attach or
+// AttachGovernor), mirroring how it was attached originally.
+func RestorePowerCap(m *sim.Machine, st PowerCapState) *PowerCap {
+	g := NewPowerCap(m, math.Max(st.BudgetW, 1e-9))
+	if st.SamplePeriod > 0 {
+		g.SamplePeriod = st.SamplePeriod
+	}
+	if st.Headroom > 0 {
+		g.Headroom = st.Headroom
+	}
+	g.nextSample = st.NextSample
+	g.throttles = st.Throttles
+	g.boosts = st.Boosts
+	g.disabled = st.Disabled
+	g.restore = cloneRestore(st.Restore)
+	return g
 }
 
 // Throttles returns how many down-steps the controller issued.
@@ -85,6 +206,17 @@ func (g *PowerCap) Tick() {
 
 // step moves every busy PMD one CPPC frequency step in the given
 // direction; it reports whether any PMD actually changed.
+//
+// In composed mode (AttachGovernor) the boost direction only undoes
+// this governor's own throttles — a PMD it never lowered, or one the
+// owning policy rewrote since (Set no longer matches the chip), is
+// left alone, so the governor never outruns the frequency or the
+// voltage the policy stack settled to. Boosts are additionally
+// voltage-guarded: a step that would push required safe Vmin above the
+// programmed voltage is reverted and retried on a later evaluation
+// (the policy may raise voltage first). Standalone mode (Attach) keeps
+// the original free boost-to-headroom behavior; at nominal voltage the
+// manufacturer guardband makes the voltage guard always pass there.
 func (g *PowerCap) step(dir int) bool {
 	spec := g.M.Spec
 	changed := false
@@ -95,11 +227,45 @@ func (g *PowerCap) step(dir int) bool {
 			continue
 		}
 		cur := g.M.Chip.PMDFreq(id)
-		next := spec.ClampFreq(cur + chip.MHz(dir)*spec.FreqStep)
-		if next != cur {
-			g.M.Chip.SetPMDFreq(id, next)
-			changed = true
+		tr, claimed := g.restore[id]
+		if claimed && tr.SetMHz != cur {
+			// The owning policy rewrote this PMD; it owns it again.
+			delete(g.restore, id)
+			claimed = false
 		}
+		next := spec.ClampFreq(cur + chip.MHz(dir)*spec.FreqStep)
+		if dir > 0 && g.composed {
+			if !claimed {
+				continue
+			}
+			if next > tr.WantMHz {
+				next = tr.WantMHz
+			}
+		}
+		if next == cur {
+			if dir > 0 && claimed {
+				delete(g.restore, id)
+			}
+			continue
+		}
+		g.M.Chip.SetPMDFreq(id, next)
+		if dir > 0 && g.M.RequiredSafeVmin() > g.M.Chip.Voltage() {
+			g.M.Chip.SetPMDFreq(id, cur)
+			continue
+		}
+		if g.composed {
+			switch {
+			case dir < 0 && claimed:
+				g.restore[id] = RestoreTarget{WantMHz: tr.WantMHz, SetMHz: next}
+			case dir < 0:
+				g.restore[id] = RestoreTarget{WantMHz: cur, SetMHz: next}
+			case next == tr.WantMHz:
+				delete(g.restore, id)
+			default:
+				g.restore[id] = RestoreTarget{WantMHz: tr.WantMHz, SetMHz: next}
+			}
+		}
+		changed = true
 	}
 	return changed
 }

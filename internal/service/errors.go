@@ -50,6 +50,10 @@ var (
 	ErrFleetFull = errors.New("service: fleet full")
 	// ErrDraining rejects new work while the fleet shuts down gracefully.
 	ErrDraining = errors.New("service: draining")
+	// ErrClosed rejects every request once the fleet is force-closed: the
+	// session contexts are cancelled and the pool is gone, so failing fast
+	// with 503 beats racing the dead manager.
+	ErrClosed = errors.New("service: closed")
 	// ErrInvalidRequest rejects a malformed request body or parameter.
 	ErrInvalidRequest = errors.New("service: invalid request")
 	// ErrSnapshotNotFound reports a fork/what-if request naming a snapshot

@@ -47,6 +47,7 @@ var statusTable = []statusRule{
 	{target: ErrBusy, status: http.StatusTooManyRequests, code: api.CodeBusy, retryAfterSec: 1},
 	{target: ErrFleetFull, status: http.StatusTooManyRequests, code: api.CodeFleetFull, retryAfterSec: 5},
 	{target: ErrDraining, status: http.StatusServiceUnavailable, code: api.CodeDraining, retryAfterSec: 5},
+	{target: ErrClosed, status: http.StatusServiceUnavailable, code: api.CodeClosed},
 	{target: vmin.ErrNoSafeVmin, status: http.StatusUnprocessableEntity, code: api.CodeNoSafeVmin},
 	{target: sim.ErrNotIdle, status: http.StatusUnprocessableEntity, code: api.CodeNotIdle},
 	{target: sim.ErrInvalidProcess, status: http.StatusBadRequest, code: api.CodeInvalidRequest},
@@ -76,7 +77,7 @@ func wireError(err error) *api.Error {
 // Handler builds the v1 HTTP surface of a fleet:
 //
 //	POST   /v1/sessions                      create
-//	GET    /v1/sessions                      list
+//	GET    /v1/sessions                      list (?cursor=&limit=&state=&policy=)
 //	GET    /v1/sessions/{id}                 session state
 //	DELETE /v1/sessions/{id}                 delete (aborts runs)
 //	POST   /v1/sessions/{id}/processes       submit a benchmark
@@ -95,24 +96,42 @@ func wireError(err error) *api.Error {
 //	GET    /v1/sessions/{id}/spans?since=N   request spans as JSONL
 //	GET    /v1/sessions/{id}/slo             tail-latency SLO quantiles
 //	GET    /v1/sessions/{id}/metrics         per-session Prometheus text
+//	POST   /v1/cluster/import                restore a migrated-in session (node-to-node)
+//	POST   /v1/cluster/migrate               snapshot + ship a session to a peer
 //	GET    /metrics                          fleet Prometheus text
-//	GET    /healthz                          liveness (always 200 while the process serves)
+//	GET    /healthz                          liveness (200 while the process serves; 503 after Close)
 //	GET    /readyz                           readiness (503 once Drain begins)
 //
 // Every response carries an X-Request-ID header (echoed from the request
 // when the client supplied one); the same ID correlates the access-log
-// line and the request's span tree.
+// line and the request's span tree. With Config.NodeName set, every
+// response also carries X-AVFS-Node, and session routes answer 307 to
+// the cluster router for sessions another node hosts (see SetRedirect).
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	// sess tags the request's trace metadata with the session ID before
 	// the handler runs: the outer middleware cannot read PathValue itself
 	// (the mux routes on its own copy of the request), so session-scoped
-	// routes record it here.
+	// routes record it here. In clustered mode it also implements the
+	// wrong-node contract: a session this node does not host answers 307
+	// to the router (which proxies to the owner) instead of 404 — unless
+	// the request already came through the router (X-AVFS-Proxied), which
+	// must see the honest 404 to invalidate its placement cache.
 	sess := func(h http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
 			if m := metaFrom(r.Context()); m != nil {
-				m.session = r.PathValue("id")
+				m.session = id
+			}
+			if id != "" && r.Header.Get("X-AVFS-Proxied") == "" {
+				if base := f.redirectBase(); base != "" {
+					if _, err := f.lookup(id); err != nil {
+						w.Header().Set("Location", base+r.URL.RequestURI())
+						w.WriteHeader(http.StatusTemporaryRedirect)
+						return
+					}
+				}
 			}
 			h(w, r)
 		}
@@ -127,7 +146,18 @@ func (f *Fleet) Handler() http.Handler {
 		respond(w, http.StatusCreated, s, err)
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		respond(w, http.StatusOK, f.List(), nil)
+		q := r.URL.Query()
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("%w: limit=%q", ErrInvalidRequest, v))
+				return
+			}
+			limit = n
+		}
+		sl, err := f.ListPage(q.Get("cursor"), limit, q.Get("state"), q.Get("policy"))
+		respond(w, http.StatusOK, sl, err)
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", sess(func(w http.ResponseWriter, r *http.Request) {
 		s, err := f.Get(r.PathValue("id"))
@@ -199,7 +229,7 @@ func (f *Fleet) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		s, err := f.SetPolicy(r.PathValue("id"), req.Policy)
+		s, err := f.SetPolicy(r.PathValue("id"), req)
 		respond(w, http.StatusOK, s, err)
 	}))
 
@@ -288,6 +318,27 @@ func (f *Fleet) Handler() http.Handler {
 		_, _ = w.Write(buf.Bytes())
 	}))
 
+	// Cluster-internal surface: node-to-node migration (the router and
+	// drain choreography drive these; they are not part of the tenant
+	// API).
+	mux.HandleFunc("POST /v1/cluster/import", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ImportRequest
+		// Snapshot payloads dwarf tenant requests; allow 64 MiB.
+		if !decodeJSONLimit(w, r, &req, 64<<20) {
+			return
+		}
+		s, err := f.ImportSession(req)
+		respond(w, http.StatusCreated, s, err)
+	})
+	mux.HandleFunc("POST /v1/cluster/migrate", func(w http.ResponseWriter, r *http.Request) {
+		var req api.MigrateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		mig, err := f.MigrateSession(r.Context(), req)
+		respond(w, http.StatusOK, mig, err)
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		servePrometheus(w, f.reg)
 	})
@@ -364,6 +415,17 @@ type accessRecord struct {
 // the per-session root span, the access log, and the slow-request log.
 func (f *Fleet) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fail fast once the fleet is force-closed: the session contexts
+		// are cancelled and the pool is gone, so every surface — including
+		// /healthz, which must stop reporting a dead process as live —
+		// answers 503 immediately instead of racing the closed manager.
+		if f.Closed() {
+			writeError(w, fmt.Errorf("%w: fleet closed", ErrClosed))
+			return
+		}
+		if f.cfg.NodeName != "" {
+			w.Header().Set("X-AVFS-Node", f.cfg.NodeName)
+		}
 		start := time.Now()
 		m := &reqMeta{id: r.Header.Get("X-Request-ID")}
 		if m.id == "" {
@@ -454,7 +516,13 @@ func servePrometheus(w http.ResponseWriter, reg *telemetry.Registry) {
 // decodeJSON parses a request body, tolerating an empty body as the zero
 // request. It reports false after writing the error response.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeJSONLimit(w, r, dst, 1<<20)
+}
+
+// decodeJSONLimit is decodeJSON with a caller-chosen body cap (the
+// migration import path ships whole machine states).
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(dst); err != nil {
 		if errors.Is(err, io.EOF) {
 			return true // empty body = all defaults
@@ -477,7 +545,16 @@ func respond(w http.ResponseWriter, okStatus int, body any, err error) {
 }
 
 // writeError maps err through the status table and writes the wire body.
+// A *api.Error with a concrete status (a peer's response relayed by the
+// migration path) passes through with its code and status intact.
 func writeError(w http.ResponseWriter, err error) {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) && apiErr.Status != 0 {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(apiErr.Status)
+		_ = json.NewEncoder(w).Encode(&api.Error{Code: apiErr.Code, Message: err.Error()})
+		return
+	}
 	status, code, retry := mapError(err)
 	if retry > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retry))

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"avfs/api"
+	"avfs/internal/snapshot"
+)
+
+// This file is the node side of drain-to-peer migration (ROADMAP item 2:
+// horizontal scale-out). A migration is snapshot → ship → restore:
+// the source captures the session's full state (PR 7's content-addressed
+// snapshot), POSTs it to the target's /v1/cluster/import, and deletes
+// the local copy once the target acknowledges. Replay determinism makes
+// the restored session bit-identical to one that never moved — the
+// migration equality suite pins it.
+//
+// It also hosts the node end of the cluster power-budget coordinator:
+// the router partitions a global watt budget across nodes proportional
+// to demand, each node partitions its share across sessions the same
+// way, and the per-session caps apply through the PowerCap governor.
+
+// shipClient posts migration payloads between nodes. Migrations are
+// node-to-node on a trusted network; the timeout bounds a hung peer.
+var shipClient = &http.Client{Timeout: 30 * time.Second}
+
+// ImportSession restores a migrated session under its original identity.
+// The shipped payload's content address is verified against SnapshotID
+// (when given) before anything is decoded, so a corrupted ship is
+// rejected; a duplicate ID fails with ErrConflict.
+func (f *Fleet) ImportSession(req api.ImportRequest) (api.Session, error) {
+	if req.Session == "" {
+		return api.Session{}, fmt.Errorf("%w: import needs a session id", ErrInvalidRequest)
+	}
+	if err := validSessionID(req.Session); err != nil {
+		return api.Session{}, err
+	}
+	if len(req.State) == 0 {
+		return api.Session{}, fmt.Errorf("%w: import needs snapshot state", ErrInvalidRequest)
+	}
+	if req.SnapshotID != "" && snapshot.ID(req.State) != req.SnapshotID {
+		return api.Session{}, fmt.Errorf("%w: shipped state does not match snapshot id %s",
+			ErrInvalidRequest, req.SnapshotID)
+	}
+	st, err := snapshot.Decode(req.State)
+	if err != nil {
+		return api.Session{}, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	now := f.cfg.Clock()
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return api.Session{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	}
+	if len(f.sessions) >= f.cfg.MaxSessions {
+		f.mu.Unlock()
+		return api.Session{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
+	}
+	if _, dup := f.sessions[req.Session]; dup {
+		f.mu.Unlock()
+		return api.Session{}, fmt.Errorf("%w: session %s already exists", ErrConflict, req.Session)
+	}
+	f.mu.Unlock()
+
+	s, err := restoreSession(f.baseCtx, req.Session, st, req.TTLSeconds, f.cfg.SessionTTL, now, f.sessionWiring())
+	if err != nil {
+		return api.Session{}, err
+	}
+	ws, err := f.publish(s, now)
+	if err != nil {
+		return api.Session{}, err
+	}
+	// Keep the shipped snapshot resolvable locally (fork/what-if against
+	// the migrated-in state); a store failure only loses that provenance.
+	_, _ = f.snaps.Put(st)
+	return ws, nil
+}
+
+// MigrateSession snapshots a local session, ships it to the target peer
+// and deletes the local copy once the peer acknowledges. A session with
+// a run in flight refuses with ErrConflict (drain first, or retry when
+// the run completes); mutations arriving mid-ship are refused the same
+// way, so nothing can land between the shipped state and the deletion.
+// On any failure the session stays here, untouched and writable again.
+func (f *Fleet) MigrateSession(ctx context.Context, req api.MigrateRequest) (api.Migration, error) {
+	if req.Session == "" || req.TargetURL == "" {
+		return api.Migration{}, fmt.Errorf("%w: migrate needs session and target_url", ErrInvalidRequest)
+	}
+	s, err := f.lookup(req.Session)
+	if err != nil {
+		return api.Migration{}, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return api.Migration{}, fmt.Errorf("%w: migration already in flight", ErrConflict)
+	}
+	if s.activeJobs > 0 {
+		s.mu.Unlock()
+		return api.Migration{}, fmt.Errorf("%w: %d runs in flight", ErrConflict, s.activeJobs)
+	}
+	st, err := s.captureStateLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return api.Migration{}, err
+	}
+	s.migrating = true
+	ttl := s.ttl
+	s.mu.Unlock()
+	abort := func(err error) (api.Migration, error) {
+		s.mu.Lock()
+		s.migrating = false
+		s.mu.Unlock()
+		return api.Migration{}, err
+	}
+
+	snapID, payload, err := snapshot.Encode(st)
+	if err != nil {
+		return abort(err)
+	}
+	if err := f.ship(ctx, req.TargetURL, api.ImportRequest{
+		Session:    req.Session,
+		TTLSeconds: ttl.Seconds(),
+		SnapshotID: snapID,
+		State:      payload,
+	}); err != nil {
+		return abort(fmt.Errorf("migrate %s to %s: %w", req.Session, req.TargetURL, err))
+	}
+	// The peer owns the session now; drop the local copy. Delete cancels
+	// the session context (no runs are in flight — migrating gated them).
+	_ = f.Delete(req.Session)
+	return api.Migration{
+		Session:    req.Session,
+		From:       f.cfg.NodeName,
+		To:         req.TargetName,
+		SnapshotID: snapID,
+		DurationMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// ship POSTs an import request to a peer and maps its response onto the
+// shared error contract (a peer's wire error comes back with its code
+// and status intact, so conflict/draining/full semantics survive the
+// hop).
+func (f *Fleet) ship(ctx context.Context, targetURL string, imp api.ImportRequest) error {
+	body, err := json.Marshal(imp)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		targetURL+"/v1/cluster/import", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := shipClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	apiErr := new(api.Error)
+	if json.Unmarshal(raw, apiErr) == nil && apiErr.Code != "" {
+		apiErr.Status = resp.StatusCode
+		return apiErr
+	}
+	return fmt.Errorf("peer answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+}
+
+// DemandW sums the sessions' average power draw — the node's demand
+// signal in the cluster power-budget partition.
+func (f *Fleet) DemandW() float64 {
+	f.mu.Lock()
+	all := make([]*session, 0, len(f.sessions))
+	for _, s := range f.sessions {
+		all = append(all, s)
+	}
+	f.mu.Unlock()
+	var total float64
+	for _, s := range all {
+		s.mu.Lock()
+		total += s.m.Meter.AveragePower()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// SessionDemands reports every live session's average power draw,
+// ordered by ID — the per-session demand vector the node agent
+// partitions its watt share over.
+func (f *Fleet) SessionDemands() (ids []string, demands []float64) {
+	ids = f.SessionIDs()
+	demands = make([]float64, len(ids))
+	for i, id := range ids {
+		s, err := f.lookup(id)
+		if err != nil {
+			continue // deleted between the two reads; zero demand
+		}
+		s.mu.Lock()
+		demands[i] = s.m.Meter.AveragePower()
+		s.mu.Unlock()
+	}
+	return ids, demands
+}
+
+// SetSessionPowerCap applies one session's share of the node's power
+// budget through the same governor path as PUT /policy with
+// power_cap_watts; w <= 0 lifts the cap. A migrating session is left
+// alone (its cap state already shipped).
+func (f *Fleet) SetSessionPowerCap(id string, w float64) error {
+	s, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.migrating {
+		return fmt.Errorf("%w: session migrating to a peer", ErrConflict)
+	}
+	s.setPowerCapLocked(w)
+	return nil
+}

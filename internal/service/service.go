@@ -52,6 +52,11 @@ type Config struct {
 	// ReapEvery is the background reaper period (default 5 s; <0 disables
 	// the goroutine — tests drive ReapNow directly).
 	ReapEvery time.Duration
+	// NodeName names this fleet node in a cluster: it prefixes locally
+	// minted session IDs (so IDs are unique fleet-wide), is stamped on
+	// every session/job as the `node` field and is echoed in the
+	// X-AVFS-Node response header. "" (default) is the single-node mode.
+	NodeName string
 
 	// AccessLog receives one JSONL record per HTTP request (nil disables).
 	AccessLog io.Writer
@@ -147,6 +152,11 @@ type Fleet struct {
 	nextJob  uint64
 	nextReq  uint64
 	draining bool
+	closed   bool
+	// redirect is the cluster router's base URL; when set, a request for
+	// a session this node does not host answers 307 to the router instead
+	// of 404 (the wrong-node redirect contract). Set by the node agent.
+	redirect string
 
 	// Fleet-level telemetry (the /metrics surface).
 	mSessions *telemetry.Counter
@@ -323,7 +333,7 @@ func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
 func (f *Fleet) sessionWiring() obsConfig {
 	return obsConfig{
 		enabled: !f.cfg.NoTrace, spanCap: f.cfg.SpanCap, window: f.cfg.SLOWindow,
-		memo: f.memo, gang: f.gang,
+		memo: f.memo, gang: f.gang, node: f.cfg.NodeName,
 	}
 }
 
@@ -362,7 +372,38 @@ func (f *Fleet) ReapNow() int {
 	return len(doomed)
 }
 
-// Create opens a session.
+// mintSessionID reserves the next locally minted session identifier.
+// NodeName-prefixed IDs keep them unique fleet-wide.
+func (f *Fleet) mintSessionID() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextSess++
+	if f.cfg.NodeName != "" {
+		return fmt.Sprintf("s-%s-%06d", f.cfg.NodeName, f.nextSess)
+	}
+	return fmt.Sprintf("s-%06d", f.nextSess)
+}
+
+// validSessionID accepts router-minted identifiers: short, path-safe,
+// no whitespace.
+func validSessionID(id string) error {
+	if id == "" || len(id) > 120 {
+		return fmt.Errorf("%w: session id must be 1-120 characters", ErrInvalidRequest)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("%w: session id %q contains %q", ErrInvalidRequest, id, c)
+		}
+	}
+	return nil
+}
+
+// Create opens a session. A pre-assigned req.ID (minted by the cluster
+// router so placement is a pure function of the ID) is honoured after
+// validation; duplicates fail with ErrConflict.
 func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 	now := f.cfg.Clock()
 	f.mu.Lock()
@@ -374,9 +415,21 @@ func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 		f.mu.Unlock()
 		return api.Session{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
 	}
-	f.nextSess++
-	id := fmt.Sprintf("s-%06d", f.nextSess)
+	id := req.ID
+	if id != "" {
+		if err := validSessionID(id); err != nil {
+			f.mu.Unlock()
+			return api.Session{}, err
+		}
+		if _, dup := f.sessions[id]; dup {
+			f.mu.Unlock()
+			return api.Session{}, fmt.Errorf("%w: session %s already exists", ErrConflict, id)
+		}
+	}
 	f.mu.Unlock()
+	if id == "" {
+		id = f.mintSessionID()
+	}
 
 	// Build outside the fleet lock (construction touches no shared state);
 	// publish under it, re-checking the race windows.
@@ -384,6 +437,13 @@ func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 	if err != nil {
 		return api.Session{}, err
 	}
+	return f.publish(s, now)
+}
+
+// publish inserts a built session into the registry, re-checking the
+// admission windows (drain, capacity, duplicate ID) that may have closed
+// while the session was constructed outside the fleet lock.
+func (f *Fleet) publish(s *session, now time.Time) (api.Session, error) {
 	f.mu.Lock()
 	if f.draining {
 		f.mu.Unlock()
@@ -395,7 +455,12 @@ func (f *Fleet) Create(req api.CreateSessionRequest) (api.Session, error) {
 		s.cancel()
 		return api.Session{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
 	}
-	f.sessions[id] = s
+	if _, dup := f.sessions[s.id]; dup {
+		f.mu.Unlock()
+		s.cancel()
+		return api.Session{}, fmt.Errorf("%w: session %s already exists", ErrConflict, s.id)
+	}
+	f.sessions[s.id] = s
 	f.mu.Unlock()
 	f.mSessions.Inc()
 	return s.snapshot(now), nil
@@ -412,20 +477,63 @@ func (f *Fleet) lookup(id string) (*session, error) {
 }
 
 // List snapshots every live session, ordered by ID.
+//
+// Deprecated: List is the unpaginated v1 listing, kept for
+// compatibility; use ListPage, which adds cursor pagination and
+// state/policy filters.
 func (f *Fleet) List() api.SessionList {
+	out, _ := f.ListPage("", 0, "", "")
+	return out
+}
+
+// ListPage snapshots live sessions ordered by ID, starting strictly
+// after cursor, filtered by state ("idle"/"busy") and policy, truncated
+// to limit (0 = unlimited). A truncated page sets NextCursor to the last
+// returned ID; passing it back resumes the listing. The cursor is
+// filter-stable: it is always an ID that was actually returned, so
+// filters may be varied between pages without skipping sessions.
+func (f *Fleet) ListPage(cursor string, limit int, state, policy string) (api.SessionList, error) {
+	if limit < 0 {
+		return api.SessionList{}, fmt.Errorf("%w: limit must be >= 0", ErrInvalidRequest)
+	}
+	switch state {
+	case "", api.SessionIdle, api.SessionBusy:
+	default:
+		return api.SessionList{}, fmt.Errorf("%w: state %q (want idle or busy)", ErrInvalidRequest, state)
+	}
+	if policy != "" {
+		p, err := parsePolicy(policy)
+		if err != nil {
+			return api.SessionList{}, err
+		}
+		policy = p
+	}
 	now := f.cfg.Clock()
 	f.mu.Lock()
 	all := make([]*session, 0, len(f.sessions))
-	for _, s := range f.sessions {
-		all = append(all, s)
+	for id, s := range f.sessions {
+		if id > cursor {
+			all = append(all, s)
+		}
 	}
 	f.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 	out := api.SessionList{Sessions: make([]api.Session, 0, len(all))}
 	for _, s := range all {
-		out.Sessions = append(out.Sessions, s.snapshot(now))
+		ws := s.snapshot(now)
+		if state != "" && ws.State != state {
+			continue
+		}
+		if policy != "" && ws.Policy != policy {
+			continue
+		}
+		if limit > 0 && len(out.Sessions) == limit {
+			out.NextCursor = out.Sessions[limit-1].ID
+			break
+		}
+		out.Sessions = append(out.Sessions, ws)
 	}
-	return out
+	return out, nil
 }
 
 // Get snapshots one session.
@@ -512,14 +620,16 @@ func (f *Fleet) Characterize(id string, req api.CharacterizeRequest) (api.Charac
 	return out, nil
 }
 
-// SetPolicy flips a live session between the Table IV configurations.
-func (f *Fleet) SetPolicy(id, policy string) (api.Session, error) {
+// SetPolicy flips a live session between the Table IV configurations
+// and/or retunes its power cap (see api.PolicyRequest for the combined
+// semantics).
+func (f *Fleet) SetPolicy(id string, req api.PolicyRequest) (api.Session, error) {
 	s, err := f.lookup(id)
 	if err != nil {
 		return api.Session{}, err
 	}
 	now := f.cfg.Clock()
-	if err := s.setPolicy(policy, now); err != nil {
+	if err := s.setPolicy(req, now); err != nil {
 		return api.Session{}, err
 	}
 	return s.snapshot(now), nil
@@ -625,6 +735,10 @@ func (f *Fleet) RunSync(ctx context.Context, id string, req api.RunRequest) (api
 		return api.RunResult{}, err
 	}
 	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return api.RunResult{}, fmt.Errorf("%w: session migrating to a peer", ErrConflict)
+	}
 	s.activeJobs++
 	s.mu.Unlock()
 	defer func() {
@@ -693,6 +807,11 @@ func (f *Fleet) RunAsync(ctx context.Context, id string, req api.RunRequest) (ap
 		done:      make(chan struct{}),
 	}
 	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		cancel()
+		return api.Job{}, fmt.Errorf("%w: session migrating to a peer", ErrConflict)
+	}
 	s.jobs = append(s.jobs, j)
 	s.activeJobs++
 	s.mu.Unlock()
@@ -813,6 +932,49 @@ func (f *Fleet) Draining() bool {
 	return f.draining
 }
 
+// Closed reports whether Close has run. The HTTP edge fails every
+// request fast with 503 once it has — including /healthz, which must
+// stop reporting a dead process as live.
+func (f *Fleet) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// SetRedirect points wrong-node session requests at the cluster
+// router's base URL via 307 (""/default disables redirecting and such
+// requests 404). The node agent calls this when it registers.
+func (f *Fleet) SetRedirect(baseURL string) {
+	f.mu.Lock()
+	f.redirect = baseURL
+	f.mu.Unlock()
+}
+
+func (f *Fleet) redirectBase() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.redirect
+}
+
+// SessionCount reports the number of live sessions.
+func (f *Fleet) SessionCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sessions)
+}
+
+// SessionIDs lists live session IDs in order.
+func (f *Fleet) SessionIDs() []string {
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.sessions))
+	for id := range f.sessions {
+		ids = append(ids, id)
+	}
+	f.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
 // Drain begins graceful shutdown: new sessions and runs are rejected with
 // ErrDraining (503 + Retry-After), while every admitted run — including
 // queued async jobs — completes normally. It returns when the pool is
@@ -831,6 +993,7 @@ func (f *Fleet) Drain(ctx context.Context) error {
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.draining = true
+	f.closed = true
 	f.mu.Unlock()
 	f.cancelBase()
 	select {

@@ -341,7 +341,7 @@ func TestPolicyFlips(t *testing.T) {
 	}
 
 	// Flip to baseline: nominal voltage, ondemand governor.
-	snap, err := f.SetPolicy(s.ID, "baseline")
+	snap, err := f.SetPolicy(s.ID, api.PolicyRequest{Policy: "baseline"})
 	if err != nil {
 		t.Fatalf("flip to baseline: %v", err)
 	}
@@ -353,7 +353,7 @@ func TestPolicyFlips(t *testing.T) {
 	}
 
 	// Flip to safe-vmin: static undervolt below nominal.
-	snap, err = f.SetPolicy(s.ID, "safe-vmin")
+	snap, err = f.SetPolicy(s.ID, api.PolicyRequest{Policy: "safe-vmin"})
 	if err != nil {
 		t.Fatalf("flip to safe-vmin: %v", err)
 	}
@@ -363,7 +363,7 @@ func TestPolicyFlips(t *testing.T) {
 
 	// Flip back to optimal and keep running; the emergency invariant must
 	// hold across every flip.
-	if _, err := f.SetPolicy(s.ID, "optimal"); err != nil {
+	if _, err := f.SetPolicy(s.ID, api.PolicyRequest{Policy: "optimal"}); err != nil {
 		t.Fatalf("flip to optimal: %v", err)
 	}
 	res, err := f.RunSync(context.Background(), s.ID, api.RunRequest{Seconds: 30})
@@ -373,7 +373,7 @@ func TestPolicyFlips(t *testing.T) {
 	if res.Emergencies != 0 {
 		t.Errorf("policy flips caused %d voltage emergencies", res.Emergencies)
 	}
-	if _, err := f.SetPolicy(s.ID, "warp"); !errors.Is(err, ErrUnknownPolicy) {
+	if _, err := f.SetPolicy(s.ID, api.PolicyRequest{Policy: "warp"}); !errors.Is(err, ErrUnknownPolicy) {
 		t.Errorf("unknown policy = %v", err)
 	}
 }

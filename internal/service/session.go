@@ -76,6 +76,7 @@ func parseModel(s string) (*chip.Spec, string, error) {
 type session struct {
 	id      string
 	model   string
+	node    string // hosting node's name ("" single-node); immutable
 	created time.Time
 
 	// ctx is cancelled when the session is deleted (or the fleet is
@@ -123,6 +124,18 @@ type session struct {
 	// activeJobs counts admitted-but-unfinished runs (sync and async), so
 	// the TTL reaper never deletes a session that is still computing.
 	activeJobs int
+	// migrating is set between capturing the session's state for a
+	// drain-to-peer move and deleting the local copy: mutations (submit,
+	// run, policy) are refused with ErrConflict in that window so nothing
+	// lands between the shipped snapshot and the deletion. Cleared if the
+	// ship fails.
+	migrating bool
+	// cap is the session's power-cap governor, attached lazily on the
+	// first cap request (governor-only: the active policy stack owns
+	// placement) and then toggled/retuned in place. capW mirrors the
+	// active budget (0 = uncapped) for the read surface.
+	cap  *sched.PowerCap
+	capW float64
 }
 
 // job is the handle of one asynchronous time advance.
@@ -153,6 +166,8 @@ type obsConfig struct {
 	// advances through. Both nil under Config.NoBatch (solo stepping).
 	memo *sim.SteadyMemo
 	gang *gang
+	// node is the fleet's Config.NodeName, stamped on the session.
+	node string
 }
 
 // runMeta is the correlation identity a run carries from the HTTP edge
@@ -185,6 +200,7 @@ func newSession(parent context.Context, id string, req api.CreateSessionRequest,
 	s := &session{
 		id:        id,
 		model:     model,
+		node:      obs.node,
 		created:   now,
 		ctx:       ctx,
 		cancel:    cancel,
@@ -265,6 +281,7 @@ func restoreSession(parent context.Context, id string, st *snapshot.SessionState
 	s := &session{
 		id:        id,
 		model:     model,
+		node:      obs.node,
 		created:   now,
 		ctx:       ctx,
 		cancel:    cancel,
@@ -315,6 +332,16 @@ func restoreSession(parent context.Context, id string, st *snapshot.SessionState
 	// the daemon/baseline Disabled flags; both were just restored, so only
 	// the session-level label needs setting.
 	s.policy = policy
+	// A captured power-cap governor re-attaches last, mirroring the lazy
+	// attach order of the live session (policy stacks first, cap after),
+	// so the hook sequence — and therefore replay — is identical.
+	if st.PowerCap != nil {
+		s.cap = sched.RestorePowerCap(s.m, *st.PowerCap)
+		s.cap.AttachGovernor()
+		if s.cap.Enabled() {
+			s.capW = s.cap.BudgetW
+		}
+	}
 	return s, nil
 }
 
@@ -328,13 +355,18 @@ func (s *session) captureStateLocked() (*snapshot.SessionState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
 	}
-	return &snapshot.SessionState{
+	st := &snapshot.SessionState{
 		Model:    s.model,
 		Policy:   s.policy,
 		Machine:  s.m.CaptureState(),
 		Daemon:   ds,
 		Baseline: s.base.CaptureState(),
-	}, nil
+	}
+	if s.cap != nil {
+		cs := s.cap.CaptureState()
+		st.PowerCap = &cs
+	}
+	return st, nil
 }
 
 // applyPolicy flips the enabled stack and electrical state of a
@@ -388,23 +420,60 @@ func (s *session) applyPolicyLocked(policy string) {
 	s.policy = policy
 }
 
-// setPolicy flips a live session between the Table IV configurations.
-func (s *session) setPolicy(wire string, now time.Time) error {
-	policy, err := parsePolicy(wire)
-	if err != nil {
-		return err
+// setPolicy flips a live session between the Table IV configurations
+// and/or retunes its power cap. A request with PowerCapW set and Policy
+// "" is cap-only: the active policy is left alone (parsePolicy would
+// otherwise read "" as the optimal default).
+func (s *session) setPolicy(req api.PolicyRequest, now time.Time) error {
+	flip := req.Policy != "" || req.PowerCapW == nil
+	var policy string
+	if flip {
+		var err error
+		if policy, err = parsePolicy(req.Policy); err != nil {
+			return err
+		}
+	}
+	if req.PowerCapW != nil && *req.PowerCapW < 0 {
+		return fmt.Errorf("%w: power_cap_watts must be >= 0", ErrInvalidRequest)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastTouch = now
-	if policy == s.policy {
-		return nil
+	if s.migrating {
+		return fmt.Errorf("%w: session migrating to a peer", ErrConflict)
 	}
-	if s.d.TransitionInFlight() {
-		return fmt.Errorf("%w: fail-safe voltage transition draining; retry", ErrConflict)
+	if flip && policy != s.policy {
+		if s.d.TransitionInFlight() {
+			return fmt.Errorf("%w: fail-safe voltage transition draining; retry", ErrConflict)
+		}
+		s.applyPolicyLocked(policy)
 	}
-	s.applyPolicyLocked(policy)
+	if req.PowerCapW != nil {
+		s.setPowerCapLocked(*req.PowerCapW)
+	}
 	return nil
+}
+
+// setPowerCapLocked attaches, retunes or lifts the session's power-cap
+// governor. mu must be held. The governor attaches once (machines have
+// no hook removal) and is toggled in place afterwards; disabled it is
+// inert and imposes no tick boundary.
+func (s *session) setPowerCapLocked(w float64) {
+	if w <= 0 {
+		if s.cap != nil {
+			s.cap.SetEnabled(false)
+		}
+		s.capW = 0
+		return
+	}
+	if s.cap == nil {
+		s.cap = sched.NewPowerCap(s.m, w)
+		s.cap.AttachGovernor()
+	} else {
+		s.cap.SetBudget(w)
+	}
+	s.cap.SetEnabled(true)
+	s.capW = w
 }
 
 // submit queues a program on the machine. It takes effect immediately when
@@ -417,6 +486,9 @@ func (s *session) submit(req api.SubmitRequest, now time.Time) (api.Process, err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastTouch = now
+	if s.migrating {
+		return api.Process{}, fmt.Errorf("%w: session migrating to a peer", ErrConflict)
+	}
 	p, err := s.m.Submit(b, req.Threads)
 	if err != nil {
 		return api.Process{}, err
@@ -654,10 +726,17 @@ func (s *session) runResultLocked() api.RunResult {
 func (s *session) snapshot(now time.Time) api.Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	state := api.SessionIdle
+	if s.activeJobs > 0 {
+		state = api.SessionBusy
+	}
 	return api.Session{
 		ID:             s.id,
 		Model:          s.model,
 		Policy:         s.policy,
+		State:          state,
+		Node:           s.node,
+		PowerCapW:      s.capW,
 		Now:            s.m.Now(),
 		Ticks:          s.m.Ticks(),
 		Running:        s.m.RunningCount(),
@@ -792,6 +871,7 @@ func (s *session) wireJobLocked(j *job) api.Job {
 		Session: s.id,
 		Status:  j.status,
 		Seconds: j.seconds,
+		Node:    s.node,
 	}
 	switch j.status {
 	case api.JobDone:

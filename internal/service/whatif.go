@@ -108,9 +108,8 @@ func (f *Fleet) Fork(id string, req api.ForkRequest) (api.Fork, error) {
 		f.mu.Unlock()
 		return api.Fork{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
 	}
-	f.nextSess++
-	cid := fmt.Sprintf("s-%06d", f.nextSess)
 	f.mu.Unlock()
+	cid := f.mintSessionID()
 
 	parent.beginJob()
 	snapID, st, err := f.resolveSnapshot(parent, req.SnapshotID)
@@ -130,21 +129,11 @@ func (f *Fleet) Fork(id string, req api.ForkRequest) (api.Fork, error) {
 		// refuses one), so the flip is always legal here.
 		child.applyPolicyLocked(childPolicy)
 	}
-	f.mu.Lock()
-	if f.draining {
-		f.mu.Unlock()
-		child.cancel()
-		return api.Fork{}, fmt.Errorf("%w: not accepting sessions", ErrDraining)
+	ws, err := f.publish(child, now)
+	if err != nil {
+		return api.Fork{}, err
 	}
-	if len(f.sessions) >= f.cfg.MaxSessions {
-		f.mu.Unlock()
-		child.cancel()
-		return api.Fork{}, fmt.Errorf("%w: %d sessions live", ErrFleetFull, len(f.sessions))
-	}
-	f.sessions[cid] = child
-	f.mu.Unlock()
-	f.mSessions.Inc()
-	return api.Fork{SnapshotID: snapID, Session: child.snapshot(now)}, nil
+	return api.Fork{SnapshotID: snapID, Session: ws}, nil
 }
 
 // branchSpec is one validated what-if branch configuration.
@@ -349,8 +338,13 @@ func buildBranch(st *snapshot.SessionState, spec branchSpec) (*branchRig, error)
 	if spec.policy != "" && spec.policy != st.Policy {
 		applyPolicy(m, d, base, spec.policy)
 	}
+	// A cap override replaces any captured governor; otherwise the
+	// snapshot's own cap is restored so a control branch replays the
+	// capped session faithfully.
 	if spec.capW > 0 {
 		sched.NewPowerCap(m, spec.capW).Attach()
+	} else if st.PowerCap != nil {
+		sched.RestorePowerCap(m, *st.PowerCap).AttachGovernor()
 	}
 	if spec.place != nil {
 		if err := replaceRunning(m, *spec.place); err != nil {

@@ -378,4 +378,3 @@ func (b *Batch) commitLockstep(active []int, isBatch []bool, reps []int, k int) 
 		}
 	}
 }
-

@@ -41,6 +41,12 @@ type SessionState struct {
 	Machine  *sim.MachineState   `json:"machine"`
 	Daemon   *daemon.State       `json:"daemon"`
 	Baseline sched.BaselineState `json:"baseline"`
+
+	// PowerCap carries the session's power-cap governor, when one is
+	// attached, so a capped session migrates bit-identically. Omitted
+	// when nil, which keeps the content addresses of every pre-existing
+	// snapshot unchanged (still snap-v1).
+	PowerCap *sched.PowerCapState `json:"power_cap,omitempty"`
 }
 
 // Encode marshals a session state and derives its content address.
@@ -51,6 +57,21 @@ func Encode(st *SessionState) (id string, payload []byte, err error) {
 	}
 	return idOf(payload), payload, nil
 }
+
+// Decode unmarshals a canonical payload (the inverse of Encode). It is
+// the ingestion path for migrations: the receiving node decodes the
+// shipped state after verifying its content address with ID.
+func Decode(payload []byte) (*SessionState, error) {
+	st := new(SessionState)
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return st, nil
+}
+
+// ID derives the content address of a canonical payload without
+// decoding it, so an importer can verify a shipped snapshot end to end.
+func ID(payload []byte) string { return idOf(payload) }
 
 // idOf hashes the version tag and payload into the content address.
 func idOf(payload []byte) string {

@@ -134,6 +134,27 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// WriteSample renders one `name{k="v",...} value` exposition line with
+// label keys sorted, so re-emitted samples (e.g. the router's aggregated
+// scrape, which re-tags every node sample with a node label) are
+// deterministic regardless of map iteration order.
+func WriteSample(w io.Writer, name string, labels map[string]string, value float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := make([]telemetry.Label, len(keys))
+	for i, k := range keys {
+		ls[i] = telemetry.Label{Key: k, Value: labels[k]}
+	}
+	fmt.Fprintf(w, "%s %s\n", telemetryName(name, ls), formatValue(value))
+}
+
 // escapeHelp escapes newlines and backslashes in HELP text.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
@@ -158,6 +179,18 @@ var (
 // It is the format check the exporter tests run against, and a useful
 // assertion helper for anything scraping the output.
 func ParsePrometheus(r io.Reader) ([]ParsedMetric, error) {
+	ms, _, err := ParsePrometheusTyped(r)
+	return ms, err
+}
+
+// ParsePrometheusTyped is ParsePrometheus keeping the TYPE declarations:
+// it additionally returns family name → kind ("counter", "gauge",
+// "histogram"). The cluster router uses it to merge per-node scrapes
+// into one exposition — samples re-tagged with a node label must be
+// re-grouped under a single TYPE line per family, because duplicate TYPE
+// lines are a format error (naive concatenation of node outputs is
+// invalid).
+func ParsePrometheusTyped(r io.Reader) ([]ParsedMetric, map[string]string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	typed := map[string]string{}
@@ -173,15 +206,15 @@ func ParsePrometheus(r io.Reader) ([]ParsedMetric, error) {
 			fields := strings.Fields(text)
 			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
 				if len(fields) < 3 {
-					return nil, fmt.Errorf("line %d: malformed %s comment", line, fields[1])
+					return nil, nil, fmt.Errorf("line %d: malformed %s comment", line, fields[1])
 				}
 				if fields[1] == "TYPE" {
 					name := fields[2]
 					if _, dup := typed[name]; dup {
-						return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+						return nil, nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
 					}
 					if len(fields) < 4 {
-						return nil, fmt.Errorf("line %d: TYPE %s missing kind", line, name)
+						return nil, nil, fmt.Errorf("line %d: TYPE %s missing kind", line, name)
 					}
 					typed[name] = fields[3]
 				}
@@ -190,17 +223,17 @@ func ParsePrometheus(r io.Reader) ([]ParsedMetric, error) {
 		}
 		m, err := parseSampleLine(text)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", line, err)
+			return nil, nil, fmt.Errorf("line %d: %v", line, err)
 		}
 		if familyOf(m.Name, typed) == "" {
-			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", line, m.Name)
+			return nil, nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", line, m.Name)
 		}
 		out = append(out, m)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, typed, nil
 }
 
 // familyOf resolves a sample name to its declared family, accounting for

@@ -3,13 +3,15 @@
 # telemetry-overhead benchmark, the simulator hot-path benchmark, the
 # experiment-runner speedup gate, the characterization-store memoization
 # gate, the control-plane throughput gate, the request-tracing overhead
-# gate, the snapshot restore-and-replay gate, and the batched-stepping
-# speedup gate. The benchmarks' JSON summaries are written to
+# gate, the snapshot restore-and-replay gate, the batched-stepping
+# speedup gate, and the cluster scale-out gate (3-node router-proxied
+# read throughput vs the single-node floor, plus drain-to-peer
+# migration latency). The benchmarks' JSON summaries are written to
 # BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
 # BENCH_cache.json, BENCH_service.json, BENCH_trace.json,
-# BENCH_snapshot.json and BENCH_batch.json at the repository root (see
-# docs/OBSERVABILITY.md, docs/PERFORMANCE.md, EXPERIMENTS.md and
-# docs/API.md).
+# BENCH_snapshot.json, BENCH_batch.json and BENCH_cluster.json at the
+# repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
+# EXPERIMENTS.md and docs/API.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -78,5 +80,15 @@ AVFS_BENCH_BATCH_OUT="$(pwd)/BENCH_batch.json" \
 
 echo "==> BENCH_batch.json"
 cat BENCH_batch.json
+
+# Runs after the service gate so BENCH_service.json carries the
+# single-node floor the 2.5x scale target is derived from.
+echo "==> cluster scale-out benchmark (3-node router reads + migration latency)"
+AVFS_BENCH_CLUSTER_OUT="$(pwd)/BENCH_cluster.json" \
+	AVFS_BENCH_SERVICE_JSON="$(pwd)/BENCH_service.json" \
+	go test ./internal/cluster -run TestClusterScaleBudget -count=1 -v
+
+echo "==> BENCH_cluster.json"
+cat BENCH_cluster.json
 
 echo "OK"
