@@ -4,11 +4,12 @@
 # characterization-store memoization benchmark + the control-plane
 # throughput benchmark + the request-tracing overhead benchmark + the
 # snapshot restore-and-replay benchmark + the batched-stepping speedup
-# benchmark + the cluster scale-out benchmark, which record their JSON
-# summaries in BENCH_telemetry.json, BENCH_sim.json,
-# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
-# BENCH_trace.json, BENCH_snapshot.json, BENCH_batch.json and
-# BENCH_cluster.json).
+# benchmark + the cluster scale-out benchmark + the closed-form
+# surrogate gates, which record their JSON summaries in
+# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
+# BENCH_cache.json, BENCH_service.json, BENCH_trace.json,
+# BENCH_snapshot.json, BENCH_batch.json, BENCH_cluster.json and
+# BENCH_surrogate.json).
 
 GO ?= go
 
@@ -51,6 +52,8 @@ bench:
 	AVFS_BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json \
 		AVFS_BENCH_SERVICE_JSON=$(CURDIR)/BENCH_service.json \
 		$(GO) test ./internal/cluster -run TestClusterScaleBudget -count=1 -v
+	AVFS_BENCH_SURROGATE_OUT=$(CURDIR)/BENCH_surrogate.json \
+		$(GO) test ./internal/surrogate -run 'TestSurrogateQueryBudget|TestSurrogateAccuracyBudget' -count=1 -v
 
 clean:
 	$(GO) clean ./...

@@ -227,6 +227,9 @@ type Job struct {
 	Seconds float64    `json:"seconds"`
 	Error   *Error     `json:"error,omitempty"`
 	Result  *RunResult `json:"result,omitempty"`
+	// WhatIf holds the simulated comparison report of a finished what-if
+	// refinement job (fast what-if with refine); nil for run jobs.
+	WhatIf *WhatIfReport `json:"whatif,omitempty"`
 	// Node names the fleet node the job ran on ("" on an unnamed
 	// single-node deployment).
 	Node string `json:"node,omitempty"`
@@ -421,6 +424,16 @@ type WhatIfRequest struct {
 	// relative); solo trades the batch's fold sharing for per-branch
 	// parallelism.
 	Solo bool `json:"solo,omitempty"`
+	// Fast answers every branch from the fitted closed-form surrogate
+	// instead of simulating: microseconds instead of milliseconds per
+	// branch, within the surrogate's fitted error bounds. The report's
+	// Source says which engine produced it.
+	Fast bool `json:"fast,omitempty"`
+	// Refine (with Fast) additionally kicks off the full simulated
+	// comparison as a background job; the report's RefineJob carries the
+	// job handle, and the finished job's WhatIf field holds the simulated
+	// report for the same snapshot and branches.
+	Refine bool `json:"refine,omitempty"`
 }
 
 // WhatIfBranch reports one branch's outcome over the what-if window
@@ -478,6 +491,14 @@ type WhatIfReport struct {
 	// advanced as one structure-of-arrays batch; absent for solo
 	// advancement (request Solo, or the fleet running with NoBatch).
 	Batch *WhatIfBatch `json:"batch,omitempty"`
+	// Source reports which engine produced the branch metrics:
+	// "simulated" (the default replay path) or "surrogate" (the fast
+	// closed-form tier).
+	Source string `json:"source,omitempty"`
+	// RefineJob is the background simulated-comparison job handle when the
+	// request asked for fast + refine; poll it via the jobs API and read
+	// the simulated report from the finished job's WhatIf field.
+	RefineJob string `json:"refine_job,omitempty"`
 }
 
 // WhatIfBatch summarizes one batched what-if advancement: how much of
@@ -506,6 +527,63 @@ type WhatIfBatch struct {
 	// branch on its own: total member-ticks divided by the ticks that
 	// needed their own fold or solo step (Ticks / (Ticks - SharedTicks)).
 	SpeedupEst float64 `json:"speedup_est"`
+}
+
+// EstimateRequest holds the query parameters of GET /v1/estimate, the
+// fleet's instant-estimate tier: a closed-form surrogate query that needs
+// no session and answers in microseconds.
+type EstimateRequest struct {
+	// Model is "xgene2" or "xgene3" (default "xgene3"); query param "model".
+	Model string
+	// Node projects the chip to a technology node ("28nm", "16nm", "7nm";
+	// "" or "native" keeps the real silicon); query param "node".
+	Node string
+	// Scaling picks the roadmap for node projection: "cons" (default) or
+	// "itrs"; query param "scaling".
+	Scaling string
+	// Benchmark is required; query param "bench".
+	Benchmark string
+	// Threads defaults to 1; query param "threads".
+	Threads int
+	// Placement is "clustered" (default) or "spreaded"; query param
+	// "placement".
+	Placement string
+	// FreqMHz defaults to the (scaled) maximum; query param "freq_mhz".
+	FreqMHz int
+	// Voltage is "nominal" (default) or "safe-vmin" (the class envelope
+	// plus regulator guard); query param "voltage".
+	Voltage string
+	// Search, when set, scans the whole V/F × placement (× thread options
+	// when Threads is 0) grid instead of answering one point: "energy"
+	// minimizes energy, "ed2p" minimizes energy × delay². Query param
+	// "search".
+	Search string
+}
+
+// Estimate is the response of GET /v1/estimate: the resolved
+// configuration point echoed back with its closed-form prediction.
+type Estimate struct {
+	Model string `json:"model"`
+	// Chip names the (possibly node-scaled) silicon variant the estimate
+	// describes, e.g. "X-Gene3@7nm-itrs".
+	Chip string `json:"chip"`
+	// NodeNM is the technology node in nanometres the chip was projected
+	// to (the native node when no projection was requested).
+	NodeNM  int    `json:"node_nm"`
+	Scaling string `json:"scaling"`
+	// Search echoes the search objective when the server scanned the
+	// configuration grid; the fields below then describe the winner.
+	Search    string  `json:"search,omitempty"`
+	Benchmark string  `json:"benchmark"`
+	Threads   int     `json:"threads"`
+	Placement string  `json:"placement"`
+	FreqMHz   int     `json:"freq_mhz"`
+	VoltageMV int     `json:"voltage_mv"`
+	RuntimeS  float64 `json:"runtime_seconds"`
+	AvgPowerW float64 `json:"avg_power_watts"`
+	EnergyJ   float64 `json:"energy_joules"`
+	EDP       float64 `json:"edp"`
+	ED2P      float64 `json:"ed2p"`
 }
 
 // Node states carried in Node.State.

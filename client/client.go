@@ -430,6 +430,39 @@ func (c *Client) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (
 	return rep, err
 }
 
+// Estimate answers a closed-form surrogate query — point estimate or
+// energy-optimal config search — without touching any session. The
+// server fits (or reuses) the surrogate model for the requested chip
+// and technology node and answers in microseconds.
+func (c *Client) Estimate(ctx context.Context, req api.EstimateRequest) (api.Estimate, error) {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("model", req.Model)
+	set("node", req.Node)
+	set("scaling", req.Scaling)
+	set("bench", req.Benchmark)
+	set("placement", req.Placement)
+	set("voltage", req.Voltage)
+	set("search", req.Search)
+	if req.Threads > 0 {
+		q.Set("threads", strconv.Itoa(req.Threads))
+	}
+	if req.FreqMHz > 0 {
+		q.Set("freq_mhz", strconv.Itoa(req.FreqMHz))
+	}
+	path := "/v1/estimate"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var est api.Estimate
+	err := c.do(ctx, http.MethodGet, path, nil, &est)
+	return est, err
+}
+
 // SLO reads a session's tail-latency SLO surface: request- and
 // advance-latency quantiles plus error rates, all-time and over the
 // server's rolling window.

@@ -8,8 +8,9 @@
 //
 //	avfs-server [-addr :8080] [-max-sessions 256] [-ttl 15m]
 //	            [-workers N] [-queue M] [-chunk 1.0] [-cache-dir DIR]
-//	            [-snapshot-dir DIR] [-access-log PATH] [-slow-ms 1000]
-//	            [-slo-window 1m] [-pprof-addr ADDR] [-no-trace]
+//	            [-snapshot-dir DIR] [-drain-timeout 2m] [-access-log PATH]
+//	            [-slow-ms 1000] [-slo-window 1m] [-pprof-addr ADDR]
+//	            [-no-trace]
 //	            [-router URL -node NAME -advertise URL [-heartbeat 2s]]
 //
 // Flags:
@@ -20,10 +21,16 @@
 //	-workers       concurrent runs across all sessions (default GOMAXPROCS)
 //	-queue         admitted-but-waiting runs before 429 busy (default 4x)
 //	-chunk         simulated seconds a run holds its session lock for
-//	-cache-dir     persist characterization datasets under this directory,
-//	               so the fleet's content-addressed store survives restarts
+//	-cache-dir     persist characterization datasets (and, under its
+//	               surrogate/ subdirectory, fitted surrogate models) so the
+//	               fleet's content-addressed stores survive restarts; safe
+//	               to share between server processes on one filesystem —
+//	               writes are temp-file + atomic rename, and racing writers
+//	               can only produce identical content
 //	-snapshot-dir  persist session snapshots under this directory, so fork
 //	               and what-if can resolve snapshot ids across restarts
+//	-drain-timeout graceful drain budget before shutdown is forced
+//	               (default 2m)
 //	-access-log    JSONL access log: a file path, or "-" for stderr
 //	-slow-ms       slow-request threshold in milliseconds; slow requests
 //	               are flagged in the access log and mirrored to stderr

@@ -8,12 +8,22 @@
 //	evaluate [-chip xgene2|xgene3|both] [-duration 3600] [-seed 42]
 //	         [-fig14] [-fig15] [-seeds N] [-csv DIR] [-j N]
 //	         [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-instant [-node NM] [-scaling cons|itrs] [-sweep-nodes]]
 //
 // -j sets the worker-pool width: the four configuration replays (or the
 // seeds of the robustness study) run in parallel, with results identical
 // for any width. -cache-dir persists any Monte Carlo characterization
-// datasets the campaign requests (see EXPERIMENTS.md). -cpuprofile and
-// -memprofile write pprof profiles covering the whole campaign.
+// datasets the campaign requests — and, under its surrogate/
+// subdirectory, fitted surrogate models (see EXPERIMENTS.md).
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// campaign.
+//
+// -instant answers the Table IV comparison from the closed-form
+// surrogate tier instead of replaying the workload: after a one-time
+// model fit, every (configuration, tech node) cell is a microsecond
+// query. -node projects the chip onto a 28/16/7nm technology node under
+// the -scaling roadmap ("cons" or "itrs"); -sweep-nodes prints the whole
+// node x roadmap grid.
 package main
 
 import (
@@ -23,11 +33,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"avfs/internal/chip"
 	"avfs/internal/experiments"
 	"avfs/internal/export"
 	"avfs/internal/profiling"
+	"avfs/internal/surrogate"
 	"avfs/internal/vmin/store"
 	"avfs/internal/wlgen"
 )
@@ -55,6 +67,10 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persist characterization datasets under this directory (default: in-process memoization only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
+	instant := flag.Bool("instant", false, "answer the Table IV comparison from the closed-form surrogate tier instead of simulating")
+	nodeFlag := flag.String("node", "native", `technology node for -instant: "native", "28nm", "16nm" or "7nm"`)
+	scalingFlag := flag.String("scaling", "cons", `tech-node scaling roadmap for -instant: "cons" (conservative) or "itrs"`)
+	sweepNodes := flag.Bool("sweep-nodes", false, "with -instant: sweep every tech node under both scaling roadmaps")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -76,6 +92,14 @@ func run() int {
 		return 2
 	}
 	for _, spec := range specs {
+		if *instant || *sweepNodes {
+			if err := runInstant(spec, *duration, *seed, *nodeFlag, *scalingFlag, *sweepNodes, *cacheDir); err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				return 1
+			}
+			fmt.Println()
+			continue
+		}
 		if *seeds > 0 {
 			var list []int64
 			for i := 0; i < *seeds; i++ {
@@ -120,6 +144,83 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// runInstant answers the Table IV comparison from the surrogate tier:
+// one workload, every system configuration, on the native chip or a
+// grid of technology-node projections. Queries are closed-form — the
+// printed elapsed time covers the whole grid after the one-time fit.
+func runInstant(spec *chip.Spec, duration float64, seed int64, nodeStr, scalingStr string, sweep bool, cacheDir string) error {
+	wl := wlgen.Generate(spec, wlgen.Config{Duration: duration}, seed)
+	fmt.Printf("generated workload: %d processes, %d threads total, %.0f%% memory-intensive\n",
+		wl.TotalProcesses(), wl.TotalThreads(), 100*wl.MemoryIntensiveShare())
+
+	dir := ""
+	if cacheDir != "" {
+		dir = filepath.Join(cacheDir, "surrogate")
+	}
+	fitStart := time.Now()
+	model, err := surrogate.NewStore(dir).Get(spec, surrogate.FitConfig{})
+	if err != nil {
+		return err
+	}
+	fitDur := time.Since(fitStart)
+
+	type variant struct {
+		label string
+		node  surrogate.TechNode
+		sm    surrogate.ScalingModel
+	}
+	var variants []variant
+	if sweep {
+		variants = append(variants, variant{"native", 0, surrogate.CONS})
+		for _, sm := range []surrogate.ScalingModel{surrogate.CONS, surrogate.ITRS} {
+			for _, n := range surrogate.Nodes() {
+				variants = append(variants, variant{n.String(), n, sm})
+			}
+		}
+	} else {
+		node, err := surrogate.ParseTechNode(nodeStr)
+		if err != nil {
+			return err
+		}
+		sm, err := surrogate.ParseScalingModel(scalingStr)
+		if err != nil {
+			return err
+		}
+		label := "native"
+		if node != 0 {
+			label = node.String()
+		}
+		variants = append(variants, variant{label, node, sm})
+	}
+
+	fmt.Printf("\ninstant estimates (%s, closed-form surrogate; fit %v):\n", spec.Name, fitDur.Round(time.Millisecond))
+	fmt.Printf("%-8s %-8s %-10s %9s %8s %11s %8s\n",
+		"node", "scaling", "config", "time(s)", "avg W", "energy(J)", "vs base")
+	queryStart := time.Now()
+	for _, v := range variants {
+		est, err := surrogate.NewEstimator(spec, model, v.node, v.sm)
+		if err != nil {
+			return err
+		}
+		base := 0.0
+		for _, cfg := range experiments.SystemConfigs() {
+			se := est.EstimateWorkload(wl, cfg)
+			if cfg == experiments.Baseline {
+				base = se.EnergyJ
+			}
+			saved := "-"
+			if cfg != experiments.Baseline && base > 0 {
+				saved = fmt.Sprintf("%+.1f%%", 100*(se.EnergyJ-base)/base)
+			}
+			fmt.Printf("%-8s %-8s %-10s %9.1f %8.2f %11.1f %8s\n",
+				v.label, v.sm, cfg, se.Seconds, se.AvgPowerW, se.EnergyJ, saved)
+		}
+	}
+	fmt.Printf("%d cells answered in %v\n",
+		4*len(variants), time.Since(queryStart).Round(time.Microsecond))
+	return nil
 }
 
 func chipsFor(name string) ([]*chip.Spec, error) {

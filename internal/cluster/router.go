@@ -50,6 +50,7 @@ type Router struct {
 	mProbes     *telemetry.Counter
 	mMoves      *telemetry.Counter
 	mNodeErrs   *telemetry.Counter
+	mRetries    *telemetry.Counter
 }
 
 // RouterConfig parameterizes a Router; the zero value works.
@@ -90,6 +91,7 @@ func NewRouter(cfg RouterConfig) *Router {
 	r.mProbes = r.tel.Counter("avfs_router_probe_fallbacks_total", "Placement-cache misses resolved by probing nodes in rendezvous order.")
 	r.mMoves = r.tel.Counter("avfs_router_rebalance_moves_total", "Sessions migrated by rebalance.")
 	r.mNodeErrs = r.tel.Counter("avfs_router_node_errors_total", "Node requests that failed (unreachable or transport error).")
+	r.mRetries = r.tel.Counter("avfs_router_retries_total", "Idempotent GETs retried against the next rendezvous candidate after a connect failure or 5xx answer.")
 	r.tel.Gauge("avfs_router_nodes", "Live registered nodes.", func() float64 {
 		return float64(len(r.reg.Snapshot()))
 	})
@@ -429,9 +431,13 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	target := r.URL.RequestURI()
 
 	probed := false
+	retried := false
 	var notFoundStatus int
 	var notFoundHeader http.Header
 	var notFoundBody []byte
+	var failStatus int
+	var failHeader http.Header
+	var failBody []byte
 	for i, name := range order {
 		if i > 0 {
 			probed = true
@@ -439,11 +445,25 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		status, hdr, respBody, err := rt.forward(r, r.Method, urls[name]+target, body)
 		if err != nil {
 			rt.mNodeErrs.Inc()
+			if r.Method == http.MethodGet && !retried && i+1 < len(order) {
+				retried = true
+				rt.mRetries.Inc()
+			}
 			continue
 		}
 		if status == http.StatusNotFound && errCodeOf(respBody) == api.CodeSessionNotFound {
 			rt.cacheDrop(id)
 			notFoundStatus, notFoundHeader, notFoundBody = status, hdr, respBody
+			continue
+		}
+		if status >= 500 && r.Method == http.MethodGet && !retried && i+1 < len(order) {
+			// Hedge an idempotent read once against the next rendezvous
+			// candidate: a node answering 5xx may be mid-restart while a
+			// peer already hosts the session (post-migration). Non-GET
+			// requests are relayed as-is — the node may have applied them.
+			retried = true
+			rt.mRetries.Inc()
+			failStatus, failHeader, failBody = status, hdr, respBody
 			continue
 		}
 		rt.cachePut(id, name)
@@ -455,6 +475,12 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			rt.cacheDrop(id)
 		}
 		relay(w, status, hdr, respBody)
+		return
+	}
+	if failStatus != 0 {
+		// The hedged-away 5xx came from the likeliest owner; the 404s, if
+		// any, from nodes that never knew the session. Relay the former.
+		relay(w, failStatus, failHeader, failBody)
 		return
 	}
 	if notFoundStatus != 0 {

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avfs/api"
+)
+
+// flakyNode is an httptest node whose first failN answers to any request
+// are 500s; after that it serves the session.
+func flakyNode(t *testing.T, name string, failN int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failN {
+			http.Error(w, "node mid-restart", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-AVFS-Node", name)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.Session{ID: r.PathValue("id"), Node: name})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// healthyNode always serves the session.
+func healthyNode(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-AVFS-Node", name)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.Session{ID: r.PathValue("id"), Node: name})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestProxyRetriesFlakyNode: a GET proxied to a node that answers 5xx is
+// hedged once against the next rendezvous candidate; non-idempotent
+// methods relay the failure as-is.
+func TestProxyRetriesFlakyNode(t *testing.T) {
+	rt := NewRouter(RouterConfig{HeartbeatTTL: time.Minute})
+	flaky, calls := flakyNode(t, "flaky", 1_000_000) // never recovers
+	healthy := healthyNode(t, "healthy")
+	for name, u := range map[string]string{"flaky": flaky.URL, "healthy": healthy.URL} {
+		if _, err := rt.reg.Heartbeat(api.NodeHeartbeat{Name: name, URL: u}); err != nil {
+			t.Fatalf("heartbeat %s: %v", name, err)
+		}
+	}
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	const id = "s-retry-1"
+	rt.cachePut(id, "flaky") // force the flaky node to be tried first
+
+	resp, err := http.Get(rts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET through flaky node = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-AVFS-Node"); got != "healthy" {
+		t.Fatalf("answer came from %q, want healthy", got)
+	}
+	if got := rt.mRetries.Value(); got != 1 {
+		t.Fatalf("retry counter = %d, want 1", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("flaky node saw %d calls, want exactly 1 (retry is once)", calls.Load())
+	}
+	// The successful answer re-cached the healthy node: the next read
+	// never touches the flaky one.
+	resp, err = http.Get(rts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 1 {
+		t.Fatalf("flaky node probed again after re-cache (%d calls)", calls.Load())
+	}
+	if got := rt.mRetries.Value(); got != 1 {
+		t.Fatalf("retry counter moved without a failure: %d", got)
+	}
+
+	// A POST to the flaky node is NOT hedged: the node may have applied
+	// it, so the 500 is relayed and the retry counter stays put.
+	rt.cachePut(id, "flaky")
+	resp, err = http.Post(rts.URL+"/v1/sessions/"+id+"/run", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("POST through flaky node = %d, want relayed 500", resp.StatusCode)
+	}
+	if got := rt.mRetries.Value(); got != 1 {
+		t.Fatalf("non-idempotent request was retried (counter %d)", got)
+	}
+}
+
+// TestProxyRetriesConnectFailure: a cached node that is gone entirely
+// (connection refused) also counts as a retry when a GET fails over.
+func TestProxyRetriesConnectFailure(t *testing.T) {
+	rt := NewRouter(RouterConfig{HeartbeatTTL: time.Minute})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+	healthy := healthyNode(t, "healthy")
+	for name, u := range map[string]string{"dead": deadURL, "healthy": healthy.URL} {
+		if _, err := rt.reg.Heartbeat(api.NodeHeartbeat{Name: name, URL: u}); err != nil {
+			t.Fatalf("heartbeat %s: %v", name, err)
+		}
+	}
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	const id = "s-retry-2"
+	rt.cachePut(id, "dead")
+	resp, err := http.Get(rts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET past dead node = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-AVFS-Node"); got != "healthy" {
+		t.Fatalf("answer came from %q, want healthy", got)
+	}
+	if got := rt.mRetries.Value(); got != 1 {
+		t.Fatalf("retry counter = %d, want 1", got)
+	}
+	if got := rt.mNodeErrs.Value(); got != 1 {
+		t.Fatalf("node error counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"avfs/internal/chip"
+	"avfs/internal/wlgen"
+	"avfs/internal/workload"
+)
+
+// Mix labels the composition of a calibration workload. The surrogate
+// fitting layer (internal/surrogate) regresses its per-policy correction
+// cells against one small workload per mix, and the accuracy gates replay
+// differently-seeded workloads of the same mixes — keeping calibration and
+// validation data disjoint while staying inside one workload class.
+type Mix int
+
+const (
+	// MixCPU draws only CPU-intensive programs (below the 3K L3C/1M
+	// classification threshold).
+	MixCPU Mix = iota
+	// MixMemory draws only memory-intensive programs.
+	MixMemory
+	// MixBalanced alternates between the two classes.
+	MixBalanced
+	numMixes
+)
+
+// Mixes returns every calibration mix in canonical order.
+func Mixes() []Mix { return []Mix{MixCPU, MixMemory, MixBalanced} }
+
+// String names the mix ("cpu", "memory", "balanced").
+func (m Mix) String() string {
+	switch m {
+	case MixCPU:
+		return "cpu"
+	case MixMemory:
+		return "memory"
+	case MixBalanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// mixPool splits the characterization set by the 3K-per-1M-cycles
+// classification and returns the benchmarks a mix draws from.
+func mixPool(m Mix) []*workload.Benchmark {
+	var cpu, mem []*workload.Benchmark
+	for _, b := range workload.CharacterizationSet() {
+		if b.MemoryIntensive() {
+			mem = append(mem, b)
+		} else {
+			cpu = append(cpu, b)
+		}
+	}
+	switch m {
+	case MixCPU:
+		return cpu
+	case MixMemory:
+		return mem
+	default:
+		out := make([]*workload.Benchmark, 0, len(cpu)+len(mem))
+		for i := 0; i < len(cpu) || i < len(mem); i++ {
+			if i < len(cpu) {
+				out = append(out, cpu[i])
+			}
+			if i < len(mem) {
+				out = append(out, mem[i])
+			}
+		}
+		return out
+	}
+}
+
+// CalibrationWorkload builds a small deterministic arrival schedule of a
+// single mix: a handful of processes with staggered arrivals whose total
+// thread demand never exceeds the chip's cores (so the schedule measures
+// the configuration, not queueing noise). Different seeds rotate through
+// the mix's benchmark pool and jitter the arrival spacing, so calibration
+// (one seed) and validation (another) see distinct programs of the same
+// class.
+func CalibrationWorkload(spec *chip.Spec, m Mix, seed int64) *wlgen.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	pool := mixPool(m)
+	wl := &wlgen.Workload{Seed: seed, Duration: 240, MaxCores: spec.Cores}
+	// Thread options sized to the chip: a parallel job takes a quarter of
+	// the cores, single-threaded programs run solo.
+	parThreads := spec.Cores / 4
+	if parThreads < 2 {
+		parThreads = 2
+	}
+	budget := spec.Cores
+	at := 0.0
+	for i := 0; budget > 0 && i < 8; i++ {
+		b := pool[(int(seed)+i*3)%len(pool)]
+		threads := 1
+		if b.Parallel {
+			threads = parThreads
+		}
+		if threads > budget {
+			break
+		}
+		budget -= threads
+		wl.Arrivals = append(wl.Arrivals, wlgen.Arrival{At: at, Bench: b, Threads: threads})
+		at += 8 + 6*rng.Float64()
+	}
+	return wl
+}

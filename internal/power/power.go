@@ -78,6 +78,20 @@ func CoefficientsFor(m chip.Model) Coefficients {
 	panic(fmt.Sprintf("power: unknown chip model %v", m))
 }
 
+// Scaled returns a copy with the switched-capacitance terms multiplied by
+// capRatio and the fixed-watt terms (L3, memory controllers, leakage) by
+// staticRatio — the decomposition a technology-node projection needs
+// (internal/surrogate): capacitance follows power/(V²·f) scaling, while
+// the watt-denominated terms follow raw power scaling.
+func (c Coefficients) Scaled(capRatio, staticRatio float64) Coefficients {
+	c.CoreCapF *= capRatio
+	c.PMDCapF *= capRatio
+	c.L3Watts *= staticRatio
+	c.MemWatts *= staticRatio
+	c.LeakWatts *= staticRatio
+	return c
+}
+
 // CoreState is the per-core activity input to the model for one instant.
 type CoreState struct {
 	// Busy reports whether a thread is currently scheduled on the core.

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"avfs/api"
+	"avfs/internal/workload"
+)
+
+func TestEstimatePointQuery(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+
+	est, err := f.Estimate(api.EstimateRequest{Benchmark: "CG", Threads: 8})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Model != "xgene3" || est.Chip == "" || est.NodeNM == 0 || est.Scaling == "" {
+		t.Fatalf("bad identity fields: %+v", est)
+	}
+	if est.Benchmark != "CG" || est.Threads != 8 || est.Placement != "clustered" {
+		t.Fatalf("bad config echo: %+v", est)
+	}
+	if est.FreqMHz <= 0 || est.VoltageMV <= 0 {
+		t.Fatalf("bad operating point: %+v", est)
+	}
+	if est.RuntimeS <= 0 || est.AvgPowerW <= 0 || est.EnergyJ <= 0 || est.EDP <= 0 || est.ED2P <= 0 {
+		t.Fatalf("bad estimate metrics: %+v", est)
+	}
+	if got := f.mSurQueries.Value(); got != 1 {
+		t.Errorf("surrogate query counter = %d, want 1", got)
+	}
+
+	// Safe-Vmin undervolting must save energy over nominal at the same
+	// operating point — the paper's core claim, visible from the surrogate.
+	nominal, err := f.Estimate(api.EstimateRequest{Benchmark: "EP", Threads: 4, FreqMHz: 2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmin, err := f.Estimate(api.EstimateRequest{Benchmark: "EP", Threads: 4, FreqMHz: 2400, Voltage: "safe-vmin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmin.VoltageMV >= nominal.VoltageMV || vmin.EnergyJ >= nominal.EnergyJ {
+		t.Errorf("safe-vmin did not save energy: %+v vs nominal %+v", vmin, nominal)
+	}
+}
+
+func TestEstimateSearchAndTechNodes(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+
+	best, err := f.Estimate(api.EstimateRequest{Benchmark: "milc", Threads: 8, Search: "energy"})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if best.Search != "energy" || best.FreqMHz <= 0 || best.EnergyJ <= 0 {
+		t.Fatalf("bad search result: %+v", best)
+	}
+	// The searched optimum cannot lose to an arbitrary fixed point.
+	fixed, err := f.Estimate(api.EstimateRequest{Benchmark: "milc", Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.EnergyJ > fixed.EnergyJ*1.0001 {
+		t.Errorf("searched energy %v beats nothing (fixed point %v)", best.EnergyJ, fixed.EnergyJ)
+	}
+
+	// Tech-node projection: a 7nm ITRS variant of the same chip runs the
+	// same work for less energy than the native 28nm part.
+	native, err := f.Estimate(api.EstimateRequest{Benchmark: "CG", Threads: 8, Node: "native"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := f.Estimate(api.EstimateRequest{Benchmark: "CG", Threads: 8, Node: "7nm", Scaling: "itrs"})
+	if err != nil {
+		t.Fatalf("7nm estimate: %v", err)
+	}
+	if proj.NodeNM != 7 || proj.Scaling != "itrs" {
+		t.Fatalf("bad node identity: %+v", proj)
+	}
+	if proj.EnergyJ >= native.EnergyJ {
+		t.Errorf("7nm projection energy %v >= native %v", proj.EnergyJ, native.EnergyJ)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	cases := []struct {
+		name string
+		req  api.EstimateRequest
+		want error
+	}{
+		{"missing bench", api.EstimateRequest{}, ErrInvalidRequest},
+		{"unknown bench", api.EstimateRequest{Benchmark: "doom"}, workload.ErrUnknownBenchmark},
+		{"bad node", api.EstimateRequest{Benchmark: "CG", Node: "3nm"}, ErrInvalidRequest},
+		{"bad scaling", api.EstimateRequest{Benchmark: "CG", Scaling: "moore"}, ErrInvalidRequest},
+		{"bad voltage", api.EstimateRequest{Benchmark: "CG", Voltage: "overdrive"}, ErrInvalidRequest},
+		{"bad search", api.EstimateRequest{Benchmark: "CG", Search: "edp3"}, ErrInvalidRequest},
+		{"bad placement", api.EstimateRequest{Benchmark: "CG", Placement: "diagonal"}, ErrInvalidRequest},
+		{"unknown model", api.EstimateRequest{Benchmark: "CG", Model: "m2max"}, ErrUnknownModel},
+	}
+	for _, tc := range cases {
+		if _, err := f.Estimate(tc.req); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEstimateHTTP(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/estimate?bench=CG&threads=8&node=16nm&scaling=cons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est api.Estimate
+	decodeBody(t, resp, &est)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if est.NodeNM != 16 || est.Scaling != "cons" || est.EnergyJ <= 0 {
+		t.Fatalf("bad estimate over HTTP: %+v", est)
+	}
+
+	// Malformed numeric and unknown-benchmark answers are client errors.
+	resp, err = http.Get(ts.URL + "/v1/estimate?bench=CG&threads=eight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threads status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/estimate?bench=doom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown bench status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// decodeBody decodes a JSON response body and closes it.
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// TestWhatIfFast: the instant tier answers all four default branches from
+// the surrogate without running the simulator, and still picks winners.
+func TestWhatIfFast(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	s := seedSession(t, f, "baseline")
+
+	rep, err := f.WhatIf(context.Background(), s.ID, api.WhatIfRequest{Seconds: 60, Fast: true})
+	if err != nil {
+		t.Fatalf("fast WhatIf: %v", err)
+	}
+	if rep.Source != "surrogate" {
+		t.Fatalf("report source = %q, want surrogate", rep.Source)
+	}
+	if rep.Session != s.ID || rep.SnapshotID == "" || rep.BaseNow != 30 {
+		t.Fatalf("bad report envelope: %+v", rep)
+	}
+	want := []string{"baseline", "safe-vmin", "placement", "optimal"}
+	if len(rep.Branches) != len(want) {
+		t.Fatalf("got %d branches, want %d", len(rep.Branches), len(want))
+	}
+	for i, br := range rep.Branches {
+		if br.Name != want[i] || br.Policy != want[i] {
+			t.Errorf("branch %d = %q/%q, want %q", i, br.Name, br.Policy, want[i])
+		}
+		if br.EnergyJ <= 0 || br.AvgPowerW <= 0 || br.VoltageMV <= 0 || br.Seconds <= 0 {
+			t.Errorf("branch %q metrics: %+v", br.Name, br)
+		}
+	}
+	if rep.BestEnergy == "" || rep.BestPerf == "" {
+		t.Fatalf("winners not picked: %+v", rep)
+	}
+	if got := f.mSurQueries.Value(); got != int64(len(want)) {
+		t.Errorf("surrogate query counter = %d, want %d", got, len(want))
+	}
+	// No refinement was requested: no job handle, no background work.
+	if rep.RefineJob != "" {
+		t.Errorf("unexpected refine job %q", rep.RefineJob)
+	}
+	if jobs, _ := f.Jobs(s.ID); len(jobs.Jobs) != 0 {
+		t.Errorf("fast what-if spawned %d jobs", len(jobs.Jobs))
+	}
+}
+
+// TestWhatIfFastRefine: fast + refine answers instantly from the
+// surrogate and runs the simulated comparison behind a job whose handle
+// carries the refined report; completion feeds the error gauge.
+func TestWhatIfFastRefine(t *testing.T) {
+	f, _ := testFleet(t, Config{})
+	s := seedSession(t, f, "baseline")
+
+	rep, err := f.WhatIf(context.Background(), s.ID, api.WhatIfRequest{Seconds: 60, Fast: true, Refine: true})
+	if err != nil {
+		t.Fatalf("fast+refine WhatIf: %v", err)
+	}
+	if rep.Source != "surrogate" || rep.RefineJob == "" {
+		t.Fatalf("bad fast report: source %q, refine_job %q", rep.Source, rep.RefineJob)
+	}
+
+	var j api.Job
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err = f.Job(s.ID, rep.RefineJob)
+		if err != nil {
+			t.Fatalf("Job: %v", err)
+		}
+		if j.Status != api.JobQueued && j.Status != api.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refinement never finished: %+v", j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if j.Status != api.JobDone {
+		t.Fatalf("refinement status = %q: %+v", j.Status, j)
+	}
+	if j.WhatIf == nil || j.WhatIf.Source != "simulated" {
+		t.Fatalf("refined report missing or mis-sourced: %+v", j.WhatIf)
+	}
+	if len(j.WhatIf.Branches) != len(rep.Branches) {
+		t.Fatalf("refined %d branches, fast had %d", len(j.WhatIf.Branches), len(rep.Branches))
+	}
+	for _, br := range j.WhatIf.Branches {
+		if br.Error != nil {
+			t.Errorf("refined branch %q failed: %+v", br.Name, br.Error)
+		}
+		if br.EnergyJ <= 0 || br.Ticks == 0 {
+			t.Errorf("refined branch %q not simulated: %+v", br.Name, br)
+		}
+	}
+	if got := f.mSurRefines.Value(); got != 1 {
+		t.Errorf("refinement counter = %d, want 1", got)
+	}
+	relErr := math.Float64frombits(f.surRefineErr.Load())
+	if relErr <= 0 || relErr >= 0.6 {
+		t.Errorf("refinement error gauge = %v, want (0, 0.6)", relErr)
+	}
+
+	// The instant answers must track the simulated truth per branch.
+	for i, fb := range rep.Branches {
+		rb := j.WhatIf.Branches[i]
+		if rb.EnergyJ <= 0 {
+			continue
+		}
+		if e := math.Abs(fb.EnergyJ-rb.EnergyJ) / rb.EnergyJ; e >= 0.6 {
+			t.Errorf("branch %q surrogate energy off by %.0f%% (fast %v, simulated %v)",
+				fb.Name, 100*e, fb.EnergyJ, rb.EnergyJ)
+		}
+	}
+}

@@ -91,7 +91,8 @@ func wireError(err error) *api.Error {
 //	PUT    /v1/sessions/{id}/policy          flip Table IV policy
 //	POST   /v1/sessions/{id}/snapshot        capture full session state (content-addressed)
 //	POST   /v1/sessions/{id}/fork            branch a deterministic child session
-//	POST   /v1/sessions/{id}/whatif          compare N futures from one snapshot
+//	POST   /v1/sessions/{id}/whatif          compare N futures from one snapshot (fast=surrogate tier)
+//	GET    /v1/estimate                      closed-form surrogate estimate / config search (no session)
 //	GET    /v1/sessions/{id}/trace?since=N   decision trace as JSONL
 //	GET    /v1/sessions/{id}/spans?since=N   request spans as JSONL
 //	GET    /v1/sessions/{id}/slo             tail-latency SLO quantiles
@@ -253,6 +254,28 @@ func (f *Fleet) Handler() http.Handler {
 		rep, err := f.WhatIf(r.Context(), r.PathValue("id"), req)
 		respond(w, http.StatusOK, rep, err)
 	}))
+
+	mux.HandleFunc("GET /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		req := api.EstimateRequest{
+			Model:     q.Get("model"),
+			Node:      q.Get("node"),
+			Scaling:   q.Get("scaling"),
+			Benchmark: q.Get("bench"),
+			Placement: q.Get("placement"),
+			Voltage:   q.Get("voltage"),
+			Search:    q.Get("search"),
+		}
+		var ok bool
+		if req.Threads, ok = queryInt(w, q.Get("threads"), "threads"); !ok {
+			return
+		}
+		if req.FreqMHz, ok = queryInt(w, q.Get("freq_mhz"), "freq_mhz"); !ok {
+			return
+		}
+		est, err := f.Estimate(req)
+		respond(w, http.StatusOK, est, err)
+	})
 
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", sess(func(w http.ResponseWriter, r *http.Request) {
 		var since int64
@@ -511,6 +534,20 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 func servePrometheus(w http.ResponseWriter, reg *telemetry.Registry) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = export.Prometheus(w, reg)
+}
+
+// queryInt parses a non-negative integer query parameter ("" = 0),
+// reporting false after writing the error response.
+func queryInt(w http.ResponseWriter, v, name string) (int, bool) {
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeError(w, fmt.Errorf("%w: %s=%q", ErrInvalidRequest, name, v))
+		return 0, false
+	}
+	return n, true
 }
 
 // decodeJSON parses a request body, tolerating an empty body as the zero

@@ -5,15 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avfs/api"
 	"avfs/internal/experiments/runner"
 	"avfs/internal/sim"
 	"avfs/internal/snapshot"
+	"avfs/internal/surrogate"
 	"avfs/internal/telemetry"
 	"avfs/internal/telemetry/export"
 	"avfs/internal/vmin/store"
@@ -37,10 +41,14 @@ type Config struct {
 	// flips interleave with an in-flight run.
 	RunChunk float64
 	// CacheDir enables the on-disk tier of the fleet's characterization
-	// store: datasets persist there across server restarts. "" (default)
-	// keeps the store in-process only. Either way the store is shared by
-	// every session, so identical characterize requests from different
-	// tenants are served from cache (see internal/vmin/store).
+	// store (datasets persist there across server restarts) and, under
+	// CacheDir/surrogate, of the fitted surrogate-model store. ""
+	// (default) keeps both stores in-process only. Either way the stores
+	// are shared by every session, so identical requests from different
+	// tenants are served from cache (see internal/vmin/store). The
+	// directory may live on a shared filesystem: both stores write
+	// artifacts via temp file + atomic rename, so concurrent server
+	// processes can only ever race to identical content.
 	CacheDir string
 	// SnapshotDir enables the on-disk tier of the fleet's session-snapshot
 	// store: snapshots persist there across server restarts, so a fork can
@@ -131,6 +139,13 @@ type Fleet struct {
 	// snaps holds content-addressed session snapshots — the state behind
 	// the fork and what-if endpoints.
 	snaps *snapshot.Store
+	// surModels caches fitted surrogate models (the instant-estimate
+	// tier); its disk tier lives under CacheDir/surrogate. estimators
+	// holds the lazily built per-(chip, tech node, roadmap) query engines
+	// (see estimate.go), each behind its own lock.
+	surModels  *surrogate.Store
+	estMu      sync.Mutex
+	estimators map[string]*estimatorEntry
 	// memo is the fleet-wide cross-session steady-segment memo: every
 	// session's machine (and every what-if branch) shares it, so one
 	// tenant's transient warms the next tenant's. nil when NoBatch.
@@ -166,6 +181,13 @@ type Fleet struct {
 	// mHTTP[c] counts requests answered with a cxx status; registered here
 	// once so Handler stays idempotent.
 	mHTTP [6]*telemetry.Counter
+	// Surrogate-tier telemetry: answers served from the closed-form
+	// engine, background simulated refinements completed, and (as float64
+	// bits) the last refinement's worst surrogate-vs-simulator relative
+	// energy error.
+	mSurQueries  *telemetry.Counter
+	mSurRefines  *telemetry.Counter
+	surRefineErr atomic.Uint64
 
 	// reqSLO tracks fleet-wide request latency (nil when NoTrace).
 	reqSLO *telemetry.SLOTracker
@@ -203,15 +225,21 @@ func (c *memStatsCache) read() *runtime.MemStats {
 // New starts a fleet.
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
+	surDir := ""
+	if cfg.CacheDir != "" {
+		surDir = filepath.Join(cfg.CacheDir, "surrogate")
+	}
 	f := &Fleet{
-		cfg:      cfg,
-		pool:     runner.NewPool(cfg.Workers, cfg.Queue, nil),
-		reg:      telemetry.NewRegistry(),
-		store:    store.New(cfg.CacheDir),
-		snaps:    snapshot.NewStore(cfg.SnapshotDir),
-		sessions: make(map[string]*session),
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		cfg:        cfg,
+		pool:       runner.NewPool(cfg.Workers, cfg.Queue, nil),
+		reg:        telemetry.NewRegistry(),
+		store:      store.New(cfg.CacheDir),
+		snaps:      snapshot.NewStore(cfg.SnapshotDir),
+		surModels:  surrogate.NewStore(surDir),
+		estimators: make(map[string]*estimatorEntry),
+		sessions:   make(map[string]*session),
+		reapStop:   make(chan struct{}),
+		reapDone:   make(chan struct{}),
 	}
 	f.baseCtx, f.cancelBase = context.WithCancel(context.Background())
 	if !cfg.NoBatch {
@@ -223,6 +251,14 @@ func New(cfg Config) *Fleet {
 	f.mReaped = f.reg.Counter("avfs_fleet_sessions_reaped_total", "Sessions deleted by the TTL reaper.")
 	f.mRuns = f.reg.Counter("avfs_fleet_runs_total", "Time-advance operations admitted (sync and async).")
 	f.mRejected = f.reg.Counter("avfs_fleet_runs_rejected_total", "Runs rejected by pool backpressure.")
+	f.mSurQueries = f.reg.Counter("avfs_surrogate_queries_total",
+		"Closed-form surrogate answers served (GET /v1/estimate and fast what-if branches).")
+	f.mSurRefines = f.reg.Counter("avfs_surrogate_refinements_total",
+		"Background simulated refinements completed behind fast what-if answers.")
+	f.reg.Gauge("avfs_surrogate_refine_rel_err",
+		"Worst surrogate-vs-simulator relative energy error observed by the last refinement.", func() float64 {
+			return math.Float64frombits(f.surRefineErr.Load())
+		})
 	for i := 1; i <= 5; i++ {
 		f.mHTTP[i] = f.reg.Counter("avfs_http_requests_total",
 			"HTTP requests by status class.", telemetry.Labels("class", fmt.Sprintf("%dxx", i))...)

@@ -138,13 +138,15 @@ type session struct {
 	capW float64
 }
 
-// job is the handle of one asynchronous time advance.
+// job is the handle of one asynchronous time advance (or what-if
+// refinement, which fills whatif instead of result).
 type job struct {
 	id        string
 	seconds   float64
 	untilIdle bool
 	status    string // api.JobQueued/Running/Done/Failed/Canceled
 	result    api.RunResult
+	whatif    *api.WhatIfReport
 	err       error
 	cancel    context.CancelFunc
 	done      chan struct{}
@@ -883,6 +885,10 @@ func (s *session) wireJobLocked(j *job) api.Job {
 		}
 		r := j.result
 		wj.Result = &r
+	}
+	if j.whatif != nil && j.status != api.JobQueued && j.status != api.JobRunning {
+		wj.WhatIf = j.whatif
+		wj.Result = nil // a refinement job carries a report, not a run result
 	}
 	return wj
 }

@@ -226,12 +226,31 @@ func (f *Fleet) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (a
 		return api.WhatIfReport{}, err
 	}
 
+	if req.Fast {
+		// The instant tier: every branch answered from the closed-form
+		// surrogate, optionally with the simulated comparison running
+		// behind it as a background job.
+		rep, err := f.whatIfFast(id, snapID, st, specs, req)
+		if err != nil {
+			return api.WhatIfReport{}, err
+		}
+		if req.Refine {
+			jid, err := f.startRefinement(s, id, snapID, st, specs, req, &rep)
+			if err != nil {
+				return api.WhatIfReport{}, err
+			}
+			rep.RefineJob = jid
+		}
+		return rep, nil
+	}
+
 	report := api.WhatIfReport{
 		Session:    id,
 		SnapshotID: snapID,
 		BaseNow:    float64(st.Machine.Ticks) * st.Machine.Tick,
 		BaseTicks:  st.Machine.Ticks,
 		Seconds:    req.Seconds,
+		Source:     whatIfSimulated,
 		Branches:   make([]api.WhatIfBranch, len(specs)),
 	}
 	if req.Solo || f.memo == nil {
@@ -255,6 +274,14 @@ func (f *Fleet) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (a
 		report.Batch = f.runBranchesBatched(ctx, st, specs, req.Seconds, req.UntilIdle, report.Branches)
 	}
 
+	fillBests(&report)
+	return report, nil
+}
+
+// fillBests names the report's best branch per axis: the lowest window
+// energy, and the most in-window completions with makespan breaking
+// ties. Shared by the simulated, surrogate and refinement paths.
+func fillBests(report *api.WhatIfReport) {
 	bestEnergy, bestPerf := -1, -1
 	for i := range report.Branches {
 		b := &report.Branches[i]
@@ -277,7 +304,6 @@ func (f *Fleet) WhatIf(ctx context.Context, id string, req api.WhatIfRequest) (a
 	if bestPerf >= 0 {
 		report.BestPerf = report.Branches[bestPerf].Name
 	}
-	return report, nil
 }
 
 // runBranch executes one branch on the worker pool and reports its

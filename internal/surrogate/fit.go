@@ -1,0 +1,151 @@
+package surrogate
+
+import (
+	"fmt"
+
+	"avfs/internal/chip"
+	"avfs/internal/clock"
+	"avfs/internal/experiments"
+	"avfs/internal/sim"
+	"avfs/internal/wlgen"
+	"avfs/internal/workload"
+)
+
+// FitConfig parameterizes a fit.
+type FitConfig struct {
+	// Salt seeds the calibration workloads; 0 means 1. Validation suites
+	// use a different salt so fitted cells never see their test data.
+	Salt int64
+}
+
+// soloFitBenches are the calibration programs per workload class: two
+// representatives each, one parallel and one single-threaded, so a cell's
+// ratio averages over both execution modes.
+var soloFitBenches = [numClasses][]string{
+	ClassCPU:    {"EP", "namd"},
+	ClassMemory: {"CG", "milc"},
+}
+
+// Fit regresses a surrogate model for a chip against the simulator: one
+// small Measure per (frequency class, placement, workload class) cell for
+// the solo corrections, then one calibration-workload replay per
+// (Table IV policy, mix) cell for the workload-level corrections. The
+// whole fit is a few dozen millisecond-scale simulations — paid once per
+// chip, amortized over microsecond queries.
+func Fit(spec *chip.Spec, fc FitConfig) (*Model, error) {
+	salt := fc.Salt
+	if salt == 0 {
+		salt = 1
+	}
+	m := &Model{Version: Version, Chip: spec.Name, ChipModel: int(spec.Model), Salt: salt}
+	est, err := NewEstimator(spec, m, 0, CONS)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: solo cells. Each cell is fitted exactly once and the
+	// analytic side consults only the (still-identity) cell being fitted,
+	// so fit order cannot contaminate the regression.
+	threads := spec.Cores / 4
+	if threads < 2 {
+		threads = 2
+	}
+	for _, fcl := range clock.Classes(spec) {
+		f := clock.ClassRepresentative(spec, fcl)
+		for pl := 0; pl < numPlacements; pl++ {
+			for class := 0; class < int(numClasses); class++ {
+				var tSum, pSum float64
+				n := 0
+				for _, name := range soloFitBenches[class] {
+					b := workload.MustByName(name)
+					res, err := experiments.Measure(experiments.RunSpec{
+						Chip: spec, Bench: b, Threads: threads,
+						Placement: sim.Placement(pl), Freq: f,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("surrogate: solo fit %s/%v/%s: %w", name, fcl, sim.Placement(pl), err)
+					}
+					an := est.estimateOne(b, threads, sim.Placement(pl), f, 0)
+					if an.RuntimeS <= 0 || an.AvgPowerW <= 0 {
+						return nil, fmt.Errorf("surrogate: degenerate analytic point for %s", name)
+					}
+					tSum += res.Runtime / an.RuntimeS
+					pSum += res.AvgPowerW / an.AvgPowerW
+					n++
+				}
+				m.Solo[int(fcl)][pl][class] = SoloCell{
+					TimeRatio:  tSum / float64(n),
+					PowerRatio: pSum / float64(n),
+					Samples:    n,
+				}
+			}
+		}
+	}
+
+	// Stage 2: policy cells. Two passes — all analytic answers are taken
+	// with identity policy cells first, then the ratios land in the cells
+	// keyed by the mix the query path will compute for the same set (so
+	// fit-time and query-time cell selection always agree).
+	type acc struct {
+		e, t, p float64
+		n       int
+	}
+	var accs [numConfigs][numPolicyMixes]acc
+	for _, mix := range experiments.Mixes() {
+		wl := experiments.CalibrationWorkload(spec, mix, salt)
+		key := mixOfWorkload(wl)
+		for _, cfg := range experiments.SystemConfigs() {
+			simRes, err := experiments.Evaluate(spec, wl, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("surrogate: policy fit %v/%v: %w", cfg, mix, err)
+			}
+			an := est.EstimateWorkload(wl, cfg)
+			if an.Seconds <= 0 || an.EnergyJ <= 0 || an.AvgPowerW <= 0 {
+				return nil, fmt.Errorf("surrogate: degenerate analytic workload for %v/%v", cfg, mix)
+			}
+			a := &accs[int(cfg)][key]
+			a.e += simRes.EnergyJ / an.EnergyJ
+			a.t += simRes.TimeSec / an.Seconds
+			a.p += simRes.AvgPowerW / an.AvgPowerW
+			a.n++
+		}
+	}
+	for cfg := 0; cfg < numConfigs; cfg++ {
+		for mix := 0; mix < numPolicyMixes; mix++ {
+			a := accs[cfg][mix]
+			if a.n == 0 {
+				continue
+			}
+			m.Policy[cfg][mix] = PolicyCell{
+				EnergyRatio: a.e / float64(a.n),
+				TimeRatio:   a.t / float64(a.n),
+				PowerRatio:  a.p / float64(a.n),
+				Samples:     a.n,
+			}
+		}
+	}
+	return m, nil
+}
+
+// mixOfWorkload computes the query-path mix bucket of an arrival schedule.
+func mixOfWorkload(wl *wlgen.Workload) int {
+	total, mem := 0, 0
+	for _, a := range wl.Arrivals {
+		total += a.Threads
+		if a.Bench.MemoryIntensive() {
+			mem += a.Threads
+		}
+	}
+	if total == 0 {
+		return int(experiments.MixBalanced)
+	}
+	share := float64(mem) / float64(total)
+	switch {
+	case share >= 0.75:
+		return int(experiments.MixMemory)
+	case share <= 0.25:
+		return int(experiments.MixCPU)
+	default:
+		return int(experiments.MixBalanced)
+	}
+}

@@ -1,0 +1,187 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"avfs/internal/chip"
+	"avfs/internal/power"
+)
+
+// This file is the technology-node axis of the surrogate: ITRS- and
+// conservative-roadmap scaling tables (45 → 8 nm) applied as *ratios*
+// between a chip's native node and a target node, so every estimate and
+// campaign can sweep 28 nm (X-Gene 2 native) / 16 nm (X-Gene 3 native) /
+// projected-7 nm variants. The scaling never mints new chip.Model values —
+// the simulator's coefficient and Vmin tables only know the two real
+// chips — it produces a scaled (Spec, Coefficients) pair that exists only
+// inside the surrogate's closed-form evaluation.
+
+// ScalingModel selects which roadmap the node ratios come from.
+type ScalingModel int
+
+const (
+	// CONS is the conservative roadmap: voltage nearly flat below 22 nm,
+	// modest frequency gains. The realistic default.
+	CONS ScalingModel = iota
+	// ITRS is the aggressive roadmap: steep voltage and frequency scaling.
+	ITRS
+)
+
+// String names the roadmap ("cons", "itrs").
+func (sm ScalingModel) String() string {
+	if sm == ITRS {
+		return "itrs"
+	}
+	return "cons"
+}
+
+// ParseScalingModel resolves a roadmap name; "" means CONS.
+func ParseScalingModel(s string) (ScalingModel, error) {
+	switch strings.ToLower(s) {
+	case "", "cons", "conservative":
+		return CONS, nil
+	case "itrs":
+		return ITRS, nil
+	}
+	return CONS, fmt.Errorf("surrogate: unknown scaling model %q (want itrs or cons)", s)
+}
+
+// TechNode is a technology node in nanometers. The canonical sweep is
+// {28, 16, 7}; any value in [7, 45] interpolates the roadmap tables.
+type TechNode int
+
+// Nodes is the canonical sweep: the two real chips' nodes plus the
+// projected 7 nm point.
+func Nodes() []TechNode { return []TechNode{28, 16, 7} }
+
+// String formats the node ("28nm").
+func (n TechNode) String() string { return strconv.Itoa(int(n)) + "nm" }
+
+// ParseTechNode resolves a node like "28", "16nm" or "7"; "" means 0
+// (the chip's native node).
+func ParseTechNode(s string) (TechNode, error) {
+	s = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(s)), "nm")
+	if s == "" || s == "native" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 7 || v > 45 {
+		return 0, fmt.Errorf("surrogate: unknown tech node %q (want 7..45 nm)", s)
+	}
+	return TechNode(v), nil
+}
+
+// Roadmap tables indexed by nodePoints. Voltage, frequency and power are
+// relative to the 45 nm row; area halves per successive node.
+var (
+	nodePoints = []float64{45, 32, 22, 16, 11, 8}
+
+	vddITRS  = []float64{1, 0.93, 0.84, 0.75, 0.68, 0.62}
+	vddCONS  = []float64{1, 0.93, 0.88, 0.86, 0.84, 0.84}
+	freqITRS = []float64{1, 1.09, 2.38, 3.21, 4.17, 3.85}
+	freqCONS = []float64{1, 1.10, 1.19, 1.25, 1.30, 1.34}
+	powITRS  = []float64{1, 0.66, 0.54, 0.38, 0.25, 0.12}
+	powCONS  = []float64{1, 0.71, 0.52, 0.39, 0.29, 0.22}
+	areaTbl  = []float64{1, 0.5, 0.25, 0.125, 0.0625, 0.03125}
+)
+
+// interpNode evaluates a roadmap table at an arbitrary node size,
+// interpolating linearly in log(node) between table points and clamping
+// at the 45/8 nm edges (7 nm reuses the 8 nm endpoint — the roadmap's
+// last committed row).
+func interpNode(tbl []float64, nm float64) float64 {
+	if nm >= nodePoints[0] {
+		return tbl[0]
+	}
+	last := len(nodePoints) - 1
+	if nm <= nodePoints[last] {
+		return tbl[last]
+	}
+	for i := 1; i <= last; i++ {
+		hi, lo := nodePoints[i-1], nodePoints[i]
+		if nm >= lo {
+			t := (math.Log(hi) - math.Log(nm)) / (math.Log(hi) - math.Log(lo))
+			return tbl[i-1] + t*(tbl[i]-tbl[i-1])
+		}
+	}
+	return tbl[last]
+}
+
+// NodeScale is the set of ratios carrying a chip from its native node to
+// a target node.
+type NodeScale struct {
+	VddRatio   float64 `json:"vdd_ratio"`
+	FreqRatio  float64 `json:"freq_ratio"`
+	PowerRatio float64 `json:"power_ratio"`
+	AreaRatio  float64 `json:"area_ratio"`
+	// CapRatio is the implied switched-capacitance ratio
+	// power/(vdd²·freq), the term C·V²·f scaling factors out.
+	CapRatio float64 `json:"cap_ratio"`
+}
+
+// Identity reports whether the scale is a no-op (native node).
+func (ns NodeScale) Identity() bool {
+	return ns.VddRatio == 1 && ns.FreqRatio == 1 && ns.PowerRatio == 1
+}
+
+// ScaleBetween computes the node ratios from one node size to another
+// under a roadmap.
+func ScaleBetween(sm ScalingModel, fromNM, toNM float64) NodeScale {
+	vdd, freq, pow := vddCONS, freqCONS, powCONS
+	if sm == ITRS {
+		vdd, freq, pow = vddITRS, freqITRS, powITRS
+	}
+	ns := NodeScale{
+		VddRatio:   interpNode(vdd, toNM) / interpNode(vdd, fromNM),
+		FreqRatio:  interpNode(freq, toNM) / interpNode(freq, fromNM),
+		PowerRatio: interpNode(pow, toNM) / interpNode(pow, fromNM),
+		AreaRatio:  interpNode(areaTbl, toNM) / interpNode(areaTbl, fromNM),
+	}
+	ns.CapRatio = ns.PowerRatio / (ns.VddRatio * ns.VddRatio * ns.FreqRatio)
+	return ns
+}
+
+// NativeNode returns the silicon node a spec was fabricated on.
+func NativeNode(spec *chip.Spec) TechNode {
+	if spec.Process == chip.Bulk28nm {
+		return 28
+	}
+	return 16
+}
+
+// ScaledChip projects a chip spec and its power coefficients to a target
+// node: supply voltages follow the roadmap's Vdd column (snapped to the
+// regulator's grid), frequencies follow the frequency column (rounded to
+// whole MHz; the frequency grid stays anchored at the scaled MaxFreq),
+// switched capacitance follows power/(V²·f) and the fixed-watt terms
+// follow raw power. node 0 (or the native node) returns the inputs
+// unchanged.
+func ScaledChip(spec *chip.Spec, coeff power.Coefficients, node TechNode, sm ScalingModel) (*chip.Spec, power.Coefficients, NodeScale) {
+	native := NativeNode(spec)
+	if node == 0 || node == native {
+		return spec, coeff, NodeScale{VddRatio: 1, FreqRatio: 1, PowerRatio: 1, AreaRatio: 1, CapRatio: 1}
+	}
+	ns := ScaleBetween(sm, float64(native), float64(node))
+	s := *spec
+	s.Name = fmt.Sprintf("%s@%s-%s", spec.Name, node, sm)
+	s.NominalMV = scaleMV(spec.NominalMV, ns.VddRatio, spec.VoltageStep)
+	s.MinSafeMV = scaleMV(spec.MinSafeMV, ns.VddRatio, spec.VoltageStep)
+	s.MaxFreq = chip.MHz(math.Round(float64(spec.MaxFreq) * ns.FreqRatio))
+	s.MinFreq = chip.MHz(math.Round(float64(spec.MinFreq) * ns.FreqRatio))
+	s.FreqStep = chip.MHz(math.Round(float64(spec.FreqStep) * ns.FreqRatio))
+	if s.FreqStep < 1 {
+		s.FreqStep = 1
+	}
+	s.TDPWatts = spec.TDPWatts * ns.PowerRatio
+	// Memory bandwidth is off-package; the node projection leaves it.
+	return &s, coeff.Scaled(ns.CapRatio, ns.PowerRatio), ns
+}
+
+// scaleMV scales a rail voltage and snaps it onto the regulator step grid.
+func scaleMV(mv chip.Millivolts, ratio float64, step chip.Millivolts) chip.Millivolts {
+	v := math.Round(float64(mv)*ratio/float64(step)) * float64(step)
+	return chip.Millivolts(v)
+}

@@ -413,3 +413,83 @@ func TestInstrumentExposesCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedCacheDirConcurrent is the shared-filesystem contract for
+// -cache-dir: several server processes (modeled as independent Stores —
+// no shared memory tier, no shared singleflight) may point at the same
+// directory. Writers race, but each write lands as a temp file followed
+// by an atomic rename, and a characterization is a pure function of its
+// key — so concurrent processes can only ever race to identical content,
+// and readers never observe a partial file.
+func TestSharedCacheDirConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	benches := []string{"CG", "milc", "EP", ""}
+	want := map[string]vmin.Characterization{}
+	for _, bench := range benches {
+		want[bench] = fastCh.Characterize(testConfig(bench))
+	}
+
+	stores := []*Store{New(dir), New(dir), New(dir)}
+	const perStore = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, len(stores)*perStore)
+	for si, st := range stores {
+		for g := 0; g < perStore; g++ {
+			wg.Add(1)
+			go func(st *Store, off int) {
+				defer wg.Done()
+				for i := 0; i < 2*len(benches); i++ {
+					bench := benches[(off+i)%len(benches)]
+					cfg := testConfig(bench)
+					got, _ := st.Get(fastCh, cfg)
+					w := want[bench]
+					w.Config = got.Config
+					if !reflect.DeepEqual(got, w) {
+						errs <- "store served a divergent dataset for " + bench
+						return
+					}
+				}
+			}(st, si+g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+
+	// The directory holds exactly one complete file per cell and no
+	// abandoned temp files.
+	finals, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(finals) != len(benches) {
+		t.Fatalf("dataset files = %v, want %d (%v)", finals, len(benches), err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("temp-file debris left behind: %v", tmps)
+	}
+	for _, name := range finals {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f diskFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("%s is not a complete envelope: %v", name, err)
+		}
+		if f.Version != vmin.ModelVersion || f.Key == "" {
+			t.Fatalf("%s has a bad envelope: %+v", name, f)
+		}
+	}
+
+	// A process started after the dust settles serves every cell from the
+	// shared disk tier without a single sweep.
+	fresh := New(dir)
+	for _, bench := range benches {
+		if _, src := fresh.Get(fastCh, testConfig(bench)); src != SourceDisk {
+			t.Errorf("fresh store source for %q = %v, want disk", bench, src)
+		}
+	}
+	if fresh.Misses() != 0 {
+		t.Errorf("fresh store simulated %d cells, want 0", fresh.Misses())
+	}
+}

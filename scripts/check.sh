@@ -6,12 +6,14 @@
 # gate, the snapshot restore-and-replay gate, the batched-stepping
 # speedup gate, and the cluster scale-out gate (3-node router-proxied
 # read throughput vs the single-node floor, plus drain-to-peer
-# migration latency). The benchmarks' JSON summaries are written to
-# BENCH_telemetry.json, BENCH_sim.json, BENCH_experiments.json,
-# BENCH_cache.json, BENCH_service.json, BENCH_trace.json,
-# BENCH_snapshot.json, BENCH_batch.json and BENCH_cluster.json at the
-# repository root (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
-# EXPERIMENTS.md and docs/API.md).
+# migration latency), and the closed-form surrogate gates (query
+# latency/allocs plus surrogate-vs-simulator accuracy). The benchmarks'
+# JSON summaries are written to BENCH_telemetry.json, BENCH_sim.json,
+# BENCH_experiments.json, BENCH_cache.json, BENCH_service.json,
+# BENCH_trace.json, BENCH_snapshot.json, BENCH_batch.json,
+# BENCH_cluster.json and BENCH_surrogate.json at the repository root
+# (see docs/OBSERVABILITY.md, docs/PERFORMANCE.md, EXPERIMENTS.md and
+# docs/API.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -90,5 +92,12 @@ AVFS_BENCH_CLUSTER_OUT="$(pwd)/BENCH_cluster.json" \
 
 echo "==> BENCH_cluster.json"
 cat BENCH_cluster.json
+
+echo "==> surrogate gates (microsecond query budget + accuracy vs simulator)"
+AVFS_BENCH_SURROGATE_OUT="$(pwd)/BENCH_surrogate.json" \
+	go test ./internal/surrogate -run 'TestSurrogateQueryBudget|TestSurrogateAccuracyBudget' -count=1 -v
+
+echo "==> BENCH_surrogate.json"
+cat BENCH_surrogate.json
 
 echo "OK"
